@@ -1,0 +1,409 @@
+//! Grammar AST for RFC 5234 ABNF.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::AbnfError;
+use crate::matcher::Matcher;
+
+/// Repetition bounds attached to an element: `<a>*<b>element`.
+///
+/// `min` is 0 when absent; `max` is `None` for unbounded (`*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Repeat {
+    /// Minimum number of occurrences.
+    pub min: u32,
+    /// Maximum number of occurrences; `None` means unbounded.
+    pub max: Option<u32>,
+}
+
+impl Repeat {
+    /// Exactly `n` occurrences (`<n>element`).
+    pub fn exactly(n: u32) -> Self {
+        Repeat {
+            min: n,
+            max: Some(n),
+        }
+    }
+
+    /// Between `min` and `max` occurrences.
+    pub fn between(min: u32, max: u32) -> Self {
+        Repeat {
+            min,
+            max: Some(max),
+        }
+    }
+
+    /// `min` or more occurrences.
+    pub fn at_least(min: u32) -> Self {
+        Repeat { min, max: None }
+    }
+
+    /// Zero or more (`*element`).
+    pub fn any() -> Self {
+        Repeat { min: 0, max: None }
+    }
+}
+
+impl fmt::Display for Repeat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max) {
+            (min, Some(max)) if min == max => write!(f, "{min}"),
+            (0, None) => write!(f, "*"),
+            (min, None) => write!(f, "{min}*"),
+            (0, Some(max)) => write!(f, "*{max}"),
+            (min, Some(max)) => write!(f, "{min}*{max}"),
+        }
+    }
+}
+
+/// One node of an ABNF expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// Reference to another rule by (lowercased) name.
+    RuleRef(String),
+    /// Ordered sequence: every element must match in turn.
+    Concat(Vec<Element>),
+    /// First-that-matches alternation (with backtracking).
+    Alt(Vec<Element>),
+    /// `n*m element` repetition.
+    Repeat(Repeat, Box<Element>),
+    /// `[ element ]` — optional; sugar for `0*1`.
+    Optional(Box<Element>),
+    /// Case-insensitive literal string (`"GET"`).
+    CharVal(String),
+    /// Case-sensitive literal string (`%s"GET"`, RFC 7405).
+    CharValSensitive(String),
+    /// Exact terminal byte sequence (`%x47.45.54`).
+    NumVal(Vec<u8>),
+    /// Terminal byte range (`%x30-39`).
+    Range(u8, u8),
+    /// Prose description `<...>` — unmatched; documented intent only.
+    Prose(String),
+}
+
+impl Element {
+    /// `true` if this element can match the empty string (conservative:
+    /// rule references are resolved through `grammar`).
+    pub fn nullable(&self, grammar: &Grammar) -> bool {
+        self.nullable_rec(grammar, 0)
+    }
+
+    fn nullable_rec(&self, grammar: &Grammar, depth: usize) -> bool {
+        if depth > 64 {
+            // Deeply recursive grammar: be conservative.
+            return false;
+        }
+        match self {
+            Element::RuleRef(name) => grammar
+                .rule(name)
+                .map(|r| r.element.nullable_rec(grammar, depth + 1))
+                .unwrap_or(false),
+            Element::Concat(es) => es.iter().all(|e| e.nullable_rec(grammar, depth + 1)),
+            Element::Alt(es) => es.iter().any(|e| e.nullable_rec(grammar, depth + 1)),
+            Element::Repeat(rep, _) if rep.min == 0 => true,
+            Element::Repeat(_, inner) => inner.nullable_rec(grammar, depth + 1),
+            Element::Optional(_) => true,
+            Element::CharVal(s) | Element::CharValSensitive(s) => s.is_empty(),
+            Element::NumVal(bytes) => bytes.is_empty(),
+            Element::Range(..) => false,
+            Element::Prose(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::RuleRef(n) => write!(f, "{n}"),
+            Element::Concat(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            Element::Alt(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " / ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Element::Repeat(rep, inner) => write!(f, "{rep}({inner})"),
+            Element::Optional(inner) => write!(f, "[{inner}]"),
+            Element::CharVal(s) => write!(f, "\"{s}\""),
+            Element::CharValSensitive(s) => write!(f, "%s\"{s}\""),
+            Element::NumVal(bytes) => {
+                write!(f, "%x")?;
+                for (i, b) in bytes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    write!(f, "{b:02X}")?;
+                }
+                Ok(())
+            }
+            Element::Range(lo, hi) => write!(f, "%x{lo:02X}-{hi:02X}"),
+            Element::Prose(s) => write!(f, "<{s}>"),
+        }
+    }
+}
+
+/// One named production.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Canonical (lowercased) rule name.
+    pub name: String,
+    /// Right-hand side.
+    pub element: Element,
+}
+
+/// A complete ABNF grammar: a set of named rules plus the RFC 5234 core
+/// rules (`ALPHA`, `DIGIT`, `CRLF`, …) which are always in scope.
+///
+/// Rule names are case-insensitive per RFC 5234; they are stored
+/// lowercased.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Grammar {
+    rules: BTreeMap<String, Rule>,
+}
+
+impl Grammar {
+    /// Creates an empty grammar (core rules still resolve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses RFC 5234 grammar text.
+    ///
+    /// # Errors
+    ///
+    /// [`AbnfError::Syntax`] for malformed text,
+    /// [`AbnfError::DuplicateRule`] / [`AbnfError::IncrementalWithoutBase`]
+    /// for ill-formed rule sets.
+    pub fn parse(text: &str) -> Result<Self, AbnfError> {
+        crate::parser::parse_grammar(text)
+    }
+
+    /// Adds (or extends, for repeated insertion of alternatives) a rule.
+    ///
+    /// # Errors
+    ///
+    /// [`AbnfError::DuplicateRule`] if `name` is already defined.
+    pub fn add_rule(&mut self, name: &str, element: Element) -> Result<(), AbnfError> {
+        let key = name.to_ascii_lowercase();
+        if self.rules.contains_key(&key) {
+            return Err(AbnfError::DuplicateRule { name: key });
+        }
+        self.rules.insert(
+            key.clone(),
+            Rule {
+                name: key,
+                element,
+            },
+        );
+        Ok(())
+    }
+
+    /// Extends an existing rule with an incremental alternative (`=/`).
+    ///
+    /// # Errors
+    ///
+    /// [`AbnfError::IncrementalWithoutBase`] if the rule does not exist.
+    pub fn add_alternative(&mut self, name: &str, element: Element) -> Result<(), AbnfError> {
+        let key = name.to_ascii_lowercase();
+        match self.rules.get_mut(&key) {
+            None => Err(AbnfError::IncrementalWithoutBase { name: key }),
+            Some(rule) => {
+                let existing = std::mem::replace(&mut rule.element, Element::Concat(vec![]));
+                rule.element = match existing {
+                    Element::Alt(mut alts) => {
+                        alts.push(element);
+                        Element::Alt(alts)
+                    }
+                    other => Element::Alt(vec![other, element]),
+                };
+                Ok(())
+            }
+        }
+    }
+
+    /// Looks up a rule by (case-insensitive) name, consulting the RFC 5234
+    /// core rules as a fallback.
+    pub fn rule(&self, name: &str) -> Option<&Rule> {
+        let key = name.to_ascii_lowercase();
+        self.rules
+            .get(&key)
+            .or_else(|| crate::core_rules::core_rule(&key))
+    }
+
+    /// Iterates over the explicitly defined rules (not the core rules).
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.values()
+    }
+
+    /// Number of explicitly defined rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` if no rules have been defined.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Checks that every rule reference resolves; returns the offending
+    /// names otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`AbnfError::UndefinedRule`] naming the first unresolved reference.
+    pub fn validate(&self) -> Result<(), AbnfError> {
+        fn walk(g: &Grammar, e: &Element) -> Result<(), AbnfError> {
+            match e {
+                Element::RuleRef(name) => {
+                    if g.rule(name).is_none() {
+                        return Err(AbnfError::UndefinedRule { name: name.clone() });
+                    }
+                    Ok(())
+                }
+                Element::Concat(es) | Element::Alt(es) => {
+                    es.iter().try_for_each(|e| walk(g, e))
+                }
+                Element::Repeat(_, inner) | Element::Optional(inner) => walk(g, inner),
+                _ => Ok(()),
+            }
+        }
+        for rule in self.rules.values() {
+            walk(self, &rule.element)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: does `input` match rule `name` *in its entirety*?
+    ///
+    /// # Errors
+    ///
+    /// [`AbnfError::UndefinedRule`] if `name` is unknown;
+    /// [`AbnfError::FuelExhausted`] on pathological backtracking.
+    pub fn matches(&self, name: &str, input: &[u8]) -> Result<bool, AbnfError> {
+        Matcher::new(self).matches(name, input)
+    }
+}
+
+impl FromIterator<Rule> for Grammar {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        let mut g = Grammar::new();
+        for r in iter {
+            // FromIterator cannot fail; last definition wins.
+            g.rules.insert(r.name.to_ascii_lowercase(), r);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_constructors_and_display() {
+        assert_eq!(Repeat::exactly(3).to_string(), "3");
+        assert_eq!(Repeat::any().to_string(), "*");
+        assert_eq!(Repeat::at_least(1).to_string(), "1*");
+        assert_eq!(Repeat::between(0, 5).to_string(), "*5");
+        assert_eq!(Repeat::between(2, 5).to_string(), "2*5");
+    }
+
+    #[test]
+    fn add_rule_rejects_duplicates() {
+        let mut g = Grammar::new();
+        g.add_rule("a", Element::CharVal("x".into())).unwrap();
+        assert_eq!(
+            g.add_rule("A", Element::CharVal("y".into())),
+            Err(AbnfError::DuplicateRule { name: "a".into() })
+        );
+    }
+
+    #[test]
+    fn add_alternative_requires_base() {
+        let mut g = Grammar::new();
+        assert!(matches!(
+            g.add_alternative("nope", Element::CharVal("x".into())),
+            Err(AbnfError::IncrementalWithoutBase { .. })
+        ));
+        g.add_rule("r", Element::CharVal("a".into())).unwrap();
+        g.add_alternative("r", Element::CharVal("b".into())).unwrap();
+        g.add_alternative("R", Element::CharVal("c".into())).unwrap();
+        match &g.rule("r").unwrap().element {
+            Element::Alt(alts) => assert_eq!(alts.len(), 3),
+            other => panic!("expected Alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn core_rules_resolve_without_definition() {
+        let g = Grammar::new();
+        assert!(g.rule("ALPHA").is_some());
+        assert!(g.rule("crlf").is_some());
+        assert!(g.rule("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn validate_finds_dangling_reference() {
+        let mut g = Grammar::new();
+        g.add_rule("top", Element::RuleRef("missing".into())).unwrap();
+        assert_eq!(
+            g.validate(),
+            Err(AbnfError::UndefinedRule {
+                name: "missing".into()
+            })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_core_refs() {
+        let mut g = Grammar::new();
+        g.add_rule(
+            "top",
+            Element::Concat(vec![
+                Element::RuleRef("alpha".into()),
+                Element::RuleRef("DIGIT".into()),
+            ]),
+        )
+        .unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn nullable_analysis() {
+        let mut g = Grammar::new();
+        g.add_rule("maybe", Element::Optional(Box::new(Element::CharVal("x".into()))))
+            .unwrap();
+        g.add_rule("star", Element::Repeat(Repeat::any(), Box::new(Element::CharVal("y".into()))))
+            .unwrap();
+        g.add_rule("one", Element::CharVal("z".into())).unwrap();
+        assert!(g.rule("maybe").unwrap().element.nullable(&g));
+        assert!(g.rule("star").unwrap().element.nullable(&g));
+        assert!(!g.rule("one").unwrap().element.nullable(&g));
+    }
+
+    #[test]
+    fn element_display_roundtrips_through_parser() {
+        let e = Element::Concat(vec![
+            Element::CharVal("GET".into()),
+            Element::Repeat(Repeat::at_least(1), Box::new(Element::RuleRef("sp".into()))),
+            Element::Range(0x30, 0x39),
+            Element::NumVal(vec![0x0D, 0x0A]),
+        ]);
+        let text = format!("top = {e}\n");
+        let g = Grammar::parse(&text).unwrap();
+        assert_eq!(g.rule("top").unwrap().element, e);
+    }
+}

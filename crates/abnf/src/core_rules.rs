@@ -1,0 +1,160 @@
+//! The RFC 5234 Appendix B.1 core rules, always in scope.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use crate::ast::{Element, Repeat, Rule};
+
+fn build() -> BTreeMap<String, Rule> {
+    let mut m = BTreeMap::new();
+    let mut def = |name: &str, e: Element| {
+        m.insert(
+            name.to_string(),
+            Rule {
+                name: name.to_string(),
+                element: e,
+            },
+        );
+    };
+
+    // ALPHA = %x41-5A / %x61-7A
+    def(
+        "alpha",
+        Element::Alt(vec![Element::Range(0x41, 0x5A), Element::Range(0x61, 0x7A)]),
+    );
+    // BIT = "0" / "1"
+    def(
+        "bit",
+        Element::Alt(vec![
+            Element::CharVal("0".into()),
+            Element::CharVal("1".into()),
+        ]),
+    );
+    // CHAR = %x01-7F
+    def("char", Element::Range(0x01, 0x7F));
+    // CR = %x0D
+    def("cr", Element::NumVal(vec![0x0D]));
+    // CRLF = CR LF
+    def(
+        "crlf",
+        Element::Concat(vec![
+            Element::RuleRef("cr".into()),
+            Element::RuleRef("lf".into()),
+        ]),
+    );
+    // CTL = %x00-1F / %x7F
+    def(
+        "ctl",
+        Element::Alt(vec![Element::Range(0x00, 0x1F), Element::NumVal(vec![0x7F])]),
+    );
+    // DIGIT = %x30-39
+    def("digit", Element::Range(0x30, 0x39));
+    // DQUOTE = %x22
+    def("dquote", Element::NumVal(vec![0x22]));
+    // HEXDIG = DIGIT / "A" / "B" / "C" / "D" / "E" / "F"
+    def(
+        "hexdig",
+        Element::Alt(vec![
+            Element::RuleRef("digit".into()),
+            Element::CharVal("A".into()),
+            Element::CharVal("B".into()),
+            Element::CharVal("C".into()),
+            Element::CharVal("D".into()),
+            Element::CharVal("E".into()),
+            Element::CharVal("F".into()),
+        ]),
+    );
+    // HTAB = %x09
+    def("htab", Element::NumVal(vec![0x09]));
+    // LF = %x0A
+    def("lf", Element::NumVal(vec![0x0A]));
+    // LWSP = *(WSP / CRLF WSP)
+    def(
+        "lwsp",
+        Element::Repeat(
+            Repeat::any(),
+            Box::new(Element::Alt(vec![
+                Element::RuleRef("wsp".into()),
+                Element::Concat(vec![
+                    Element::RuleRef("crlf".into()),
+                    Element::RuleRef("wsp".into()),
+                ]),
+            ])),
+        ),
+    );
+    // OCTET = %x00-FF
+    def("octet", Element::Range(0x00, 0xFF));
+    // SP = %x20
+    def("sp", Element::NumVal(vec![0x20]));
+    // VCHAR = %x21-7E
+    def("vchar", Element::Range(0x21, 0x7E));
+    // WSP = SP / HTAB
+    def(
+        "wsp",
+        Element::Alt(vec![
+            Element::RuleRef("sp".into()),
+            Element::RuleRef("htab".into()),
+        ]),
+    );
+    m
+}
+
+/// Looks up a core rule by lowercased name.
+pub fn core_rule(name: &str) -> Option<&'static Rule> {
+    static RULES: OnceLock<BTreeMap<String, Rule>> = OnceLock::new();
+    RULES.get_or_init(build).get(name)
+}
+
+/// Names of all core rules (lowercased).
+pub fn core_rule_names() -> Vec<&'static str> {
+    vec![
+        "alpha", "bit", "char", "cr", "crlf", "ctl", "digit", "dquote", "hexdig", "htab", "lf",
+        "lwsp", "octet", "sp", "vchar", "wsp",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Grammar;
+
+    #[test]
+    fn all_core_rules_resolve() {
+        for name in core_rule_names() {
+            assert!(core_rule(name).is_some(), "core rule {name} missing");
+        }
+    }
+
+    #[test]
+    fn core_rules_match_expected_inputs() {
+        let g = Grammar::new();
+        assert!(g.matches("ALPHA", b"a").unwrap());
+        assert!(g.matches("ALPHA", b"Z").unwrap());
+        assert!(!g.matches("ALPHA", b"1").unwrap());
+        assert!(g.matches("DIGIT", b"7").unwrap());
+        assert!(!g.matches("DIGIT", b"x").unwrap());
+        assert!(g.matches("CRLF", b"\r\n").unwrap());
+        assert!(!g.matches("CRLF", b"\n").unwrap());
+        assert!(g.matches("HEXDIG", b"F").unwrap());
+        // HEXDIG is case-insensitive through CharVal semantics.
+        assert!(g.matches("HEXDIG", b"f").unwrap());
+        assert!(g.matches("WSP", b" ").unwrap());
+        assert!(g.matches("WSP", b"\t").unwrap());
+        assert!(g.matches("OCTET", &[0xFF]).unwrap());
+        assert!(g.matches("VCHAR", b"~").unwrap());
+        assert!(!g.matches("VCHAR", b" ").unwrap());
+        assert!(g.matches("CTL", &[0x00]).unwrap());
+        assert!(g.matches("CTL", &[0x7F]).unwrap());
+        assert!(g.matches("BIT", b"0").unwrap());
+        assert!(!g.matches("BIT", b"2").unwrap());
+    }
+
+    #[test]
+    fn lwsp_matches_folded_whitespace() {
+        let g = Grammar::new();
+        assert!(g.matches("LWSP", b"").unwrap());
+        assert!(g.matches("LWSP", b"  \t").unwrap());
+        assert!(g.matches("LWSP", b" \r\n ").unwrap());
+        assert!(!g.matches("LWSP", b" \r\n").unwrap(), "CRLF must be followed by WSP");
+    }
+}

@@ -1,0 +1,97 @@
+//! Errors for grammar parsing and matching.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while parsing ABNF text or matching input against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AbnfError {
+    /// The grammar text itself was malformed.
+    Syntax {
+        /// 1-based line of the offence.
+        line: usize,
+        /// Byte column within the line.
+        column: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// A rule referenced a name that no rule defines.
+    UndefinedRule {
+        /// The missing rule name (lowercased canonical form).
+        name: String,
+    },
+    /// An incremental alternative (`=/`) targeted a rule that does not
+    /// exist yet.
+    IncrementalWithoutBase {
+        /// The rule name the `=/` referenced.
+        name: String,
+    },
+    /// The same rule was defined twice with plain `=`.
+    DuplicateRule {
+        /// The rule name defined twice.
+        name: String,
+    },
+    /// Matching exceeded its backtracking fuel — the grammar is too
+    /// ambiguous for the given input, or adversarial input triggered
+    /// exponential backtracking.
+    FuelExhausted {
+        /// The rule being matched when fuel ran out.
+        rule: String,
+    },
+    /// Generation exceeded the recursion depth limit (grammar is likely
+    /// unboundedly recursive down every branch).
+    DepthExceeded {
+        /// The rule being expanded when the limit hit.
+        rule: String,
+    },
+}
+
+impl fmt::Display for AbnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbnfError::Syntax {
+                line,
+                column,
+                message,
+            } => write!(f, "syntax error at line {line}, column {column}: {message}"),
+            AbnfError::UndefinedRule { name } => write!(f, "undefined rule `{name}`"),
+            AbnfError::IncrementalWithoutBase { name } => {
+                write!(f, "incremental alternative `=/` for unknown rule `{name}`")
+            }
+            AbnfError::DuplicateRule { name } => write!(f, "rule `{name}` defined twice"),
+            AbnfError::FuelExhausted { rule } => {
+                write!(f, "backtracking fuel exhausted while matching rule `{rule}`")
+            }
+            AbnfError::DepthExceeded { rule } => {
+                write!(f, "recursion depth exceeded while generating rule `{rule}`")
+            }
+        }
+    }
+}
+
+impl Error for AbnfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AbnfError::Syntax {
+            line: 3,
+            column: 7,
+            message: "expected `=`".into(),
+        };
+        assert_eq!(e.to_string(), "syntax error at line 3, column 7: expected `=`");
+        assert!(AbnfError::UndefinedRule { name: "foo".into() }
+            .to_string()
+            .contains("foo"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<AbnfError>();
+    }
+}

@@ -1,0 +1,39 @@
+//! # netdsl-abnf — RFC 5234 Augmented BNF
+//!
+//! The paper names ABNF (Internet STD 68) as the canonical *syntactic*
+//! notation for message formats, and positions its DSL as subsuming it
+//! ("the specification of the structure of packets and interfaces (e.g. in
+//! the style of ABNF)", §3.2). This crate is the ABNF substrate: it parses
+//! RFC 5234 grammar text into an AST ([`Grammar`]), matches byte strings
+//! against rules ([`Matcher`]), and generates random sample strings from a
+//! grammar ([`generate`]) — which is what the packet DSL's text-protocol
+//! fields and the test-case generator build on.
+//!
+//! # Examples
+//!
+//! ```
+//! use netdsl_abnf::Grammar;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = Grammar::parse(r#"
+//! greeting = "HELLO" SP version CRLF
+//! version  = 1*3DIGIT
+//! "#)?;
+//! assert!(g.matches("greeting", b"HELLO 42\r\n")?);
+//! assert!(!g.matches("greeting", b"HELLO x\r\n")?);
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod core_rules;
+pub mod error;
+pub mod generate;
+pub mod matcher;
+pub mod parser;
+
+pub use ast::{Element, Grammar, Repeat, Rule};
+pub use error::AbnfError;
+pub use matcher::Matcher;

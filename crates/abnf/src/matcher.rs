@@ -1,0 +1,461 @@
+//! Backtracking matcher for ABNF grammars.
+//!
+//! Matching is greedy with full backtracking, bounded by a *fuel* counter
+//! so that pathological grammar/input pairs fail loudly instead of running
+//! forever (the DSL requires total operations — see DESIGN.md §2).
+
+use crate::ast::{Element, Grammar, Repeat};
+use crate::error::AbnfError;
+
+/// Default backtracking fuel: number of elementary match steps allowed per
+/// `matches` call.
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Matches inputs against rules of a [`Grammar`].
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_abnf::{Grammar, Matcher};
+///
+/// # fn main() -> Result<(), netdsl_abnf::AbnfError> {
+/// let g = Grammar::parse("num = 1*DIGIT [\".\" 1*DIGIT]\n")?;
+/// let m = Matcher::new(&g);
+/// assert!(m.matches("num", b"3.14")?);
+/// assert!(m.matches("num", b"42")?);
+/// assert!(!m.matches("num", b".5")?);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct Matcher<'g> {
+    grammar: &'g Grammar,
+    fuel: u64,
+}
+
+impl<'g> Matcher<'g> {
+    /// Creates a matcher with [`DEFAULT_FUEL`].
+    pub fn new(grammar: &'g Grammar) -> Self {
+        Matcher {
+            grammar,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Creates a matcher with a custom fuel budget.
+    pub fn with_fuel(grammar: &'g Grammar, fuel: u64) -> Self {
+        Matcher { grammar, fuel }
+    }
+
+    /// Does `input` match rule `name` in its entirety?
+    ///
+    /// # Errors
+    ///
+    /// * [`AbnfError::UndefinedRule`] if `name` does not resolve;
+    /// * [`AbnfError::FuelExhausted`] if backtracking exceeds the budget.
+    pub fn matches(&self, name: &str, input: &[u8]) -> Result<bool, AbnfError> {
+        let rule = self
+            .grammar
+            .rule(name)
+            .ok_or_else(|| AbnfError::UndefinedRule {
+                name: name.to_ascii_lowercase(),
+            })?;
+        let mut ctx = Ctx {
+            grammar: self.grammar,
+            fuel: self.fuel,
+            exhausted: false,
+        };
+        let full = ctx.matches_element(&rule.element, input, 0, &mut |pos| pos == input.len());
+        if ctx.exhausted {
+            return Err(AbnfError::FuelExhausted {
+                rule: name.to_ascii_lowercase(),
+            });
+        }
+        Ok(full)
+    }
+
+    /// Longest prefix of `input` matching rule `name`, if any.
+    ///
+    /// Returns the byte length of the longest match (which may be 0 for
+    /// nullable rules).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matcher::matches`].
+    pub fn longest_prefix(&self, name: &str, input: &[u8]) -> Result<Option<usize>, AbnfError> {
+        let rule = self
+            .grammar
+            .rule(name)
+            .ok_or_else(|| AbnfError::UndefinedRule {
+                name: name.to_ascii_lowercase(),
+            })?;
+        let mut ctx = Ctx {
+            grammar: self.grammar,
+            fuel: self.fuel,
+            exhausted: false,
+        };
+        let mut best: Option<usize> = None;
+        ctx.matches_element(&rule.element, input, 0, &mut |pos| {
+            if best.is_none_or(|b| pos > b) {
+                best = Some(pos);
+            }
+            false // keep exploring for a longer match
+        });
+        if ctx.exhausted {
+            return Err(AbnfError::FuelExhausted {
+                rule: name.to_ascii_lowercase(),
+            });
+        }
+        Ok(best)
+    }
+}
+
+struct Ctx<'g> {
+    grammar: &'g Grammar,
+    fuel: u64,
+    exhausted: bool,
+}
+
+impl<'g> Ctx<'g> {
+    /// Continuation-passing matcher: calls `k(new_pos)` for each way
+    /// `element` can match at `pos`; stops early when `k` returns true.
+    fn matches_element(
+        &mut self,
+        element: &Element,
+        input: &[u8],
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        if self.fuel == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.fuel -= 1;
+        match element {
+            Element::RuleRef(name) => match self.grammar.rule(name) {
+                // Clone is cheap relative to match work and avoids
+                // borrow-lifetime gymnastics on the recursive walk.
+                Some(rule) => {
+                    let elem = rule.element.clone();
+                    self.matches_element(&elem, input, pos, k)
+                }
+                None => false,
+            },
+            Element::Concat(es) => self.match_seq(es, input, pos, k),
+            Element::Alt(es) => {
+                for e in es {
+                    if self.matches_element(e, input, pos, k) {
+                        return true;
+                    }
+                    if self.exhausted {
+                        return false;
+                    }
+                }
+                false
+            }
+            Element::Repeat(rep, inner) => self.match_repeat(*rep, inner, input, pos, k),
+            Element::Optional(inner) => {
+                // Greedy: try the element first, then the empty match.
+                if self.matches_element(inner, input, pos, k) {
+                    return true;
+                }
+                if self.exhausted {
+                    return false;
+                }
+                k(pos)
+            }
+            Element::CharVal(s) => {
+                let bytes = s.as_bytes();
+                if input.len() - pos >= bytes.len()
+                    && input[pos..pos + bytes.len()].eq_ignore_ascii_case(bytes)
+                {
+                    k(pos + bytes.len())
+                } else {
+                    false
+                }
+            }
+            Element::CharValSensitive(s) => {
+                let bytes = s.as_bytes();
+                if input[pos..].starts_with(bytes) {
+                    k(pos + bytes.len())
+                } else {
+                    false
+                }
+            }
+            Element::NumVal(bytes) => {
+                if input[pos..].starts_with(bytes) {
+                    k(pos + bytes.len())
+                } else {
+                    false
+                }
+            }
+            Element::Range(lo, hi) => match input.get(pos) {
+                Some(b) if *lo <= *b && *b <= *hi => k(pos + 1),
+                _ => false,
+            },
+            Element::Prose(_) => false,
+        }
+    }
+
+    fn match_seq(
+        &mut self,
+        es: &[Element],
+        input: &[u8],
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match es.split_first() {
+            None => k(pos),
+            Some((first, rest)) => {
+                let rest_vec = rest.to_vec();
+                let mut hit = false;
+                self.match_seq_inner(first, &rest_vec, input, pos, k, &mut hit);
+                hit
+            }
+        }
+    }
+
+    fn match_seq_inner(
+        &mut self,
+        first: &Element,
+        rest: &[Element],
+        input: &[u8],
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+        hit: &mut bool,
+    ) {
+        // Enumerate the first element's candidate end positions, then try
+        // the rest of the sequence from each (longest-first backtracking).
+        let mut mids = Vec::new();
+        self.matches_element(first, input, pos, &mut |mid| {
+            mids.push(mid);
+            false // enumerate all alternatives
+        });
+        if self.exhausted {
+            return;
+        }
+        // Greedy: prefer longer first matches.
+        mids.sort_unstable_by(|a, b| b.cmp(a));
+        mids.dedup();
+        for mid in mids {
+            let matched = if rest.is_empty() {
+                k(mid)
+            } else {
+                self.match_seq(rest, input, mid, k)
+            };
+            if matched {
+                *hit = true;
+                return;
+            }
+            if self.exhausted {
+                return;
+            }
+        }
+    }
+
+    fn match_repeat(
+        &mut self,
+        rep: Repeat,
+        inner: &Element,
+        input: &[u8],
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        self.match_repeat_rec(rep.min, rep.max, inner, input, pos, 0, k)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn match_repeat_rec(
+        &mut self,
+        min: u32,
+        max: Option<u32>,
+        inner: &Element,
+        input: &[u8],
+        pos: usize,
+        count: u32,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        if self.fuel == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.fuel -= 1;
+        let can_stop = count >= min;
+        let can_continue = max.is_none_or(|m| count < m);
+
+        if can_continue {
+            // Enumerate the positions the inner element can reach, longest
+            // first (greedy), requiring progress to avoid nullable loops.
+            let mut mids = Vec::new();
+            self.matches_element(inner, input, pos, &mut |mid| {
+                if mid > pos {
+                    mids.push(mid);
+                }
+                false
+            });
+            if self.exhausted {
+                return false;
+            }
+            mids.sort_unstable_by(|a, b| b.cmp(a));
+            mids.dedup();
+            for mid in mids {
+                if self.match_repeat_rec(min, max, inner, input, mid, count + 1, k) {
+                    return true;
+                }
+                if self.exhausted {
+                    return false;
+                }
+            }
+            // A nullable inner element satisfies any residual minimum.
+            if !can_stop && inner.nullable(self.grammar) {
+                return k(pos);
+            }
+        }
+        if can_stop {
+            return k(pos);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Grammar;
+
+    fn grammar(text: &str) -> Grammar {
+        Grammar::parse(text).unwrap()
+    }
+
+    #[test]
+    fn literal_match_case_insensitive() {
+        let g = grammar("r = \"GeT\"\n");
+        assert!(g.matches("r", b"GET").unwrap());
+        assert!(g.matches("r", b"get").unwrap());
+        assert!(!g.matches("r", b"GE").unwrap());
+        assert!(!g.matches("r", b"GETX").unwrap());
+    }
+
+    #[test]
+    fn sensitive_literal_match() {
+        let g = grammar("r = %s\"GET\"\n");
+        assert!(g.matches("r", b"GET").unwrap());
+        assert!(!g.matches("r", b"get").unwrap());
+    }
+
+    #[test]
+    fn repetition_bounds_enforced() {
+        let g = grammar("r = 2*3DIGIT\n");
+        assert!(!g.matches("r", b"1").unwrap());
+        assert!(g.matches("r", b"12").unwrap());
+        assert!(g.matches("r", b"123").unwrap());
+        assert!(!g.matches("r", b"1234").unwrap());
+    }
+
+    #[test]
+    fn alternation_backtracks() {
+        // First alternative is a prefix of the input; matcher must back
+        // off to the second to match the whole input.
+        let g = grammar("r = \"ab\" / \"abc\"\n");
+        assert!(g.matches("r", b"ab").unwrap());
+        assert!(g.matches("r", b"abc").unwrap());
+    }
+
+    #[test]
+    fn greedy_star_backtracks_for_suffix() {
+        // *DIGIT must give back one digit so the final DIGIT can match.
+        let g = grammar("r = *DIGIT DIGIT\n");
+        assert!(g.matches("r", b"1").unwrap());
+        assert!(g.matches("r", b"123456").unwrap());
+        assert!(!g.matches("r", b"").unwrap());
+    }
+
+    #[test]
+    fn optional_element() {
+        let g = grammar("r = \"a\" [\"b\"] \"c\"\n");
+        assert!(g.matches("r", b"ac").unwrap());
+        assert!(g.matches("r", b"abc").unwrap());
+        assert!(!g.matches("r", b"abbc").unwrap());
+    }
+
+    #[test]
+    fn nested_rules_resolve() {
+        let g = grammar("top = part \":\" part\npart = 1*ALPHA\n");
+        assert!(g.matches("top", b"abc:def").unwrap());
+        assert!(!g.matches("top", b"abc:").unwrap());
+    }
+
+    #[test]
+    fn undefined_rule_is_error() {
+        let g = Grammar::new();
+        assert!(matches!(
+            g.matches("ghost", b"x"),
+            Err(AbnfError::UndefinedRule { .. })
+        ));
+    }
+
+    #[test]
+    fn prose_never_matches() {
+        let g = grammar("r = <anything goes>\n");
+        assert!(!g.matches("r", b"anything goes").unwrap());
+        assert!(!g.matches("r", b"").unwrap());
+    }
+
+    #[test]
+    fn fuel_exhaustion_reported() {
+        // Nested unbounded repetition of a nullable group is the classic
+        // exponential-backtracking trap.
+        let g = grammar("r = *(*\"a\") \"b\"\n");
+        let m = Matcher::with_fuel(&g, 50);
+        let long: Vec<u8> = std::iter::repeat_n(b'a', 64).collect();
+        assert!(matches!(
+            m.matches("r", &long),
+            Err(AbnfError::FuelExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn longest_prefix_reports_span() {
+        let g = grammar("num = 1*DIGIT\n");
+        let m = Matcher::new(&g);
+        assert_eq!(m.longest_prefix("num", b"123abc").unwrap(), Some(3));
+        assert_eq!(m.longest_prefix("num", b"abc").unwrap(), None);
+        assert_eq!(m.longest_prefix("num", b"9").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn longest_prefix_zero_for_nullable() {
+        let g = grammar("r = *DIGIT\n");
+        let m = Matcher::new(&g);
+        assert_eq!(m.longest_prefix("r", b"abc").unwrap(), Some(0));
+        assert_eq!(m.longest_prefix("r", b"12a").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn matches_realistic_http_request_line() {
+        let g = grammar(
+            "request-line = method SP request-target SP http-version CRLF\n\
+             method = 1*ALPHA\n\
+             request-target = \"/\" *pchar\n\
+             pchar = ALPHA / DIGIT / \"/\" / \".\" / \"-\" / \"_\"\n\
+             http-version = %s\"HTTP/\" DIGIT \".\" DIGIT\n",
+        );
+        assert!(g.matches("request-line", b"GET /index.html HTTP/1.1\r\n").unwrap());
+        assert!(g.matches("request-line", b"POST / HTTP/1.0\r\n").unwrap());
+        assert!(!g.matches("request-line", b"GET  / HTTP/1.1\r\n").unwrap());
+        assert!(!g.matches("request-line", b"GET / http/1.1\r\n").unwrap(), "%s is case-sensitive");
+    }
+
+    #[test]
+    fn matches_ipv4_dotted_quad() {
+        let g = grammar(
+            "ipv4 = dec-octet \".\" dec-octet \".\" dec-octet \".\" dec-octet\n\
+             dec-octet = \"25\" %x30-35 / \"2\" %x30-34 DIGIT / \"1\" 2DIGIT / %x31-39 DIGIT / DIGIT\n",
+        );
+        for good in ["0.0.0.0", "127.0.0.1", "255.255.255.255", "192.168.1.10"] {
+            assert!(g.matches("ipv4", good.as_bytes()).unwrap(), "{good}");
+        }
+        for bad in ["256.0.0.1", "1.2.3", "01.2.3.4.5", "a.b.c.d"] {
+            assert!(!g.matches("ipv4", bad.as_bytes()).unwrap(), "{bad}");
+        }
+    }
+}

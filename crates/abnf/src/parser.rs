@@ -1,0 +1,579 @@
+//! Recursive-descent parser for RFC 5234 grammar text.
+//!
+//! Supports the full RFC 5234 syntax plus the RFC 7405 `%s"…"`/`%i"…"`
+//! case-sensitivity prefixes. Comments (`; …`) and line folding (a
+//! continuation line begins with whitespace) are handled during line
+//! assembly.
+
+use crate::ast::{Element, Grammar, Repeat};
+use crate::error::AbnfError;
+
+/// Parses a complete rule list into a [`Grammar`].
+///
+/// # Errors
+///
+/// [`AbnfError::Syntax`] on malformed text; [`AbnfError::DuplicateRule`] or
+/// [`AbnfError::IncrementalWithoutBase`] on ill-formed rule sets.
+pub fn parse_grammar(text: &str) -> Result<Grammar, AbnfError> {
+    let mut grammar = Grammar::new();
+    for (line_no, logical) in logical_lines(text) {
+        let mut p = Parser::new(&logical, line_no);
+        p.skip_ws();
+        if p.at_end() {
+            continue;
+        }
+        let name = p.rule_name()?;
+        p.skip_ws();
+        let incremental = if p.eat_str("=/") {
+            true
+        } else if p.eat(b'=') {
+            false
+        } else {
+            return Err(p.err("expected `=` or `=/` after rule name"));
+        };
+        p.skip_ws();
+        let element = p.alternation()?;
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(p.err("trailing characters after rule definition"));
+        }
+        if incremental {
+            grammar.add_alternative(&name, element)?;
+        } else {
+            grammar.add_rule(&name, element)?;
+        }
+    }
+    Ok(grammar)
+}
+
+/// Parses a single ABNF expression (the right-hand side of a rule).
+///
+/// # Errors
+///
+/// [`AbnfError::Syntax`] on malformed text.
+pub fn parse_element(text: &str) -> Result<Element, AbnfError> {
+    let stripped = strip_comment(text);
+    let mut p = Parser::new(&stripped, 1);
+    p.skip_ws();
+    let e = p.alternation()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing characters after expression"));
+    }
+    Ok(e)
+}
+
+/// Splits text into logical lines: a line starting with WSP continues the
+/// previous rule; comments are stripped (except inside quoted strings).
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let starts_with_ws = line.starts_with(' ') || line.starts_with('\t');
+        if starts_with_ws && !out.is_empty() {
+            let last = out.last_mut().expect("non-empty");
+            last.1.push(' ');
+            last.1.push_str(line.trim_start());
+        } else {
+            out.push((i + 1, line.trim_start().to_string()));
+        }
+    }
+    out
+}
+
+/// Removes a trailing `; comment`, respecting quoted strings and prose.
+fn strip_comment(line: &str) -> String {
+    let mut in_quotes = false;
+    let mut in_prose = false;
+    let mut out = String::with_capacity(line.len());
+    for ch in line.chars() {
+        match ch {
+            '"' if !in_prose => in_quotes = !in_quotes,
+            '<' if !in_quotes => in_prose = true,
+            '>' if !in_quotes => in_prose = false,
+            ';' if !in_quotes && !in_prose => break,
+            _ => {}
+        }
+        out.push(ch);
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> AbnfError {
+        AbnfError::Syntax {
+            line: self.line,
+            column: self.pos + 1,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn rule_name(&mut self) -> Result<String, AbnfError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_alphabetic() => {
+                self.pos += 1;
+            }
+            _ => return Err(self.err("rule name must start with a letter")),
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'-') {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII by construction")
+            .to_ascii_lowercase())
+    }
+
+    /// alternation = concatenation *(*c-wsp "/" *c-wsp concatenation)
+    fn alternation(&mut self) -> Result<Element, AbnfError> {
+        let mut alts = vec![self.concatenation()?];
+        loop {
+            let save = self.pos;
+            self.skip_ws();
+            if self.eat(b'/') {
+                self.skip_ws();
+                alts.push(self.concatenation()?);
+            } else {
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("single element")
+        } else {
+            Element::Alt(alts)
+        })
+    }
+
+    /// concatenation = repetition *(1*c-wsp repetition)
+    fn concatenation(&mut self) -> Result<Element, AbnfError> {
+        let mut items = vec![self.repetition()?];
+        loop {
+            let save = self.pos;
+            self.skip_ws();
+            if self.pos == save || self.at_end() {
+                break;
+            }
+            match self.peek() {
+                // These begin a new repetition.
+                Some(b) if b.is_ascii_alphanumeric()
+                    || b == b'"'
+                    || b == b'%'
+                    || b == b'('
+                    || b == b'['
+                    || b == b'<'
+                    || b == b'*' =>
+                {
+                    items.push(self.repetition()?);
+                }
+                _ => {
+                    self.pos = save;
+                    break;
+                }
+            }
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("single element")
+        } else {
+            Element::Concat(items)
+        })
+    }
+
+    /// repetition = [repeat] element
+    fn repetition(&mut self) -> Result<Element, AbnfError> {
+        let min_digits = self.digits();
+        if self.eat(b'*') {
+            let max_digits = self.digits();
+            let rep = Repeat {
+                min: min_digits.unwrap_or(0),
+                max: max_digits,
+            };
+            let inner = self.element()?;
+            Ok(Element::Repeat(rep, Box::new(inner)))
+        } else if let Some(n) = min_digits {
+            let inner = self.element()?;
+            Ok(Element::Repeat(Repeat::exactly(n), Box::new(inner)))
+        } else {
+            self.element()
+        }
+    }
+
+    fn digits(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()?
+                .parse()
+                .ok()
+        }
+    }
+
+    /// element = rulename / group / option / char-val / num-val / prose-val
+    fn element(&mut self) -> Result<Element, AbnfError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.bump();
+                self.skip_ws();
+                let inner = self.alternation()?;
+                self.skip_ws();
+                if !self.eat(b')') {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => {
+                self.bump();
+                self.skip_ws();
+                let inner = self.alternation()?;
+                self.skip_ws();
+                if !self.eat(b']') {
+                    return Err(self.err("expected `]`"));
+                }
+                Ok(Element::Optional(Box::new(inner)))
+            }
+            Some(b'"') => self.char_val(false),
+            Some(b'%') => self.percent_val(),
+            Some(b'<') => self.prose_val(),
+            Some(b) if b.is_ascii_alphabetic() => Ok(Element::RuleRef(self.rule_name()?)),
+            _ => Err(self.err("expected an element")),
+        }
+    }
+
+    fn char_val(&mut self, sensitive: bool) -> Result<Element, AbnfError> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected `\"`"));
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("char-val must be ASCII"))?
+                    .to_string();
+                self.bump();
+                return Ok(if sensitive {
+                    Element::CharValSensitive(s)
+                } else {
+                    Element::CharVal(s)
+                });
+            }
+            if !(0x20..=0x7E).contains(&b) || b == 0x22 {
+                return Err(self.err("invalid character in char-val"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated char-val"))
+    }
+
+    fn prose_val(&mut self) -> Result<Element, AbnfError> {
+        self.bump(); // '<'
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'>' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("prose-val must be ASCII"))?
+                    .to_string();
+                self.bump();
+                return Ok(Element::Prose(s));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated prose-val"))
+    }
+
+    /// num-val = "%" (bin-val / dec-val / hex-val); also RFC 7405 %s/%i.
+    fn percent_val(&mut self) -> Result<Element, AbnfError> {
+        self.bump(); // '%'
+        match self.bump() {
+            Some(b's') | Some(b'S') => self.char_val(true),
+            Some(b'i') | Some(b'I') => self.char_val(false),
+            Some(b'x') | Some(b'X') => self.num_val(16),
+            Some(b'd') | Some(b'D') => self.num_val(10),
+            Some(b'b') | Some(b'B') => self.num_val(2),
+            _ => Err(self.err("expected one of b/d/x/s/i after `%`")),
+        }
+    }
+
+    fn num_digits(&mut self, radix: u32) -> Result<u32, AbnfError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if (b as char).is_digit(radix)) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected numeric value"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        u32::from_str_radix(s, radix).map_err(|_| self.err("numeric value out of range"))
+    }
+
+    fn num_val(&mut self, radix: u32) -> Result<Element, AbnfError> {
+        let first = self.num_digits(radix)?;
+        if first > 0xFF {
+            return Err(self.err("terminal values above 0xFF are not supported"));
+        }
+        if self.eat(b'-') {
+            let hi = self.num_digits(radix)?;
+            if hi > 0xFF {
+                return Err(self.err("terminal values above 0xFF are not supported"));
+            }
+            if hi < first {
+                return Err(self.err("range upper bound below lower bound"));
+            }
+            return Ok(Element::Range(first as u8, hi as u8));
+        }
+        let mut bytes = vec![first as u8];
+        while self.eat(b'.') {
+            let next = self.num_digits(radix)?;
+            if next > 0xFF {
+                return Err(self.err("terminal values above 0xFF are not supported"));
+            }
+            bytes.push(next as u8);
+        }
+        Ok(Element::NumVal(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_rule() {
+        let g = parse_grammar("greeting = \"hello\"\n").unwrap();
+        assert_eq!(
+            g.rule("greeting").unwrap().element,
+            Element::CharVal("hello".into())
+        );
+    }
+
+    #[test]
+    fn parses_alternation_and_concat_precedence() {
+        // Concatenation binds tighter than alternation.
+        let e = parse_element("\"a\" \"b\" / \"c\"").unwrap();
+        assert_eq!(
+            e,
+            Element::Alt(vec![
+                Element::Concat(vec![
+                    Element::CharVal("a".into()),
+                    Element::CharVal("b".into())
+                ]),
+                Element::CharVal("c".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_repetitions() {
+        assert_eq!(
+            parse_element("3DIGIT").unwrap(),
+            Element::Repeat(Repeat::exactly(3), Box::new(Element::RuleRef("digit".into())))
+        );
+        assert_eq!(
+            parse_element("1*3DIGIT").unwrap(),
+            Element::Repeat(Repeat::between(1, 3), Box::new(Element::RuleRef("digit".into())))
+        );
+        assert_eq!(
+            parse_element("*DIGIT").unwrap(),
+            Element::Repeat(Repeat::any(), Box::new(Element::RuleRef("digit".into())))
+        );
+        assert_eq!(
+            parse_element("2*ALPHA").unwrap(),
+            Element::Repeat(Repeat::at_least(2), Box::new(Element::RuleRef("alpha".into())))
+        );
+    }
+
+    #[test]
+    fn parses_num_vals_all_radices() {
+        assert_eq!(parse_element("%x41").unwrap(), Element::NumVal(vec![0x41]));
+        assert_eq!(parse_element("%d65").unwrap(), Element::NumVal(vec![65]));
+        assert_eq!(
+            parse_element("%b01000001").unwrap(),
+            Element::NumVal(vec![0b0100_0001])
+        );
+        assert_eq!(
+            parse_element("%x0D.0A").unwrap(),
+            Element::NumVal(vec![0x0D, 0x0A])
+        );
+        assert_eq!(parse_element("%x30-39").unwrap(), Element::Range(0x30, 0x39));
+    }
+
+    #[test]
+    fn parses_rfc7405_sensitivity_prefixes() {
+        assert_eq!(
+            parse_element("%s\"GET\"").unwrap(),
+            Element::CharValSensitive("GET".into())
+        );
+        assert_eq!(
+            parse_element("%i\"get\"").unwrap(),
+            Element::CharVal("get".into())
+        );
+    }
+
+    #[test]
+    fn parses_groups_and_options() {
+        assert_eq!(
+            parse_element("(\"a\" / \"b\") [\"c\"]").unwrap(),
+            Element::Concat(vec![
+                Element::Alt(vec![
+                    Element::CharVal("a".into()),
+                    Element::CharVal("b".into())
+                ]),
+                Element::Optional(Box::new(Element::CharVal("c".into()))),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_prose_val() {
+        assert_eq!(
+            parse_element("<some prose>").unwrap(),
+            Element::Prose("some prose".into())
+        );
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let g = parse_grammar(
+            "rule = \"a\" ; a comment\n       / \"b\" ; continuation line\nother = \"c\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            g.rule("rule").unwrap().element,
+            Element::Alt(vec![
+                Element::CharVal("a".into()),
+                Element::CharVal("b".into())
+            ])
+        );
+        assert!(g.rule("other").is_some());
+    }
+
+    #[test]
+    fn semicolon_inside_quotes_is_not_comment() {
+        let g = parse_grammar("r = \"a;b\"\n").unwrap();
+        assert_eq!(g.rule("r").unwrap().element, Element::CharVal("a;b".into()));
+    }
+
+    #[test]
+    fn incremental_alternative() {
+        let g = parse_grammar("r = \"a\"\nr =/ \"b\"\n").unwrap();
+        assert_eq!(
+            g.rule("r").unwrap().element,
+            Element::Alt(vec![
+                Element::CharVal("a".into()),
+                Element::CharVal("b".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn syntax_errors_carry_location() {
+        let err = parse_grammar("bad rule\n").unwrap_err();
+        match err {
+            AbnfError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        assert!(parse_grammar("r = %q12\n").is_err());
+        assert!(parse_grammar("r = \"unterminated\n").is_err());
+        assert!(parse_grammar("r = (\"a\"\n").is_err());
+        assert!(parse_grammar("r = %x39-30\n").is_err(), "inverted range");
+        assert!(parse_grammar("r = %x100\n").is_err(), "terminal above 0xFF");
+    }
+
+    #[test]
+    fn duplicate_rule_rejected() {
+        assert!(matches!(
+            parse_grammar("r = \"a\"\nr = \"b\"\n"),
+            Err(AbnfError::DuplicateRule { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_rfc5234_own_grammar_fragment() {
+        // A fragment of the ABNF-of-ABNF from RFC 5234 §4.
+        let text = r#"
+rulelist    = 1*( rule / (*c-wsp c-nl) )
+rule        = rulename defined-as elements c-nl
+rulename    = ALPHA *(ALPHA / DIGIT / "-")
+defined-as  = *c-wsp ("=" / "=/") *c-wsp
+elements    = alternation *c-wsp
+c-wsp       = WSP / (c-nl WSP)
+c-nl        = comment / CRLF
+comment     = ";" *(WSP / VCHAR) CRLF
+alternation = concatenation *(*c-wsp "/" *c-wsp concatenation)
+concatenation = repetition *(1*c-wsp repetition)
+repetition  = [repeat] element
+repeat      = 1*DIGIT / (*DIGIT "*" *DIGIT)
+element     = rulename / group / option / char-val / num-val / prose-val
+group       = "(" *c-wsp alternation *c-wsp ")"
+option      = "[" *c-wsp alternation *c-wsp "]"
+char-val    = DQUOTE *(%x20-21 / %x23-7E) DQUOTE
+num-val     = "%" (bin-val / dec-val / hex-val)
+bin-val     = "b" 1*BIT [ 1*("." 1*BIT) / ("-" 1*BIT) ]
+dec-val     = "d" 1*DIGIT [ 1*("." 1*DIGIT) / ("-" 1*DIGIT) ]
+hex-val     = "x" 1*HEXDIG [ 1*("." 1*HEXDIG) / ("-" 1*HEXDIG) ]
+prose-val   = "<" *(%x20-3D / %x3F-7E) ">"
+"#;
+        let g = parse_grammar(text).unwrap();
+        assert_eq!(g.len(), 21);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,329 @@
+//! Mamdani fuzzy-inference controller for QoS adaptation.
+//!
+//! Reference \[1\] of the paper (Bhatti & Knight, *Enabling QoS adaptation
+//! decisions for Internet applications*) drives media-rate adaptation
+//! from fuzzy assessments of network state. This module implements the
+//! machinery: triangular membership functions, a rule base with min/max
+//! (Mamdani) inference, and centroid defuzzification — then packages the
+//! standard loss/delay → rate-multiplier controller as [`MediaAdapter`].
+
+use std::collections::BTreeMap;
+
+/// A triangular fuzzy set over `f64`, defined by `(left, peak, right)`.
+///
+/// Membership rises linearly from `left` to 1 at `peak` and falls back to
+/// 0 at `right`. Sets at the edge of the universe use `left == peak` (or
+/// `peak == right`) for a shoulder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzySet {
+    left: f64,
+    peak: f64,
+    right: f64,
+}
+
+impl FuzzySet {
+    /// Creates a triangular set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `left <= peak <= right` (definition bug).
+    pub fn triangle(left: f64, peak: f64, right: f64) -> Self {
+        assert!(
+            left <= peak && peak <= right,
+            "triangle must satisfy left <= peak <= right"
+        );
+        FuzzySet { left, peak, right }
+    }
+
+    /// Membership degree of `x`, in `[0, 1]`.
+    pub fn membership(&self, x: f64) -> f64 {
+        if x < self.left || x > self.right {
+            0.0
+        } else if x == self.peak {
+            1.0
+        } else if x < self.peak {
+            if self.peak == self.left {
+                1.0
+            } else {
+                (x - self.left) / (self.peak - self.left)
+            }
+        } else if self.right == self.peak {
+            1.0
+        } else {
+            (self.right - x) / (self.right - self.peak)
+        }
+    }
+
+    /// The peak (used as the set's representative value in centroid
+    /// defuzzification of the rule consequents).
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+/// One inference rule: IF every `(input, set)` pair holds THEN the output
+/// is `consequent` (a named output set).
+#[derive(Debug, Clone)]
+pub struct Rule {
+    antecedents: Vec<(String, String)>,
+    consequent: String,
+}
+
+impl Rule {
+    /// Builds a rule from `(input variable, set name)` antecedents and an
+    /// output set name.
+    pub fn new(antecedents: &[(&str, &str)], consequent: &str) -> Self {
+        Rule {
+            antecedents: antecedents
+                .iter()
+                .map(|(v, s)| (v.to_string(), s.to_string()))
+                .collect(),
+            consequent: consequent.to_string(),
+        }
+    }
+}
+
+/// A Mamdani fuzzy controller: input variables with labelled sets, output
+/// sets, and a rule base.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzyController {
+    inputs: BTreeMap<String, BTreeMap<String, FuzzySet>>,
+    outputs: BTreeMap<String, FuzzySet>,
+    rules: Vec<Rule>,
+}
+
+impl FuzzyController {
+    /// Creates an empty controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a labelled set for an input variable.
+    pub fn input_set(&mut self, var: &str, label: &str, set: FuzzySet) -> &mut Self {
+        self.inputs
+            .entry(var.to_string())
+            .or_default()
+            .insert(label.to_string(), set);
+        self
+    }
+
+    /// Declares a labelled output set.
+    pub fn output_set(&mut self, label: &str, set: FuzzySet) -> &mut Self {
+        self.outputs.insert(label.to_string(), set);
+        self
+    }
+
+    /// Appends a rule.
+    pub fn rule(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Runs inference: fuzzify `inputs`, fire every rule at the strength
+    /// of its weakest antecedent (min), aggregate per output set (max),
+    /// and defuzzify by the weighted centroid of output-set peaks.
+    ///
+    /// Returns `None` when no rule fires at all (inputs outside every
+    /// set's support) — callers choose their own fallback.
+    pub fn evaluate(&self, inputs: &BTreeMap<String, f64>) -> Option<f64> {
+        let mut strengths: BTreeMap<&str, f64> = BTreeMap::new();
+        for rule in &self.rules {
+            let mut strength = f64::INFINITY;
+            for (var, label) in &rule.antecedents {
+                let set = self.inputs.get(var)?.get(label)?;
+                let x = *inputs.get(var)?;
+                strength = strength.min(set.membership(x));
+            }
+            if strength.is_finite() && strength > 0.0 {
+                let cur = strengths.entry(rule.consequent.as_str()).or_insert(0.0);
+                *cur = cur.max(strength);
+            }
+        }
+        if strengths.is_empty() {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (label, s) in strengths {
+            let peak = self.outputs.get(label)?.peak();
+            num += peak * s;
+            den += s;
+        }
+        (den > 0.0).then_some(num / den)
+    }
+}
+
+/// The packaged media-stream adaptor of experiment E7: observes loss
+/// ratio and normalised queueing delay, outputs a sending-rate
+/// multiplier in roughly `[0.5, 1.5]`.
+#[derive(Debug, Clone)]
+pub struct MediaAdapter {
+    controller: FuzzyController,
+    /// Current rate, adapted multiplicatively.
+    rate: f64,
+    min_rate: f64,
+    max_rate: f64,
+}
+
+impl MediaAdapter {
+    /// Creates the standard adaptor with the given initial rate and
+    /// clamping bounds.
+    pub fn new(initial_rate: f64, min_rate: f64, max_rate: f64) -> Self {
+        let mut c = FuzzyController::new();
+        // Loss ratio universe [0, 1].
+        c.input_set("loss", "low", FuzzySet::triangle(0.0, 0.0, 0.05));
+        c.input_set("loss", "medium", FuzzySet::triangle(0.02, 0.10, 0.25));
+        c.input_set("loss", "high", FuzzySet::triangle(0.15, 1.0, 1.0));
+        // Normalised delay universe [0, 1] (measured RTT / nominal RTT, capped).
+        c.input_set("delay", "low", FuzzySet::triangle(0.0, 0.0, 0.4));
+        c.input_set("delay", "medium", FuzzySet::triangle(0.3, 0.5, 0.8));
+        c.input_set("delay", "high", FuzzySet::triangle(0.6, 1.0, 1.0));
+        // Output: rate multiplier.
+        c.output_set("cut", FuzzySet::triangle(0.4, 0.5, 0.6));
+        c.output_set("reduce", FuzzySet::triangle(0.7, 0.8, 0.9));
+        c.output_set("hold", FuzzySet::triangle(0.95, 1.0, 1.05));
+        c.output_set("grow", FuzzySet::triangle(1.1, 1.25, 1.4));
+        // Rule base (the conservative additive-increase shape of [1]).
+        c.rule(Rule::new(&[("loss", "high")], "cut"));
+        c.rule(Rule::new(&[("loss", "medium"), ("delay", "high")], "cut"));
+        c.rule(Rule::new(&[("loss", "medium"), ("delay", "medium")], "reduce"));
+        c.rule(Rule::new(&[("loss", "medium"), ("delay", "low")], "reduce"));
+        c.rule(Rule::new(&[("loss", "low"), ("delay", "high")], "reduce"));
+        c.rule(Rule::new(&[("loss", "low"), ("delay", "medium")], "hold"));
+        c.rule(Rule::new(&[("loss", "low"), ("delay", "low")], "grow"));
+        MediaAdapter {
+            controller: c,
+            rate: initial_rate,
+            min_rate,
+            max_rate,
+        }
+    }
+
+    /// Current sending rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Feeds one observation window; returns the new rate.
+    pub fn observe(&mut self, loss_ratio: f64, delay_norm: f64) -> f64 {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("loss".to_string(), loss_ratio.clamp(0.0, 1.0));
+        inputs.insert("delay".to_string(), delay_norm.clamp(0.0, 1.0));
+        if let Some(mult) = self.controller.evaluate(&inputs) {
+            self.rate = (self.rate * mult).clamp(self.min_rate, self.max_rate);
+        }
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_membership_shape() {
+        let s = FuzzySet::triangle(0.0, 0.5, 1.0);
+        assert_eq!(s.membership(0.5), 1.0);
+        assert_eq!(s.membership(0.0), 0.0);
+        assert_eq!(s.membership(1.0), 0.0);
+        assert!((s.membership(0.25) - 0.5).abs() < 1e-12);
+        assert_eq!(s.membership(-0.1), 0.0);
+        assert_eq!(s.membership(1.1), 0.0);
+    }
+
+    #[test]
+    fn shoulder_sets_saturate() {
+        let lo = FuzzySet::triangle(0.0, 0.0, 0.5);
+        assert_eq!(lo.membership(0.0), 1.0);
+        let hi = FuzzySet::triangle(0.5, 1.0, 1.0);
+        assert_eq!(hi.membership(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle")]
+    fn inverted_triangle_panics() {
+        FuzzySet::triangle(1.0, 0.5, 0.0);
+    }
+
+    #[test]
+    fn controller_interpolates_between_rules() {
+        let mut c = FuzzyController::new();
+        c.input_set("x", "low", FuzzySet::triangle(0.0, 0.0, 1.0));
+        c.input_set("x", "high", FuzzySet::triangle(0.0, 1.0, 1.0));
+        c.output_set("small", FuzzySet::triangle(0.0, 0.0, 0.1));
+        c.output_set("big", FuzzySet::triangle(0.9, 1.0, 1.0));
+        c.rule(Rule::new(&[("x", "low")], "small"));
+        c.rule(Rule::new(&[("x", "high")], "big"));
+        let eval = |x: f64| {
+            let mut m = BTreeMap::new();
+            m.insert("x".to_string(), x);
+            c.evaluate(&m).unwrap()
+        };
+        assert!(eval(0.0) < 0.01);
+        assert!(eval(1.0) > 0.99);
+        let mid = eval(0.5);
+        assert!((0.4..0.6).contains(&mid), "midpoint blends: {mid}");
+        // Monotone in x.
+        assert!(eval(0.2) < eval(0.8));
+    }
+
+    #[test]
+    fn no_matching_rule_returns_none() {
+        let mut c = FuzzyController::new();
+        c.input_set("x", "low", FuzzySet::triangle(0.0, 0.0, 0.2));
+        c.output_set("out", FuzzySet::triangle(0.0, 0.5, 1.0));
+        c.rule(Rule::new(&[("x", "low")], "out"));
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 0.9);
+        assert_eq!(c.evaluate(&m), None);
+    }
+
+    #[test]
+    fn adapter_cuts_rate_under_loss() {
+        let mut a = MediaAdapter::new(100.0, 10.0, 200.0);
+        let r = a.observe(0.5, 0.2); // heavy loss
+        assert!(r < 60.0, "rate should be cut hard: {r}");
+    }
+
+    #[test]
+    fn adapter_grows_rate_on_clean_network() {
+        let mut a = MediaAdapter::new(100.0, 10.0, 200.0);
+        let r = a.observe(0.0, 0.1);
+        assert!(r > 110.0, "clean network should grow rate: {r}");
+    }
+
+    #[test]
+    fn adapter_holds_on_moderate_delay() {
+        let mut a = MediaAdapter::new(100.0, 10.0, 200.0);
+        let r = a.observe(0.0, 0.5);
+        assert!((95.0..110.0).contains(&r), "hold region: {r}");
+    }
+
+    #[test]
+    fn adapter_respects_bounds() {
+        let mut a = MediaAdapter::new(100.0, 50.0, 150.0);
+        for _ in 0..20 {
+            a.observe(0.9, 0.9);
+        }
+        assert_eq!(a.rate(), 50.0, "clamped at min");
+        for _ in 0..40 {
+            a.observe(0.0, 0.0);
+        }
+        assert_eq!(a.rate(), 150.0, "clamped at max");
+    }
+
+    #[test]
+    fn adaptation_converges_not_oscillates_under_stable_conditions() {
+        let mut a = MediaAdapter::new(100.0, 10.0, 400.0);
+        let mut last = a.rate();
+        for _ in 0..50 {
+            last = a.observe(0.04, 0.45); // mild congestion
+        }
+        // After settling, consecutive updates stay close.
+        let next = a.observe(0.04, 0.45);
+        assert!(
+            (next - last).abs() / last < 0.15,
+            "stable input should not oscillate: {last} → {next}"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # netdsl-adapt — behavioural adaptation hooks
+//!
+//! §1.1 of the paper lists three capabilities next-generation protocols
+//! need and current notations cannot express, each grounded in one of the
+//! authors' references. This crate builds all three as libraries that
+//! plug into netdsl protocols ("precisely the kind of functions that we
+//! would like to have available in a library", §1.1):
+//!
+//! * [`fuzzy`] — "use of a fuzzy systems approach to deal with changes in
+//!   the network conditions \[1\] to allow media-stream adaptation": a
+//!   Mamdani fuzzy-inference controller plus a ready-made media-rate
+//!   adaptor (experiment E7);
+//! * [`trust`] — "routing through secure, exploratory learning of
+//!   forwarding behaviour \[12\]": trust scores over relay paths learned
+//!   from end-to-end outcomes, with ε-greedy exploration (experiment E9);
+//! * [`timers`] — "adaptation of protocol timers to reduce overhead
+//!   \[5\]": an RFC 6298-style adaptive retransmission-timeout estimator
+//!   with Karn's algorithm and exponential backoff (experiment E8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzzy;
+pub mod timers;
+pub mod trust;
+
+pub use fuzzy::{FuzzyController, FuzzySet, MediaAdapter};
+pub use timers::RtoEstimator;
+pub use trust::TrustTable;

@@ -1,0 +1,174 @@
+//! Adaptive retransmission timers (the paper's §1.1 "tuning protocol
+//! operation", ref \[5\]).
+//!
+//! [`RtoEstimator`] is the RFC 6298 estimator: smoothed RTT + 4× RTT
+//! variance, Karn's algorithm (samples from retransmitted packets are
+//! discarded — they are ambiguous), and exponential backoff on timeout.
+//! Experiment E8 runs a stop-and-wait transfer with this estimator
+//! against fixed timers across drifting RTTs, measuring retransmission
+//! overhead and completion time.
+
+use netdsl_netsim::Tick;
+
+/// RFC 6298-style retransmission-timeout estimator over virtual ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtoEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: f64,
+    min_rto: f64,
+    max_rto: f64,
+    backoff: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator with an initial RTO and clamping bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inverted or non-positive.
+    pub fn new(initial_rto: Tick, min_rto: Tick, max_rto: Tick) -> Self {
+        assert!(min_rto > 0 && min_rto <= max_rto, "invalid RTO bounds");
+        RtoEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            rto: (initial_rto as f64).clamp(min_rto as f64, max_rto as f64),
+            min_rto: min_rto as f64,
+            max_rto: max_rto as f64,
+            backoff: 0,
+        }
+    }
+
+    /// Current retransmission timeout (with any active backoff applied).
+    pub fn rto(&self) -> Tick {
+        let backed = self.rto * f64::from(1u32 << self.backoff.min(16));
+        backed.clamp(self.min_rto, self.max_rto).round() as Tick
+    }
+
+    /// Smoothed RTT estimate, if any sample has been accepted.
+    pub fn srtt(&self) -> Option<Tick> {
+        self.srtt.map(|s| s.round() as Tick)
+    }
+
+    /// Feeds an RTT sample from a packet that was transmitted **once**
+    /// (Karn's algorithm: call [`RtoEstimator::on_ambiguous_sample`] for
+    /// retransmitted packets instead).
+    pub fn on_sample(&mut self, rtt: Tick) {
+        const ALPHA: f64 = 1.0 / 8.0;
+        const BETA: f64 = 1.0 / 4.0;
+        let r = rtt as f64;
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (srtt - r).abs();
+                self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        self.rto = (self.srtt.expect("just set") + (4.0 * self.rttvar).max(1.0))
+            .clamp(self.min_rto, self.max_rto);
+        self.backoff = 0;
+    }
+
+    /// A sample from a retransmitted packet: discarded (ambiguous). Per
+    /// Karn's algorithm the backoff is **retained** until a sample from an
+    /// unretransmitted packet arrives — clearing it here would re-trigger
+    /// the spurious-retransmission loop the backoff just escaped.
+    pub fn on_ambiguous_sample(&mut self) {
+        // Deliberately no-op; kept as an explicit API so call sites
+        // document where Karn's discard happens.
+    }
+
+    /// A retransmission timeout fired: back off exponentially.
+    pub fn on_timeout(&mut self) {
+        self.backoff = self.backoff.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initialises_srtt() {
+        let mut e = RtoEstimator::new(100, 10, 10_000);
+        assert_eq!(e.srtt(), None);
+        e.on_sample(50);
+        assert_eq!(e.srtt(), Some(50));
+        // rto = srtt + 4·(rtt/2) = 50 + 100 = 150.
+        assert_eq!(e.rto(), 150);
+    }
+
+    #[test]
+    fn estimator_converges_on_stable_rtt() {
+        let mut e = RtoEstimator::new(1000, 10, 10_000);
+        for _ in 0..100 {
+            e.on_sample(40);
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((38..=42).contains(&srtt), "srtt {srtt}");
+        // Variance collapses, so RTO approaches srtt (clamped by the +max(1)).
+        assert!(e.rto() < 60, "rto {}", e.rto());
+    }
+
+    #[test]
+    fn rto_tracks_rtt_increase() {
+        let mut e = RtoEstimator::new(100, 10, 10_000);
+        for _ in 0..20 {
+            e.on_sample(40);
+        }
+        let before = e.rto();
+        for _ in 0..20 {
+            e.on_sample(400);
+        }
+        assert!(e.rto() > before * 3, "{} → {}", before, e.rto());
+    }
+
+    #[test]
+    fn timeout_backs_off_exponentially_and_sample_resets() {
+        let mut e = RtoEstimator::new(100, 10, 100_000);
+        e.on_sample(100);
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 2);
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 4);
+        e.on_sample(100);
+        assert!(e.rto() <= base, "fresh sample clears backoff");
+    }
+
+    #[test]
+    fn ambiguous_samples_do_not_move_srtt_and_keep_backoff() {
+        let mut e = RtoEstimator::new(100, 10, 10_000);
+        e.on_sample(50);
+        let srtt = e.srtt();
+        e.on_timeout();
+        e.on_ambiguous_sample(); // retransmitted packet's ack
+        assert_eq!(e.srtt(), srtt, "Karn: no update from retransmits");
+        assert_eq!(e.rto(), 300, "backoff retained until a clean sample");
+        e.on_sample(50);
+        // srtt stays 50, rttvar decays 25 → 18.75, rto = 50 + 75 = 125.
+        assert_eq!(e.rto(), 125, "clean sample clears backoff");
+    }
+
+    #[test]
+    fn rto_clamped_to_bounds() {
+        let mut e = RtoEstimator::new(100, 50, 200);
+        for _ in 0..50 {
+            e.on_sample(1);
+        }
+        assert!(e.rto() >= 50);
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert!(e.rto() <= 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds")]
+    fn inverted_bounds_panic() {
+        RtoEstimator::new(100, 500, 50);
+    }
+}

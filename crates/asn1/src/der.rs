@@ -1,0 +1,347 @@
+//! DER (Distinguished Encoding Rules) for the supported universal types.
+//!
+//! DER is the canonical subset of BER: definite lengths only, minimal
+//! length forms, minimal integer encodings, booleans as `0xFF`/`0x00`.
+//! The decoder *enforces* canonicality — a BER-legal but non-DER input is
+//! rejected — which is the property that makes encodings comparable
+//! byte-for-byte (and what signature schemes rely on).
+
+use crate::error::Asn1Error;
+use crate::value::AsnValue;
+
+/// Universal tag numbers used here.
+mod tag {
+    pub const BOOLEAN: u8 = 0x01;
+    pub const INTEGER: u8 = 0x02;
+    pub const OCTET_STRING: u8 = 0x04;
+    pub const NULL: u8 = 0x05;
+    pub const ENUMERATED: u8 = 0x0A;
+    pub const UTF8_STRING: u8 = 0x0C;
+    pub const SEQUENCE: u8 = 0x30; // constructed bit set
+}
+
+/// Encodes a value as DER.
+pub fn encode(value: &AsnValue) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+fn encode_into(value: &AsnValue, out: &mut Vec<u8>) {
+    match value {
+        AsnValue::Boolean(b) => {
+            out.push(tag::BOOLEAN);
+            out.push(1);
+            out.push(if *b { 0xFF } else { 0x00 });
+        }
+        AsnValue::Integer(i) => encode_integer(tag::INTEGER, *i, out),
+        AsnValue::Enumerated(i) => encode_integer(tag::ENUMERATED, *i, out),
+        AsnValue::OctetString(bytes) => {
+            out.push(tag::OCTET_STRING);
+            encode_length(bytes.len(), out);
+            out.extend_from_slice(bytes);
+        }
+        AsnValue::Null => {
+            out.push(tag::NULL);
+            out.push(0);
+        }
+        AsnValue::Utf8String(s) => {
+            out.push(tag::UTF8_STRING);
+            encode_length(s.len(), out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        AsnValue::Sequence(items) => {
+            let mut inner = Vec::new();
+            for item in items {
+                encode_into(item, &mut inner);
+            }
+            out.push(tag::SEQUENCE);
+            encode_length(inner.len(), out);
+            out.extend_from_slice(&inner);
+        }
+    }
+}
+
+/// Minimal two's-complement content octets for an integer.
+fn integer_bytes(i: i64) -> Vec<u8> {
+    let be = i.to_be_bytes();
+    // Strip redundant leading bytes: 0x00 followed by a 0-MSB byte, or
+    // 0xFF followed by a 1-MSB byte.
+    let mut start = 0;
+    while start < 7 {
+        let cur = be[start];
+        let next = be[start + 1];
+        let redundant =
+            (cur == 0x00 && next & 0x80 == 0) || (cur == 0xFF && next & 0x80 != 0);
+        if redundant {
+            start += 1;
+        } else {
+            break;
+        }
+    }
+    be[start..].to_vec()
+}
+
+fn encode_integer(tag: u8, i: i64, out: &mut Vec<u8>) {
+    let content = integer_bytes(i);
+    out.push(tag);
+    encode_length(content.len(), out);
+    out.extend_from_slice(&content);
+}
+
+/// Definite-length field: short form < 128, else minimal long form.
+fn encode_length(len: usize, out: &mut Vec<u8>) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let be = len.to_be_bytes();
+        let first = be.iter().position(|&b| b != 0).unwrap_or(be.len() - 1);
+        let bytes = &be[first..];
+        out.push(0x80 | bytes.len() as u8);
+        out.extend_from_slice(bytes);
+    }
+}
+
+/// Decodes a single DER value, requiring the input to be exactly one TLV.
+///
+/// # Errors
+///
+/// Any [`Asn1Error`] decoding condition, including trailing bytes and
+/// non-canonical (BER-but-not-DER) encodings.
+pub fn decode(input: &[u8]) -> Result<AsnValue, Asn1Error> {
+    let (value, used) = decode_prefix(input)?;
+    if used != input.len() {
+        return Err(Asn1Error::TrailingBytes(input.len() - used));
+    }
+    Ok(value)
+}
+
+/// Decodes one TLV from the front, returning `(value, bytes consumed)`.
+///
+/// # Errors
+///
+/// As for [`decode`], except trailing bytes are allowed.
+pub fn decode_prefix(input: &[u8]) -> Result<(AsnValue, usize), Asn1Error> {
+    if input.is_empty() {
+        return Err(Asn1Error::Truncated);
+    }
+    let tag = input[0];
+    let (len, header) = decode_length(&input[1..])?;
+    let start = 1 + header;
+    let end = start.checked_add(len).ok_or(Asn1Error::BadLength)?;
+    if end > input.len() {
+        return Err(Asn1Error::Truncated);
+    }
+    let content = &input[start..end];
+    let value = match tag {
+        tag::BOOLEAN => {
+            if content.len() != 1 {
+                return Err(Asn1Error::BadBoolean);
+            }
+            match content[0] {
+                0x00 => AsnValue::Boolean(false),
+                0xFF => AsnValue::Boolean(true),
+                _ => return Err(Asn1Error::BadBoolean), // BER allows, DER doesn't
+            }
+        }
+        tag::INTEGER => AsnValue::Integer(decode_integer(content)?),
+        tag::ENUMERATED => AsnValue::Enumerated(decode_integer(content)?),
+        tag::OCTET_STRING => AsnValue::OctetString(content.to_vec()),
+        tag::NULL => {
+            if !content.is_empty() {
+                return Err(Asn1Error::NonCanonical("null with contents"));
+            }
+            AsnValue::Null
+        }
+        tag::UTF8_STRING => AsnValue::Utf8String(
+            std::str::from_utf8(content)
+                .map_err(|_| Asn1Error::BadUtf8)?
+                .to_string(),
+        ),
+        tag::SEQUENCE => {
+            let mut items = Vec::new();
+            let mut pos = 0;
+            while pos < content.len() {
+                let (item, used) = decode_prefix(&content[pos..])?;
+                items.push(item);
+                pos += used;
+            }
+            AsnValue::Sequence(items)
+        }
+        other => return Err(Asn1Error::UnknownTag(other)),
+    };
+    Ok((value, end))
+}
+
+fn decode_length(input: &[u8]) -> Result<(usize, usize), Asn1Error> {
+    let first = *input.first().ok_or(Asn1Error::Truncated)?;
+    if first < 0x80 {
+        return Ok((usize::from(first), 1));
+    }
+    let n = usize::from(first & 0x7F);
+    if n == 0 {
+        // Indefinite length: BER-only, DER forbids it.
+        return Err(Asn1Error::NonCanonical("indefinite length"));
+    }
+    if n > std::mem::size_of::<usize>() || input.len() < 1 + n {
+        return Err(if input.len() < 1 + n {
+            Asn1Error::Truncated
+        } else {
+            Asn1Error::BadLength
+        });
+    }
+    let mut len = 0usize;
+    for &b in &input[1..=n] {
+        len = (len << 8) | usize::from(b);
+    }
+    // DER minimality: long form only when short form can't express it,
+    // and no leading zero octets.
+    if len < 0x80 || input[1] == 0 {
+        return Err(Asn1Error::NonCanonical("non-minimal length"));
+    }
+    Ok((len, 1 + n))
+}
+
+fn decode_integer(content: &[u8]) -> Result<i64, Asn1Error> {
+    if content.is_empty() || content.len() > 8 {
+        return Err(Asn1Error::BadLength);
+    }
+    if content.len() > 1 {
+        let redundant = (content[0] == 0x00 && content[1] & 0x80 == 0)
+            || (content[0] == 0xFF && content[1] & 0x80 != 0);
+        if redundant {
+            return Err(Asn1Error::NonCanonical("padded integer"));
+        }
+    }
+    let negative = content[0] & 0x80 != 0;
+    let mut acc: i64 = if negative { -1 } else { 0 };
+    for &b in content {
+        acc = (acc << 8) | i64::from(b);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integer_known_vectors() {
+        // Classic DER integer encodings.
+        assert_eq!(encode(&AsnValue::Integer(0)), vec![0x02, 0x01, 0x00]);
+        assert_eq!(encode(&AsnValue::Integer(127)), vec![0x02, 0x01, 0x7F]);
+        assert_eq!(encode(&AsnValue::Integer(128)), vec![0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(encode(&AsnValue::Integer(256)), vec![0x02, 0x02, 0x01, 0x00]);
+        assert_eq!(encode(&AsnValue::Integer(-128)), vec![0x02, 0x01, 0x80]);
+        assert_eq!(encode(&AsnValue::Integer(-129)), vec![0x02, 0x02, 0xFF, 0x7F]);
+    }
+
+    #[test]
+    fn boolean_and_null_vectors() {
+        assert_eq!(encode(&AsnValue::Boolean(true)), vec![0x01, 0x01, 0xFF]);
+        assert_eq!(encode(&AsnValue::Boolean(false)), vec![0x01, 0x01, 0x00]);
+        assert_eq!(encode(&AsnValue::Null), vec![0x05, 0x00]);
+    }
+
+    #[test]
+    fn long_form_length() {
+        let v = AsnValue::OctetString(vec![0xAA; 200]);
+        let bytes = encode(&v);
+        assert_eq!(&bytes[..3], &[0x04, 0x81, 200]);
+        assert_eq!(decode(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn non_canonical_inputs_rejected() {
+        // BER boolean true as 0x01 — legal BER, not DER.
+        assert_eq!(decode(&[0x01, 0x01, 0x01]), Err(Asn1Error::BadBoolean));
+        // Padded integer 0x00 0x7F.
+        assert_eq!(
+            decode(&[0x02, 0x02, 0x00, 0x7F]),
+            Err(Asn1Error::NonCanonical("padded integer"))
+        );
+        // Long-form length for a short value.
+        assert_eq!(
+            decode(&[0x04, 0x81, 0x01, 0xAA]),
+            Err(Asn1Error::NonCanonical("non-minimal length"))
+        );
+        // Indefinite length.
+        assert_eq!(
+            decode(&[0x30, 0x80, 0x00, 0x00]),
+            Err(Asn1Error::NonCanonical("indefinite length"))
+        );
+        // NULL with contents.
+        assert_eq!(
+            decode(&[0x05, 0x01, 0x00]),
+            Err(Asn1Error::NonCanonical("null with contents"))
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_rejected() {
+        let bytes = encode(&AsnValue::Integer(300));
+        assert_eq!(decode(&bytes[..2]), Err(Asn1Error::Truncated));
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(decode(&extended), Err(Asn1Error::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode(&[0x13, 0x00]), Err(Asn1Error::UnknownTag(0x13)));
+    }
+
+    #[test]
+    fn nested_sequences_roundtrip() {
+        let v = AsnValue::Sequence(vec![
+            AsnValue::Sequence(vec![AsnValue::Integer(1), AsnValue::Boolean(false)]),
+            AsnValue::Utf8String("héllo".into()),
+            AsnValue::Sequence(vec![]),
+        ]);
+        assert_eq!(decode(&encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        assert_eq!(decode(&[0x0C, 0x01, 0xFF]), Err(Asn1Error::BadUtf8));
+    }
+
+    fn arb_value() -> impl Strategy<Value = AsnValue> {
+        let leaf = prop_oneof![
+            any::<bool>().prop_map(AsnValue::Boolean),
+            any::<i64>().prop_map(AsnValue::Integer),
+            any::<i64>().prop_map(AsnValue::Enumerated),
+            proptest::collection::vec(any::<u8>(), 0..64).prop_map(AsnValue::OctetString),
+            Just(AsnValue::Null),
+            "[a-zA-Z0-9 ]{0,24}".prop_map(AsnValue::Utf8String),
+        ];
+        leaf.prop_recursive(3, 64, 8, |inner| {
+            proptest::collection::vec(inner, 0..6).prop_map(AsnValue::Sequence)
+        })
+    }
+
+    proptest! {
+        /// encode ∘ decode = id over arbitrary nested values.
+        #[test]
+        fn der_roundtrip(v in arb_value()) {
+            prop_assert_eq!(decode(&encode(&v)).unwrap(), v);
+        }
+
+        /// DER is canonical: equal values encode identically, and the
+        /// encoding decodes to an equal value (determinism).
+        #[test]
+        fn der_deterministic(v in arb_value()) {
+            prop_assert_eq!(encode(&v), encode(&v.clone()));
+        }
+
+        /// Integer contents are minimal: re-encoding a decoded integer
+        /// reproduces the input bytes exactly.
+        #[test]
+        fn integer_encoding_minimal(i in any::<i64>()) {
+            let bytes = encode(&AsnValue::Integer(i));
+            let decoded = decode(&bytes).unwrap();
+            prop_assert_eq!(encode(&decoded), bytes);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for DER decoding and schema checking.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from DER decoding or schema validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Asn1Error {
+    /// The input ended inside a TLV.
+    Truncated,
+    /// An unknown or unsupported tag byte.
+    UnknownTag(u8),
+    /// A length field was malformed (non-minimal long form, or > usize).
+    BadLength,
+    /// DER requires minimal encodings; this one was not (e.g. padded
+    /// integer).
+    NonCanonical(&'static str),
+    /// Bytes left over after the outermost value.
+    TrailingBytes(usize),
+    /// The value does not match the schema.
+    SchemaMismatch {
+        /// What the schema expected.
+        expected: String,
+        /// What the value was.
+        found: String,
+    },
+    /// A constrained value fell outside its bounds.
+    ConstraintViolation(String),
+    /// Boolean contents must be exactly one byte, 0x00 or 0xFF.
+    BadBoolean,
+    /// UTF8String contents were not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for Asn1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Asn1Error::Truncated => write!(f, "input truncated inside a TLV"),
+            Asn1Error::UnknownTag(t) => write!(f, "unknown or unsupported tag {t:#04x}"),
+            Asn1Error::BadLength => write!(f, "malformed length field"),
+            Asn1Error::NonCanonical(what) => write!(f, "non-canonical DER: {what}"),
+            Asn1Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Asn1Error::SchemaMismatch { expected, found } => {
+                write!(f, "schema expected {expected}, found {found}")
+            }
+            Asn1Error::ConstraintViolation(what) => write!(f, "constraint violated: {what}"),
+            Asn1Error::BadBoolean => write!(f, "boolean contents must be one byte, 0x00 or 0xff"),
+            Asn1Error::BadUtf8 => write!(f, "utf8string contents are not valid utf-8"),
+        }
+    }
+}
+
+impl Error for Asn1Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_bounds() {
+        assert!(Asn1Error::UnknownTag(0x7F).to_string().contains("0x7f"));
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Asn1Error>();
+    }
+}

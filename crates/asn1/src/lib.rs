@@ -1,0 +1,42 @@
+//! # netdsl-asn1 — minimal ASN.1 with DER encoding
+//!
+//! The paper's §2.1 discusses ASN.1 as the second formal *syntactic*
+//! notation for message formats: "ASN.1 … uses abstract data types to
+//! define data structures … and relies on the use of an associated set of
+//! formal encoding rules … to define the on-the-wire encodings. The use
+//! of different encoding rules can give different on-the-wire packets for
+//! the same ASN.1."
+//!
+//! This crate builds that baseline so the workspace can *compare* it with
+//! the DSL: an abstract value model ([`AsnValue`]), one concrete encoding
+//! rule set (DER, [`der`]), and a schema layer ([`schema::AsnType`]) that
+//! checks shape and simple constraints. What it deliberately **cannot**
+//! express — checksums over sibling fields, lengths derived from layout,
+//! protocol behaviour — is exactly the gap §2.2 identifies and
+//! `netdsl-core` fills.
+//!
+//! # Examples
+//!
+//! ```
+//! use netdsl_asn1::{AsnValue, der};
+//!
+//! let v = AsnValue::Sequence(vec![
+//!     AsnValue::Integer(42),
+//!     AsnValue::OctetString(b"hi".to_vec()),
+//!     AsnValue::Boolean(true),
+//! ]);
+//! let bytes = der::encode(&v);
+//! assert_eq!(der::decode(&bytes).unwrap(), v);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod der;
+pub mod error;
+pub mod schema;
+pub mod value;
+
+pub use error::Asn1Error;
+pub use schema::AsnType;
+pub use value::AsnValue;

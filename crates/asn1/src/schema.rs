@@ -1,0 +1,329 @@
+//! Schema layer: abstract-syntax types with constraints.
+//!
+//! An [`AsnType`] checks that an [`AsnValue`] has the declared shape and
+//! satisfies size/range/enumeration constraints — the full expressive
+//! power of the notation the paper discusses in §2.1. Note what is
+//! *absent* (deliberately, mirroring ASN.1): no cross-field constraints,
+//! no checksums, no behaviour. The comparison test against
+//! `netdsl-core::packet` in `tests/` makes the gap concrete.
+
+use crate::error::Asn1Error;
+use crate::value::AsnValue;
+
+/// An ASN.1-style type with optional constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsnType {
+    /// BOOLEAN.
+    Boolean,
+    /// INTEGER, optionally range-constrained (inclusive).
+    Integer {
+        /// Minimum allowed value, if constrained.
+        min: Option<i64>,
+        /// Maximum allowed value, if constrained.
+        max: Option<i64>,
+    },
+    /// OCTET STRING, optionally size-constrained (bytes, inclusive).
+    OctetString {
+        /// Minimum size, if constrained.
+        min_len: Option<usize>,
+        /// Maximum size, if constrained.
+        max_len: Option<usize>,
+    },
+    /// NULL.
+    Null,
+    /// ENUMERATED over the listed discriminants.
+    Enumerated {
+        /// The allowed discriminants.
+        allowed: Vec<i64>,
+    },
+    /// UTF8String, optionally size-constrained (bytes).
+    Utf8String {
+        /// Maximum size, if constrained.
+        max_len: Option<usize>,
+    },
+    /// SEQUENCE with named, ordered components.
+    Sequence {
+        /// `(component name, component type)` in order.
+        fields: Vec<(String, AsnType)>,
+    },
+    /// SEQUENCE OF a homogeneous element type.
+    SequenceOf {
+        /// The element type.
+        element: Box<AsnType>,
+        /// Maximum element count, if constrained.
+        max_len: Option<usize>,
+    },
+}
+
+impl AsnType {
+    /// Unconstrained INTEGER.
+    pub fn integer() -> AsnType {
+        AsnType::Integer {
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Range-constrained INTEGER.
+    pub fn integer_in(min: i64, max: i64) -> AsnType {
+        AsnType::Integer {
+            min: Some(min),
+            max: Some(max),
+        }
+    }
+
+    /// Unconstrained OCTET STRING.
+    pub fn octets() -> AsnType {
+        AsnType::OctetString {
+            min_len: None,
+            max_len: None,
+        }
+    }
+
+    /// Checks `value` against this type.
+    ///
+    /// # Errors
+    ///
+    /// [`Asn1Error::SchemaMismatch`] on shape errors,
+    /// [`Asn1Error::ConstraintViolation`] on constraint failures.
+    pub fn check(&self, value: &AsnValue) -> Result<(), Asn1Error> {
+        let mismatch = |expected: &str| Asn1Error::SchemaMismatch {
+            expected: expected.to_string(),
+            found: value.type_name().to_string(),
+        };
+        match (self, value) {
+            (AsnType::Boolean, AsnValue::Boolean(_)) => Ok(()),
+            (AsnType::Integer { min, max }, AsnValue::Integer(i)) => {
+                if min.is_some_and(|m| *i < m) || max.is_some_and(|m| *i > m) {
+                    return Err(Asn1Error::ConstraintViolation(format!(
+                        "integer {i} outside [{min:?}, {max:?}]"
+                    )));
+                }
+                Ok(())
+            }
+            (
+                AsnType::OctetString { min_len, max_len },
+                AsnValue::OctetString(bytes),
+            ) => {
+                if min_len.is_some_and(|m| bytes.len() < m)
+                    || max_len.is_some_and(|m| bytes.len() > m)
+                {
+                    return Err(Asn1Error::ConstraintViolation(format!(
+                        "octet string length {} outside [{min_len:?}, {max_len:?}]",
+                        bytes.len()
+                    )));
+                }
+                Ok(())
+            }
+            (AsnType::Null, AsnValue::Null) => Ok(()),
+            (AsnType::Enumerated { allowed }, AsnValue::Enumerated(i)) => {
+                if allowed.contains(i) {
+                    Ok(())
+                } else {
+                    Err(Asn1Error::ConstraintViolation(format!(
+                        "enumerated {i} not in {allowed:?}"
+                    )))
+                }
+            }
+            (AsnType::Utf8String { max_len }, AsnValue::Utf8String(s)) => {
+                if max_len.is_some_and(|m| s.len() > m) {
+                    return Err(Asn1Error::ConstraintViolation(format!(
+                        "string length {} exceeds {max_len:?}",
+                        s.len()
+                    )));
+                }
+                Ok(())
+            }
+            (AsnType::Sequence { fields }, AsnValue::Sequence(items)) => {
+                if fields.len() != items.len() {
+                    return Err(Asn1Error::SchemaMismatch {
+                        expected: format!("SEQUENCE of {} components", fields.len()),
+                        found: format!("SEQUENCE of {} components", items.len()),
+                    });
+                }
+                for ((name, ty), item) in fields.iter().zip(items) {
+                    ty.check(item).map_err(|e| match e {
+                        Asn1Error::SchemaMismatch { expected, found } => {
+                            Asn1Error::SchemaMismatch {
+                                expected: format!("{name}: {expected}"),
+                                found,
+                            }
+                        }
+                        other => other,
+                    })?;
+                }
+                Ok(())
+            }
+            (AsnType::SequenceOf { element, max_len }, AsnValue::Sequence(items)) => {
+                if max_len.is_some_and(|m| items.len() > m) {
+                    return Err(Asn1Error::ConstraintViolation(format!(
+                        "sequence-of length {} exceeds {max_len:?}",
+                        items.len()
+                    )));
+                }
+                items.iter().try_for_each(|i| element.check(i))
+            }
+            (AsnType::Boolean, _) => Err(mismatch("BOOLEAN")),
+            (AsnType::Integer { .. }, _) => Err(mismatch("INTEGER")),
+            (AsnType::OctetString { .. }, _) => Err(mismatch("OCTET STRING")),
+            (AsnType::Null, _) => Err(mismatch("NULL")),
+            (AsnType::Enumerated { .. }, _) => Err(mismatch("ENUMERATED")),
+            (AsnType::Utf8String { .. }, _) => Err(mismatch("UTF8String")),
+            (AsnType::Sequence { .. }, _) | (AsnType::SequenceOf { .. }, _) => {
+                Err(mismatch("SEQUENCE"))
+            }
+        }
+    }
+
+    /// Decodes DER bytes **and** checks them against this type in one
+    /// step — the closest ASN.1 comes to validated decoding.
+    ///
+    /// # Errors
+    ///
+    /// DER decoding errors, then schema errors.
+    pub fn decode_checked(&self, bytes: &[u8]) -> Result<AsnValue, Asn1Error> {
+        let v = crate::der::decode(bytes)?;
+        self.check(&v)?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::der;
+
+    fn message_type() -> AsnType {
+        AsnType::Sequence {
+            fields: vec![
+                ("version".into(), AsnType::integer_in(1, 3)),
+                (
+                    "kind".into(),
+                    AsnType::Enumerated {
+                        allowed: vec![0, 1, 2],
+                    },
+                ),
+                (
+                    "payload".into(),
+                    AsnType::OctetString {
+                        min_len: None,
+                        max_len: Some(512),
+                    },
+                ),
+            ],
+        }
+    }
+
+    fn good_value() -> AsnValue {
+        AsnValue::Sequence(vec![
+            AsnValue::Integer(2),
+            AsnValue::Enumerated(1),
+            AsnValue::OctetString(vec![9; 16]),
+        ])
+    }
+
+    #[test]
+    fn schema_accepts_conforming_values() {
+        message_type().check(&good_value()).unwrap();
+        let bytes = der::encode(&good_value());
+        assert_eq!(message_type().decode_checked(&bytes).unwrap(), good_value());
+    }
+
+    #[test]
+    fn range_and_enum_constraints_enforced() {
+        let mut v = good_value();
+        if let AsnValue::Sequence(items) = &mut v {
+            items[0] = AsnValue::Integer(9); // version out of range
+        }
+        assert!(matches!(
+            message_type().check(&v),
+            Err(Asn1Error::ConstraintViolation(_))
+        ));
+
+        let mut v2 = good_value();
+        if let AsnValue::Sequence(items) = &mut v2 {
+            items[1] = AsnValue::Enumerated(7);
+        }
+        assert!(matches!(
+            message_type().check(&v2),
+            Err(Asn1Error::ConstraintViolation(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatches_name_the_component() {
+        let mut v = good_value();
+        if let AsnValue::Sequence(items) = &mut v {
+            items[2] = AsnValue::Null;
+        }
+        match message_type().check(&v) {
+            Err(Asn1Error::SchemaMismatch { expected, .. }) => {
+                assert!(expected.contains("payload"), "{expected}");
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let v = AsnValue::Sequence(vec![AsnValue::Integer(1)]);
+        assert!(matches!(
+            message_type().check(&v),
+            Err(Asn1Error::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_of_homogeneous() {
+        let ty = AsnType::SequenceOf {
+            element: Box::new(AsnType::integer_in(0, 10)),
+            max_len: Some(3),
+        };
+        ty.check(&AsnValue::Sequence(vec![
+            AsnValue::Integer(1),
+            AsnValue::Integer(2),
+        ]))
+        .unwrap();
+        assert!(ty
+            .check(&AsnValue::Sequence(vec![AsnValue::Integer(11)]))
+            .is_err());
+        assert!(ty
+            .check(&AsnValue::Sequence(vec![
+                AsnValue::Integer(0),
+                AsnValue::Integer(0),
+                AsnValue::Integer(0),
+                AsnValue::Integer(0)
+            ]))
+            .is_err());
+    }
+
+    #[test]
+    fn string_length_cap() {
+        let ty = AsnType::Utf8String { max_len: Some(4) };
+        ty.check(&AsnValue::Utf8String("abcd".into())).unwrap();
+        assert!(ty.check(&AsnValue::Utf8String("abcde".into())).is_err());
+    }
+
+    /// What ASN.1 *cannot* say (the paper's §2.2 gap): a checksum field
+    /// constrained to equal a computation over its siblings. The best a
+    /// schema can do is type the field; a forged checksum passes.
+    #[test]
+    fn asn1_cannot_express_cross_field_constraints() {
+        let ty = AsnType::Sequence {
+            fields: vec![
+                ("seq".into(), AsnType::integer_in(0, 255)),
+                ("payload".into(), AsnType::octets()),
+                ("checksum".into(), AsnType::integer_in(0, 255)),
+            ],
+        };
+        let forged = AsnValue::Sequence(vec![
+            AsnValue::Integer(7),
+            AsnValue::OctetString(b"hello".to_vec()),
+            AsnValue::Integer(0), // wrong checksum — schema cannot know
+        ]);
+        assert!(
+            ty.check(&forged).is_ok(),
+            "the forged checksum passes the schema — exactly the gap the DSL closes"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! The abstract value model.
+
+use std::fmt;
+
+/// An ASN.1 abstract value (the universal types this crate supports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsnValue {
+    /// BOOLEAN.
+    Boolean(bool),
+    /// INTEGER (bounded to `i64` here).
+    Integer(i64),
+    /// OCTET STRING.
+    OctetString(Vec<u8>),
+    /// NULL.
+    Null,
+    /// ENUMERATED (an integer drawn from a named set; the set lives in
+    /// the schema, as in ASN.1 itself).
+    Enumerated(i64),
+    /// UTF8String.
+    Utf8String(String),
+    /// SEQUENCE (ordered, heterogeneous).
+    Sequence(Vec<AsnValue>),
+}
+
+impl AsnValue {
+    /// A short name for diagnostics ("INTEGER", "SEQUENCE", …).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AsnValue::Boolean(_) => "BOOLEAN",
+            AsnValue::Integer(_) => "INTEGER",
+            AsnValue::OctetString(_) => "OCTET STRING",
+            AsnValue::Null => "NULL",
+            AsnValue::Enumerated(_) => "ENUMERATED",
+            AsnValue::Utf8String(_) => "UTF8String",
+            AsnValue::Sequence(_) => "SEQUENCE",
+        }
+    }
+}
+
+impl fmt::Display for AsnValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsnValue::Boolean(b) => write!(f, "{b}"),
+            AsnValue::Integer(i) | AsnValue::Enumerated(i) => write!(f, "{i}"),
+            AsnValue::OctetString(b) => {
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+            AsnValue::Null => write!(f, "null"),
+            AsnValue::Utf8String(s) => write!(f, "{s:?}"),
+            AsnValue::Sequence(items) => {
+                write!(f, "{{")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for AsnValue {
+    fn from(b: bool) -> Self {
+        AsnValue::Boolean(b)
+    }
+}
+
+impl From<i64> for AsnValue {
+    fn from(i: i64) -> Self {
+        AsnValue::Integer(i)
+    }
+}
+
+impl From<Vec<u8>> for AsnValue {
+    fn from(b: Vec<u8>) -> Self {
+        AsnValue::OctetString(b)
+    }
+}
+
+impl From<&str> for AsnValue {
+    fn from(s: &str) -> Self {
+        AsnValue::Utf8String(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_names() {
+        assert_eq!(AsnValue::from(true).type_name(), "BOOLEAN");
+        assert_eq!(AsnValue::from(5i64).type_name(), "INTEGER");
+        assert_eq!(AsnValue::from(vec![1u8]).type_name(), "OCTET STRING");
+        assert_eq!(AsnValue::from("x").type_name(), "UTF8String");
+    }
+
+    #[test]
+    fn display_renders_nested() {
+        let v = AsnValue::Sequence(vec![
+            AsnValue::Integer(1),
+            AsnValue::OctetString(vec![0xAB]),
+            AsnValue::Null,
+        ]);
+        assert_eq!(v.to_string(), "{1, ab, null}");
+    }
+}

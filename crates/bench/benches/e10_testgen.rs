@@ -1,0 +1,67 @@
+//! E10 — behavioural test generation from the definition (paper §2.3).
+//!
+//! Claim: "The DSL approach described here potentially allows automatic
+//! construction of (at least some) behavioural test cases."
+//! Series: for the §3.4 sender (several sequence-space sizes) and the
+//! handshake spec — size of the generated transition-cover suite, its
+//! coverage (always 100% of reachable transitions), and the coverage a
+//! random tester reaches with the *same* event budget (3 seeds).
+//! Expected shape: generated suite is small and complete; random testing
+//! needs far more events to approach full transition coverage.
+
+use netdsl_core::fsm::paper_sender_spec;
+use netdsl_protocols::handshake::handshake_spec;
+use netdsl_verify::testgen::{coverage_of, random_suite, transition_cover};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E10: generated behavioural suites vs random testing at equal budget\n");
+    println!(
+        "{:<22} {:>7} {:>8} {:>10} {:>12} {:>12}",
+        "spec", "cases", "events", "coverage", "random(1x)", "random(4x)"
+    );
+
+    let mut specs = vec![handshake_spec()];
+    for seq in [1u64, 3, 15] {
+        specs.push(paper_sender_spec(seq));
+    }
+
+    for spec in &specs {
+        let suite = transition_cover(spec);
+        let budget: usize = suite.iter().map(|c| c.events.len()).sum();
+        let cov = coverage_of(spec, &suite);
+        for case in &suite {
+            assert_eq!(case.run(spec), Ok(()), "generated case must pass");
+        }
+
+        let mut rand_cov_1x = 0.0;
+        let mut rand_cov_4x = 0.0;
+        for seed in [5u64, 6, 7] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            rand_cov_1x += coverage_of(spec, &random_suite(spec, &mut rng, 1, budget));
+            rand_cov_4x += coverage_of(spec, &random_suite(spec, &mut rng, 4, budget));
+        }
+        rand_cov_1x /= 3.0;
+        rand_cov_4x /= 3.0;
+
+        println!(
+            "{:<22} {:>7} {:>8} {:>9.0}% {:>11.0}% {:>11.0}%",
+            format!(
+                "{}({})",
+                spec.name(),
+                spec.vars().first().map(|v| v.max + 1).unwrap_or(0)
+            ),
+            suite.len(),
+            budget,
+            cov * 100.0,
+            rand_cov_1x * 100.0,
+            rand_cov_4x * 100.0
+        );
+        assert!((cov - 1.0).abs() < 1e-9, "generated suite covers everything");
+        assert!(rand_cov_1x <= cov, "random never beats complete coverage");
+    }
+    println!("\nexpected shape: generated coverage = 100% with a handful of cases;");
+    println!("random needs multiples of the budget and still misses rare edges");
+    println!("(e.g. the handshake's passive-open timeout path).");
+}

@@ -1,0 +1,54 @@
+//! E1 — "Figure 1": the IPv4 header codec, declarative vs hand-rolled.
+//!
+//! Claim (paper §2.1 + §3.3): the header picture can be an executable,
+//! validating definition without giving up codec performance.
+//! Series: encode/decode throughput for the `PacketSpec`-driven codec and
+//! the manual baseline, over 64-byte and 1024-byte payloads.
+//! Expected shape: the declarative codec is within a small constant
+//! factor of the manual one; both reject corrupt frames.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use netdsl_bench::workload;
+use netdsl_protocols::ipv4::{decode_manual, encode_manual, Ipv4Packet};
+
+fn packet(payload_len: usize) -> Ipv4Packet {
+    Ipv4Packet {
+        tos: 0,
+        identification: 0x1c46,
+        flags: 0b010,
+        fragment_offset: 0,
+        ttl: 64,
+        protocol: 6,
+        source: 0xC0A8_0001,
+        destination: 0xC0A8_00C7,
+        payload: workload::file(payload_len),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_ipv4_codec");
+    for payload in [64usize, 1024] {
+        let p = packet(payload);
+        let wire = p.encode().expect("encodes");
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+
+        g.bench_with_input(BenchmarkId::new("encode_declarative", payload), &p, |b, p| {
+            b.iter(|| black_box(p.encode().expect("encodes")))
+        });
+        g.bench_with_input(BenchmarkId::new("encode_manual", payload), &p, |b, p| {
+            b.iter(|| black_box(encode_manual(p).expect("encodes")))
+        });
+        g.bench_with_input(BenchmarkId::new("decode_declarative", payload), &wire, |b, w| {
+            b.iter(|| black_box(Ipv4Packet::decode(w).expect("valid")))
+        });
+        g.bench_with_input(BenchmarkId::new("decode_manual", payload), &wire, |b, w| {
+            b.iter(|| black_box(decode_manual(w).expect("valid")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

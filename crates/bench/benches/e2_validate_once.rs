@@ -1,0 +1,59 @@
+//! E2 — validate-once witnesses vs re-validation per access.
+//!
+//! Claim (paper §3.3/§3.4): "when a packet has been validated once, it
+//! never needs to be validated again, because the type system ensures
+//! that we are working with validated data."
+//! Series: time to decode one ARQ frame and read its fields K times, for
+//! K ∈ {1, 4, 16, 64}: (a) `decode` once into a `Checked` witness, then
+//! K plain accesses; (b) the discipline forced without witnesses —
+//! re-verify the frame before each access.
+//! Expected shape: (a) flat in K; (b) linear in K; closest at K = 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netdsl_protocols::arq::{arq_spec, ArqFrame};
+
+fn bench(c: &mut Criterion) {
+    let spec = arq_spec();
+    let wire = ArqFrame::Data {
+        seq: 9,
+        payload: (0..256u32).map(|i| i as u8).collect(),
+    }
+    .encode();
+
+    let mut g = c.benchmark_group("e2_validate_once");
+    for k in [1u32, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("witness_once", k), &k, |b, &k| {
+            b.iter(|| {
+                // Validate once; the Checked witness certifies every
+                // subsequent access.
+                let checked = spec.decode(&wire).expect("valid");
+                let mut acc = 0u64;
+                for _ in 0..k {
+                    acc += checked.uint("seq").expect("present");
+                    acc += checked.bytes("payload").expect("present").len() as u64;
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("revalidate_each", k), &k, |b, &k| {
+            b.iter(|| {
+                // Without the witness, defensive code re-verifies before
+                // every use (it cannot know the frame is still trusted).
+                let raw = spec.decode_unchecked(&wire).expect("parses");
+                let mut acc = 0u64;
+                for _ in 0..k {
+                    spec.verify_frame(&wire).expect("valid");
+                    acc += raw.uint("seq").expect("present");
+                    acc += raw.bytes("payload").expect("present").len() as u64;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

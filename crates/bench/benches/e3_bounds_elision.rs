@@ -1,0 +1,89 @@
+//! E3 — bounded-index witnesses vs per-access checking.
+//!
+//! Claim (paper §3.3): "we can know statically that no bounds check is
+//! needed when looking up a bounded index from the list of lines."
+//! Series: sum over 10⁵ lookups into a 1024-line message: (a) branded
+//! `Idx` witnesses validated once (`with_indexed`); (b) `get()` with an
+//! `Option` branch per access; (c) the `Vect` static index (compile-time
+//! bound, the zero-check reference point).
+//! Expected shape: witness ≈ static ≥ checked; the checked variant
+//! carries the per-access branch and error arm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netdsl_core::tyvec::{with_indexed, Vect};
+
+const LINES: usize = 1024;
+const LOOKUPS: usize = 100_000;
+
+fn lines() -> Vec<u64> {
+    (0..LINES as u64).map(|i| i * 2654435761 % 1009).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let data = lines();
+    // A fixed pseudo-random access pattern (same for all variants).
+    let pattern: Vec<usize> = (0..LOOKUPS).map(|i| (i * 31) % LINES).collect();
+
+    let mut g = c.benchmark_group("e3_bounds_elision");
+
+    g.bench_function("witness_checked_once", |b| {
+        with_indexed(&data, |s| {
+            // Validate the whole access pattern once, OUTSIDE the timed
+            // loop — that is the point of the witness: the check happens
+            // at witness creation, not at access time.
+            let witnesses: Vec<_> = pattern
+                .iter()
+                .map(|&p| s.check(p).expect("in range"))
+                .collect();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &i in &witnesses {
+                    acc += *s.get(i);
+                }
+                black_box(acc)
+            })
+        })
+    });
+
+    g.bench_function("option_checked_each", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pattern {
+                // The no-witness discipline: every access handles the
+                // out-of-bounds case.
+                match data.get(p) {
+                    Some(v) => acc += *v,
+                    None => acc += 1, // error path kept live
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("static_index_vect", |b| {
+        // Compile-time-checked indices over a small fixed window,
+        // iterated to the same lookup count.
+        let v: Vect<u64, 8> = Vect::from_fn(|i| data[i]);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..LOOKUPS / 8 {
+                acc += *v.at::<0>()
+                    + *v.at::<1>()
+                    + *v.at::<2>()
+                    + *v.at::<3>()
+                    + *v.at::<4>()
+                    + *v.at::<5>()
+                    + *v.at::<6>()
+                    + *v.at::<7>();
+            }
+            black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E4 — ARQ goodput vs loss: stop-and-wait, Go-Back-N, Selective Repeat.
+//!
+//! Claim (paper §3.4 items 3–4 + §1.1): the DSL machinery supports real
+//! protocol families whose behaviour under harsh conditions can be
+//! studied; the protocols must deliver correctly at every loss rate (or
+//! fail cleanly) and the windowed variants must win once loss and delay
+//! make stop-and-wait idle.
+//! Series: goodput (payload bytes / 1000 ticks) for loss p ∈ {0, .05, …,
+//! .5}, window ∈ {1 (SW), 4, 8, 16} where applicable.
+//! Expected shape: goodput decreasing in p; SR ≥ GBN ≥ SW for p > 0;
+//! window gains shrink as loss grows (retransmission storms).
+
+use netdsl_bench::workload;
+use netdsl_netsim::LinkConfig;
+use netdsl_protocols::{arq, gbn, sr};
+
+const MESSAGES: usize = 60;
+const MSG_SIZE: usize = 64;
+const DELAY: u64 = 10;
+const DEADLINE: u64 = 500_000_000;
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+fn goodput(payload_bytes: u64, elapsed: u64) -> f64 {
+    if elapsed == 0 {
+        0.0
+    } else {
+        payload_bytes as f64 * 1000.0 / elapsed as f64
+    }
+}
+
+fn main() {
+    println!("E4: goodput (payload bytes / 1000 ticks) vs loss probability");
+    println!("workload: {MESSAGES} × {MSG_SIZE}B messages, delay {DELAY} ticks, mean of {} seeds\n", SEEDS.len());
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "loss", "SW", "GBN w=4", "GBN w=8", "SR w=8", "SR w=16"
+    );
+
+    let total_payload = (MESSAGES * MSG_SIZE) as u64;
+    for p in workload::loss_sweep() {
+        let mut row = Vec::new();
+        type Runner = Box<dyn Fn(u64) -> (bool, u64)>;
+        let runners: Vec<Runner> = vec![
+            Box::new(move |seed| {
+                let o = arq::session::run_transfer(
+                    workload::messages(MESSAGES, MSG_SIZE),
+                    LinkConfig::lossy(DELAY, p),
+                    seed,
+                    150,
+                    200,
+                    DEADLINE,
+                );
+                (o.success, o.elapsed)
+            }),
+            Box::new(move |seed| {
+                let o = gbn::run_transfer(
+                    workload::messages(MESSAGES, MSG_SIZE),
+                    4,
+                    LinkConfig::lossy(DELAY, p),
+                    seed,
+                    150,
+                    400,
+                    DEADLINE,
+                );
+                (o.success, o.elapsed)
+            }),
+            Box::new(move |seed| {
+                let o = gbn::run_transfer(
+                    workload::messages(MESSAGES, MSG_SIZE),
+                    8,
+                    LinkConfig::lossy(DELAY, p),
+                    seed,
+                    150,
+                    400,
+                    DEADLINE,
+                );
+                (o.success, o.elapsed)
+            }),
+            Box::new(move |seed| {
+                let o = sr::run_transfer(
+                    workload::messages(MESSAGES, MSG_SIZE),
+                    8,
+                    LinkConfig::lossy(DELAY, p),
+                    seed,
+                    150,
+                    400,
+                    DEADLINE,
+                );
+                (o.success, o.elapsed)
+            }),
+            Box::new(move |seed| {
+                let o = sr::run_transfer(
+                    workload::messages(MESSAGES, MSG_SIZE),
+                    16,
+                    LinkConfig::lossy(DELAY, p),
+                    seed,
+                    150,
+                    400,
+                    DEADLINE,
+                );
+                (o.success, o.elapsed)
+            }),
+        ];
+        for run in &runners {
+            let mut sum = 0.0;
+            let mut ok_runs = 0;
+            for &seed in &SEEDS {
+                let (ok, elapsed) = run(seed);
+                if ok {
+                    sum += goodput(total_payload, elapsed);
+                    ok_runs += 1;
+                }
+            }
+            row.push(if ok_runs > 0 { sum / f64::from(ok_runs) } else { 0.0 });
+        }
+        println!(
+            "{:>5.2} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            p, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+    println!("\nexpected shape: columns fall with loss; SR ≥ GBN ≥ SW at equal window.");
+}

@@ -1,0 +1,51 @@
+//! E6 — error-handling line fractions: sockets-style vs DSL.
+//!
+//! Claim (paper §1): "typically, 50% or more of the code will deal with
+//! error checking or other software control functions rather than the
+//! functionality of the protocol, and it is not easy to separate these
+//! aspects."
+//! Series: counted lines and error/control fraction for the baseline
+//! ("C sockets style") ARQ and the DSL ARQ, same classifier, same
+//! protocol behaviour (the two interoperate on the wire — see the
+//! baseline crate's tests).
+//! Expected shape: baseline fraction ≳ 1/3 (the full 50% needs raw-C
+//! boilerplate that safe Rust removes by itself); DSL fraction near
+//! zero, because validation lives in the declarative definition.
+
+use netdsl_bench::loc;
+
+fn main() {
+    println!("E6: error/control plumbing as a fraction of shipped protocol lines\n");
+    let base = loc::baseline_report();
+    let dsl = loc::dsl_report();
+
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>10}",
+        "implementation", "logic", "error", "total", "err-frac"
+    );
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>9.1}%",
+        "baseline (sockets style)",
+        base.logic,
+        base.error_control,
+        base.total(),
+        base.error_fraction() * 100.0
+    );
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>9.1}%",
+        "netdsl (declarative + types)",
+        dsl.logic,
+        dsl.error_control,
+        dsl.total(),
+        dsl.error_fraction() * 100.0
+    );
+
+    println!("\nclassifier cues ({}):", loc::ERROR_CUES.len());
+    for chunk in loc::ERROR_CUES.chunks(6) {
+        println!("  {}", chunk.join("  "));
+    }
+    println!("\nexpected shape: baseline ≫ DSL. The paper's ≥50% figure describes raw C");
+    println!("(errno, malloc, socket setup); safe Rust already absorbs part of that, so");
+    println!("the baseline lands around a third — the separation argument is unchanged.");
+    assert!(base.error_fraction() > dsl.error_fraction() * 3.0);
+}

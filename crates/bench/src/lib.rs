@@ -1,0 +1,23 @@
+//! # netdsl-bench — shared machinery for the experiment harnesses
+//!
+//! The `benches/` directory of this crate regenerates every experiment
+//! in EXPERIMENTS.md (E1–E10). This library holds the pieces the
+//! harnesses share and that deserve their own unit tests:
+//!
+//! * [`loc`] — the source-line classifier behind experiment E6 (the
+//!   paper's "50% or more of the code will deal with error checking"
+//!   claim);
+//! * [`adaptive_arq`] — a stop-and-wait sender driven by the adaptive
+//!   [`RtoEstimator`](netdsl_adapt::timers::RtoEstimator), used by
+//!   experiment E8 against fixed-timer senders;
+//! * [`arq_model`] — the sender × channel × receiver product model the
+//!   E5 composition rows are checked on;
+//! * [`workload`] — deterministic message/workload generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive_arq;
+pub mod arq_model;
+pub mod loc;
+pub mod workload;

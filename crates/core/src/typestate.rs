@@ -1,0 +1,339 @@
+//! The static (compile-time) embedding of protocol state machines.
+//!
+//! The paper's transition GADT
+//!
+//! ```text
+//! data SendTrans : SendSt → SendSt → ⋆ where
+//!   SEND    : List Byte → SendTrans (Ready seq) (Wait seq)
+//!   OK      : ChkPacket … → SendTrans (Wait seq) (Ready (seq+1))
+//!   …
+//! ```
+//!
+//! maps onto Rust's *typestate* pattern: protocol states become zero-sized
+//! marker types, a machine is [`Machine<S, D>`] (state in the type,
+//! runtime data `D` inside), and each transition is a type implementing
+//! [`Transition`] with `From`/`To` associated types. [`Machine::step`]
+//! only accepts transitions whose `From` equals the machine's current
+//! state parameter, so **an invalid transition is a compile error** — the
+//! soundness half of §3.3, with zero runtime cost.
+//!
+//! Branching outcomes (the paper's `NextSent`: after sending, you hold
+//! *either* a `Ready(seq+1)` machine *or* a `Timeout` machine) are plain
+//! Rust enums over differently-typed machines; see `netdsl-protocols`'s
+//! ARQ for the faithful §3.4 construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use netdsl_core::typestate::{Machine, State, Transition};
+//!
+//! // States (zero-sized).
+//! struct Idle;
+//! struct Busy;
+//! impl State for Idle { const NAME: &'static str = "Idle"; }
+//! impl State for Busy { const NAME: &'static str = "Busy"; }
+//!
+//! // Shared runtime data.
+//! #[derive(Default)]
+//! struct Counters { started: u32 }
+//!
+//! // A transition with its endpoints in the type.
+//! struct Start;
+//! impl Transition<Counters> for Start {
+//!     type From = Idle;
+//!     type To = Busy;
+//!     fn apply(self, data: &mut Counters) { data.started += 1; }
+//! }
+//!
+//! let m: Machine<Idle, Counters> = Machine::new(Counters::default());
+//! let m: Machine<Busy, Counters> = m.step(Start);   // ok: Idle → Busy
+//! assert_eq!(m.data().started, 1);
+//! ```
+//!
+//! Applying a transition in the wrong state does not type-check:
+//!
+//! ```compile_fail
+//! use netdsl_core::typestate::{Machine, State, Transition};
+//! struct Idle; struct Busy;
+//! impl State for Idle { const NAME: &'static str = "Idle"; }
+//! impl State for Busy { const NAME: &'static str = "Busy"; }
+//! struct Start;
+//! impl Transition<()> for Start {
+//!     type From = Idle;
+//!     type To = Busy;
+//!     fn apply(self, _: &mut ()) {}
+//! }
+//! let m: Machine<Busy, ()> = Machine::new(());
+//! let _ = m.step(Start); // error: Start requires From = Idle
+//! ```
+
+use std::marker::PhantomData;
+
+/// A protocol state, used as a type-level tag. Implementors are normally
+/// zero-sized.
+pub trait State {
+    /// Human-readable name (for traces and diagnostics).
+    const NAME: &'static str;
+}
+
+/// A state transition with compile-time endpoints.
+///
+/// `D` is the machine's runtime data, shared across all states.
+pub trait Transition<D> {
+    /// The state this transition may fire from. [`Machine::step`] refuses
+    /// (at compile time) to apply it anywhere else.
+    type From: State;
+    /// The state the machine is in afterwards.
+    type To: State;
+
+    /// Executes the transition's effect on the runtime data.
+    fn apply(self, data: &mut D);
+}
+
+/// A transition that can fail at runtime (e.g. its input fails
+/// validation). On failure the machine must stay in `From` — encoded by
+/// [`Machine::try_step`] handing the *unchanged* machine back.
+pub trait TryTransition<D> {
+    /// The state this transition may fire from.
+    type From: State;
+    /// The state reached on success.
+    type To: State;
+    /// Why the transition refused to fire.
+    type Error;
+
+    /// Attempts the transition's effect.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; an `Err` leaves the machine logically in
+    /// `From` (guaranteed by `try_step`, which only consumes the machine
+    /// on success).
+    fn apply(self, data: &mut D) -> Result<(), Self::Error>;
+}
+
+/// A state machine whose current state is a type parameter.
+///
+/// The runtime representation is just `D`: states are phantom, so the
+/// typestate discipline is zero-cost (validated by
+/// `size_of::<Machine<S, D>>() == size_of::<D>()` in the tests).
+pub struct Machine<S: State, D> {
+    data: D,
+    _state: PhantomData<fn() -> S>,
+}
+
+impl<S: State, D: std::fmt::Debug> std::fmt::Debug for Machine<S, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("state", &S::NAME)
+            .field("data", &self.data)
+            .finish()
+    }
+}
+
+impl<S: State, D: Clone> Clone for Machine<S, D> {
+    fn clone(&self) -> Self {
+        Machine {
+            data: self.data.clone(),
+            _state: PhantomData,
+        }
+    }
+}
+
+impl<S: State, D: PartialEq> PartialEq for Machine<S, D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl<S: State, D: Eq> Eq for Machine<S, D> {}
+
+impl<S: State, D> Machine<S, D> {
+    /// Creates a machine in state `S` with the given runtime data.
+    ///
+    /// Protocol crates usually wrap this in a constructor that fixes `S`
+    /// to the protocol's initial state, so arbitrary-state construction
+    /// stays out of downstream reach.
+    pub fn new(data: D) -> Self {
+        Machine {
+            data,
+            _state: PhantomData,
+        }
+    }
+
+    /// The current state's name.
+    pub fn state_name(&self) -> &'static str {
+        S::NAME
+    }
+
+    /// Borrows the runtime data.
+    pub fn data(&self) -> &D {
+        &self.data
+    }
+
+    /// Mutably borrows the runtime data.
+    ///
+    /// Mutating data cannot change the *state*: that requires a
+    /// [`Transition`] through [`Machine::step`].
+    pub fn data_mut(&mut self) -> &mut D {
+        &mut self.data
+    }
+
+    /// Consumes the machine, returning the data (leaves the typestate
+    /// discipline; pairs with [`Machine::new`]).
+    pub fn into_data(self) -> D {
+        self.data
+    }
+
+    /// Applies an infallible transition. Compiles only if `T::From == S`.
+    pub fn step<T: Transition<D, From = S>>(self, t: T) -> Machine<T::To, D> {
+        let mut data = self.data;
+        t.apply(&mut data);
+        Machine {
+            data,
+            _state: PhantomData,
+        }
+    }
+
+    /// Applies a fallible transition; on failure the unchanged machine is
+    /// returned alongside the error, so the caller provably remains in
+    /// state `S`.
+    ///
+    /// # Errors
+    ///
+    /// The transition's error, paired with the machine still in `S`.
+    pub fn try_step<T: TryTransition<D, From = S>>(
+        self,
+        t: T,
+    ) -> Result<Machine<T::To, D>, (Self, T::Error)> {
+        let mut data = self.data;
+        match t.apply(&mut data) {
+            Ok(()) => Ok(Machine {
+                data,
+                _state: PhantomData,
+            }),
+            Err(e) => Err((
+                Machine {
+                    data,
+                    _state: PhantomData,
+                },
+                e,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ready;
+    struct Wait;
+    struct Sent;
+    impl State for Ready {
+        const NAME: &'static str = "Ready";
+    }
+    impl State for Wait {
+        const NAME: &'static str = "Wait";
+    }
+    impl State for Sent {
+        const NAME: &'static str = "Sent";
+    }
+
+    #[derive(Default, Debug, PartialEq)]
+    struct Data {
+        seq: u8,
+        sends: u32,
+    }
+
+    struct SendPkt;
+    impl Transition<Data> for SendPkt {
+        type From = Ready;
+        type To = Wait;
+        fn apply(self, d: &mut Data) {
+            d.sends += 1;
+        }
+    }
+
+    struct Ok_;
+    impl Transition<Data> for Ok_ {
+        type From = Wait;
+        type To = Ready;
+        fn apply(self, d: &mut Data) {
+            d.seq = d.seq.wrapping_add(1);
+        }
+    }
+
+    struct Finish;
+    impl Transition<Data> for Finish {
+        type From = Ready;
+        type To = Sent;
+        fn apply(self, _: &mut Data) {}
+    }
+
+    struct GuardedSend {
+        allowed: bool,
+    }
+    impl TryTransition<Data> for GuardedSend {
+        type From = Ready;
+        type To = Wait;
+        type Error = &'static str;
+        fn apply(self, d: &mut Data) -> Result<(), &'static str> {
+            if self.allowed {
+                d.sends += 1;
+                Ok(())
+            } else {
+                Err("not allowed")
+            }
+        }
+    }
+
+    #[test]
+    fn transitions_thread_state_through_types() {
+        let m: Machine<Ready, Data> = Machine::new(Data::default());
+        assert_eq!(m.state_name(), "Ready");
+        let m = m.step(SendPkt);
+        assert_eq!(m.state_name(), "Wait");
+        let m = m.step(Ok_);
+        assert_eq!(m.state_name(), "Ready");
+        assert_eq!(m.data().seq, 1);
+        assert_eq!(m.data().sends, 1);
+        let m = m.step(Finish);
+        assert_eq!(m.state_name(), "Sent");
+        assert_eq!(m.into_data(), Data { seq: 1, sends: 1 });
+    }
+
+    #[test]
+    fn try_step_failure_keeps_state_and_returns_machine() {
+        let m: Machine<Ready, Data> = Machine::new(Data::default());
+        let (m, err) = m.try_step(GuardedSend { allowed: false }).unwrap_err();
+        assert_eq!(err, "not allowed");
+        assert_eq!(m.state_name(), "Ready");
+        assert_eq!(m.data().sends, 0, "failed transition had no effect");
+        let m = m.try_step(GuardedSend { allowed: true }).unwrap();
+        assert_eq!(m.state_name(), "Wait");
+        assert_eq!(m.data().sends, 1);
+    }
+
+    #[test]
+    fn typestate_is_zero_cost() {
+        assert_eq!(
+            std::mem::size_of::<Machine<Ready, Data>>(),
+            std::mem::size_of::<Data>(),
+            "state tags occupy no memory"
+        );
+    }
+
+    #[test]
+    fn data_mut_cannot_change_state_but_can_change_data() {
+        let mut m: Machine<Ready, Data> = Machine::new(Data::default());
+        m.data_mut().seq = 9;
+        assert_eq!(m.data().seq, 9);
+        assert_eq!(m.state_name(), "Ready");
+    }
+
+    #[test]
+    fn machine_is_send_sync_when_data_is() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Machine<Ready, Data>>();
+    }
+}

@@ -1,0 +1,349 @@
+//! Length-indexed vectors and index witnesses.
+//!
+//! The paper's first dependent-types example (§3.1) is the length-indexed
+//! list `List A n` with
+//!
+//! ```text
+//! append : List A n → List A m → List A (n+m)
+//! ```
+//!
+//! [`Vect<T, N>`] is the Rust embedding via const generics. Length
+//! arithmetic that full dependent types would infer is stated by the
+//! caller and **checked at compile time** (monomorphization-time `const`
+//! assertions): an `append` whose output length is not `N + M` does not
+//! compile, and a static index `at::<I>` with `I >= N` does not compile.
+//!
+//! For indices known only at runtime, [`with_indexed`] provides *branded*
+//! index witnesses: an [`Idx`] can only be produced by checking against
+//! the specific slice it indexes (the brand is an invariant lifetime), so
+//! the bounds check happens **once**, at witness creation — the paper's
+//! "we can know statically that no bounds check is needed when looking up
+//! a bounded index from the list of lines" (§3.3), with "statically"
+//! weakened to "once per index, not per access".
+
+use std::marker::PhantomData;
+
+/// A vector whose length is part of its type.
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_core::tyvec::Vect;
+///
+/// let a: Vect<u8, 2> = Vect::new([1, 2]);
+/// let b: Vect<u8, 3> = Vect::new([3, 4, 5]);
+/// // The output length 5 is checked against 2 + 3 at compile time.
+/// let c: Vect<u8, 5> = a.append(b);
+/// assert_eq!(c.as_slice(), &[1, 2, 3, 4, 5]);
+/// assert_eq!(*c.at::<0>(), 1);
+/// assert_eq!(*c.at::<4>(), 5);
+/// ```
+///
+/// A static index beyond the length is a **compile error**, not a panic:
+///
+/// ```compile_fail
+/// use netdsl_core::tyvec::Vect;
+/// let v: Vect<u8, 2> = Vect::new([1, 2]);
+/// let _ = v.at::<2>(); // error: index 2 out of bounds for Vect of length 2
+/// ```
+///
+/// So is an `append` with the wrong output length:
+///
+/// ```compile_fail
+/// use netdsl_core::tyvec::Vect;
+/// let a: Vect<u8, 2> = Vect::new([1, 2]);
+/// let b: Vect<u8, 3> = Vect::new([3, 4, 5]);
+/// let c: Vect<u8, 6> = a.append(b); // error: 6 != 2 + 3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vect<T, const N: usize> {
+    items: [T; N],
+}
+
+impl<T, const N: usize> Vect<T, N> {
+    /// Wraps an array (the length is carried by the array type).
+    pub fn new(items: [T; N]) -> Self {
+        Vect { items }
+    }
+
+    /// Builds element `i` from `f(i)`.
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        Vect {
+            items: std::array::from_fn(f),
+        }
+    }
+
+    /// The length, as a value (always equals the type parameter).
+    #[allow(clippy::len_without_is_empty)] // emptiness is known statically
+    pub const fn len(&self) -> usize {
+        N
+    }
+
+    /// Statically-checked index: `I >= N` fails to **compile**.
+    ///
+    /// This is the bounds-check-free lookup of the paper's §3.3 — the
+    /// proof obligation is discharged by the type system, so the returned
+    /// reference involves no runtime branch.
+    pub fn at<const I: usize>(&self) -> &T {
+        const {
+            assert!(I < N, "static index out of bounds for Vect");
+        }
+        &self.items[I]
+    }
+
+    /// Runtime-checked index.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.items.get(i)
+    }
+
+    /// Borrows the contents as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes into the underlying array.
+    pub fn into_array(self) -> [T; N] {
+        self.items
+    }
+
+    /// Concatenation with the `n + m` law enforced at compile time:
+    /// instantiating `O != N + M` fails to compile.
+    pub fn append<const M: usize, const O: usize>(self, other: Vect<T, M>) -> Vect<T, O> {
+        const {
+            assert!(O == N + M, "append output length must be N + M");
+        }
+        let mut iter = self.items.into_iter().chain(other.items);
+        let out = std::array::from_fn(|_| iter.next().expect("O == N + M"));
+        Vect { items: out }
+    }
+
+    /// Maps every element, preserving the length in the type (the
+    /// "explicit invariant explaining the function's effect on size" of
+    /// §3.1 — `map` provably cannot change the length).
+    pub fn map<U>(self, f: impl FnMut(T) -> U) -> Vect<U, N> {
+        Vect {
+            items: self.items.map(f),
+        }
+    }
+
+    /// Zips two vectors of the *same* (type-level) length — length
+    /// mismatch is unrepresentable, so no runtime length check exists.
+    pub fn zip<U>(self, other: Vect<U, N>) -> Vect<(T, U), N> {
+        let mut bs = other.items.into_iter();
+        Vect {
+            items: self.items.map(|a| (a, bs.next().expect("same N"))),
+        }
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+}
+
+impl<T, const N: usize> From<[T; N]> for Vect<T, N> {
+    fn from(items: [T; N]) -> Self {
+        Vect::new(items)
+    }
+}
+
+impl<T, const N: usize> AsRef<[T]> for Vect<T, N> {
+    fn as_ref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a Vect<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// Invariant lifetime brand (generative: each [`with_indexed`] call gets
+/// its own `'id` that unifies with no other).
+type Brand<'id> = PhantomData<fn(&'id ()) -> &'id ()>;
+
+/// A slice paired with a brand, inside [`with_indexed`].
+#[derive(Debug)]
+pub struct IndexedSlice<'id, 'a, T> {
+    items: &'a [T],
+    brand: Brand<'id>,
+}
+
+/// A bounds-checked index witness for the slice with the same brand.
+///
+/// Can only be created by [`IndexedSlice::check`], so every `Idx<'id>` is
+/// in bounds for the `IndexedSlice<'id, _, _>` it came from — accesses
+/// through it never fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Idx<'id> {
+    idx: usize,
+    brand: Brand<'id>,
+}
+
+impl<'id> Idx<'id> {
+    /// The underlying index value.
+    pub fn value(self) -> usize {
+        self.idx
+    }
+}
+
+impl<'id, 'a, T> IndexedSlice<'id, 'a, T> {
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Validates `i` **once**, returning a reusable witness.
+    pub fn check(&self, i: usize) -> Option<Idx<'id>> {
+        if i < self.items.len() {
+            Some(Idx {
+                idx: i,
+                brand: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Witnesses for every index (all trivially in bounds).
+    pub fn indices(&self) -> impl Iterator<Item = Idx<'id>> + use<'id, T> {
+        (0..self.items.len()).map(|idx| Idx {
+            idx,
+            brand: PhantomData,
+        })
+    }
+
+    /// Infallible access through a witness. No `Option`, no panic path in
+    /// the API: the brand guarantees `i` belongs to this slice.
+    pub fn get(&self, i: Idx<'id>) -> &'a T {
+        &self.items[i.idx]
+    }
+}
+
+/// Opens a branded-index scope over `items`.
+///
+/// Inside the closure, indices checked once via [`IndexedSlice::check`]
+/// can be dereferenced any number of times with no fallible API.
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_core::tyvec::with_indexed;
+///
+/// let lines = vec!["one", "two", "three"];
+/// let total = with_indexed(&lines, |s| {
+///     let i = s.check(2).expect("in bounds");  // validated once
+///     // ... used many times, infallibly:
+///     (0..1000).map(|_| s.get(i).len()).sum::<usize>()
+/// });
+/// assert_eq!(total, 5000);
+/// ```
+pub fn with_indexed<T, R>(
+    items: &[T],
+    f: impl for<'id> FnOnce(IndexedSlice<'id, '_, T>) -> R,
+) -> R {
+    f(IndexedSlice {
+        items,
+        brand: PhantomData,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_concatenates_and_lengths_add() {
+        let a: Vect<u8, 2> = Vect::new([1, 2]);
+        let b: Vect<u8, 3> = Vect::new([3, 4, 5]);
+        let c: Vect<u8, 5> = a.append(b);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn append_empty_is_identity() {
+        let a: Vect<u8, 0> = Vect::new([]);
+        let b: Vect<u8, 3> = Vect::new([7, 8, 9]);
+        let c: Vect<u8, 3> = a.append(b);
+        assert_eq!(c.as_slice(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn static_indexing_reads_elements() {
+        let v: Vect<char, 3> = Vect::new(['a', 'b', 'c']);
+        assert_eq!(*v.at::<0>(), 'a');
+        assert_eq!(*v.at::<2>(), 'c');
+    }
+
+    #[test]
+    fn runtime_get_bounds_checked() {
+        let v: Vect<u8, 2> = Vect::new([1, 2]);
+        assert_eq!(v.get(1), Some(&2));
+        assert_eq!(v.get(2), None);
+    }
+
+    #[test]
+    fn map_preserves_length_in_type() {
+        let v: Vect<u8, 3> = Vect::new([1, 2, 3]);
+        let doubled: Vect<u16, 3> = v.map(|x| u16::from(x) * 2);
+        assert_eq!(doubled.as_slice(), &[2, 4, 6]);
+    }
+
+    #[test]
+    fn zip_same_length_only() {
+        let a: Vect<u8, 2> = Vect::new([1, 2]);
+        let b: Vect<char, 2> = Vect::new(['x', 'y']);
+        let z = a.zip(b);
+        assert_eq!(z.as_slice(), &[(1, 'x'), (2, 'y')]);
+    }
+
+    #[test]
+    fn from_fn_and_iteration() {
+        let v: Vect<usize, 4> = Vect::from_fn(|i| i * i);
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, vec![0, 1, 4, 9]);
+        let via_ref: Vec<usize> = (&v).into_iter().copied().collect();
+        assert_eq!(via_ref, collected);
+    }
+
+    #[test]
+    fn branded_index_checked_once_used_many() {
+        let data = vec![10, 20, 30];
+        let sum = with_indexed(&data, |s| {
+            assert_eq!(s.len(), 3);
+            assert!(!s.is_empty());
+            let i = s.check(1).unwrap();
+            assert_eq!(i.value(), 1);
+            (0..100).map(|_| *s.get(i)).sum::<i32>()
+        });
+        assert_eq!(sum, 2000);
+    }
+
+    #[test]
+    fn branded_check_rejects_out_of_bounds() {
+        let data = [1u8];
+        with_indexed(&data, |s| {
+            assert!(s.check(0).is_some());
+            assert!(s.check(1).is_none());
+        });
+    }
+
+    #[test]
+    fn indices_enumerates_all() {
+        let data = ['a', 'b', 'c'];
+        let out = with_indexed(&data, |s| {
+            s.indices().map(|i| *s.get(i)).collect::<String>()
+        });
+        assert_eq!(out, "abc");
+    }
+}

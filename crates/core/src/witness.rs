@@ -1,0 +1,203 @@
+//! Validation witnesses: the paper's `ChkPacket` idiom.
+//!
+//! In the paper (§3.4), `ChkPacket p` is a *proof object*: a value of that
+//! type can only exist if packet `p`'s checksum verified, so any function
+//! receiving a `ChkPacket` may rely on validity without re-checking.
+//!
+//! Rust's counterpart is the sealed-wrapper (smart-constructor) pattern:
+//! [`Checked<T>`] has **no public constructor**. The only ways to obtain
+//! one are [`Checked::verify`] (which runs a [`Validator`]) and the
+//! crate-internal `assert_valid` used by [`crate::packet::PacketSpec::decode`]
+//! after it has verified every declared constraint. Possession of a
+//! `Checked<T>` therefore *is* the certificate that validation ran.
+//!
+//! What is lost relative to dependent types: the link between the witness
+//! and the *specific* predicate is by API discipline (the validator choice
+//! at the single construction site) rather than carried in the type index.
+//! What is preserved: unvalidated data cannot flow where `Checked<T>` is
+//! demanded, and validation cost is paid exactly once (experiment E2).
+
+use std::fmt;
+use std::ops::Deref;
+
+/// A validity predicate over `T`.
+///
+/// Implementations should be **pure**: two calls on the same value must
+/// agree, otherwise the witness guarantee is meaningless.
+pub trait Validator<T: ?Sized> {
+    /// Why validation failed.
+    type Error;
+
+    /// Checks the predicate.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; returning `Err` means no witness is issued.
+    fn validate(&self, value: &T) -> Result<(), Self::Error>;
+}
+
+// Plain functions are validators.
+impl<T: ?Sized, E, F> Validator<T> for F
+where
+    F: Fn(&T) -> Result<(), E>,
+{
+    type Error = E;
+
+    fn validate(&self, value: &T) -> Result<(), E> {
+        self(value)
+    }
+}
+
+/// A value that has passed validation — the `ChkPacket` witness.
+///
+/// `Checked<T>` dereferences to `T`, so validated data is used exactly
+/// like raw data; it just cannot be *forged*.
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_core::witness::Checked;
+///
+/// fn even(v: &u32) -> Result<(), &'static str> {
+///     if v % 2 == 0 { Ok(()) } else { Err("odd") }
+/// }
+///
+/// let ok = Checked::verify(4u32, &even).unwrap();
+/// assert_eq!(*ok, 4);
+/// assert!(Checked::verify(5u32, &even).is_err());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Checked<T> {
+    inner: T,
+}
+
+impl<T> Checked<T> {
+    /// Runs `validator` and, on success, issues the witness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validator's error (with the rejected value dropped) if
+    /// the predicate does not hold.
+    pub fn verify<V: Validator<T>>(value: T, validator: &V) -> Result<Checked<T>, V::Error> {
+        validator.validate(&value)?;
+        Ok(Checked { inner: value })
+    }
+
+    /// Like [`Checked::verify`] but hands the value back on failure, so
+    /// callers can retry or report without cloning
+    /// (C-INTERMEDIATE: expose what was already computed).
+    ///
+    /// # Errors
+    ///
+    /// Returns `(value, error)` if the predicate does not hold.
+    pub fn verify_or_return<V: Validator<T>>(
+        value: T,
+        validator: &V,
+    ) -> Result<Checked<T>, (T, V::Error)> {
+        match validator.validate(&value) {
+            Ok(()) => Ok(Checked { inner: value }),
+            Err(e) => Err((value, e)),
+        }
+    }
+
+    /// Crate-internal: wrap a value whose validity this crate has just
+    /// established (e.g. `PacketSpec::decode` after running every declared
+    /// check). Not exported — external code must go through `verify`.
+    pub(crate) fn assert_valid(value: T) -> Checked<T> {
+        Checked { inner: value }
+    }
+
+    /// Consumes the witness, returning the value. The certificate is
+    /// lost; re-wrapping requires re-validation.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Maps the witnessed value through `f`, **preserving** the witness.
+    ///
+    /// Sound only when `f` preserves the validated predicate — e.g.
+    /// projecting a field out of a validated packet. The closure cannot be
+    /// checked, so this is the one place where discipline substitutes for
+    /// the type system (dependent types would demand a proof here).
+    pub fn map_preserving<U>(self, f: impl FnOnce(T) -> U) -> Checked<U> {
+        Checked {
+            inner: f(self.inner),
+        }
+    }
+}
+
+impl<T> Deref for Checked<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Checked<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Checked").field(&self.inner).finish()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Checked<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nonempty(v: &Vec<u8>) -> Result<(), &'static str> {
+        if v.is_empty() {
+            Err("empty")
+        } else {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn verify_issues_witness_only_on_success() {
+        assert!(Checked::verify(vec![1u8], &nonempty).is_ok());
+        assert_eq!(Checked::verify(Vec::<u8>::new(), &nonempty).unwrap_err(), "empty");
+    }
+
+    #[test]
+    fn verify_or_return_hands_value_back() {
+        let (v, e) = Checked::verify_or_return(Vec::<u8>::new(), &nonempty).unwrap_err();
+        assert!(v.is_empty());
+        assert_eq!(e, "empty");
+    }
+
+    #[test]
+    fn deref_exposes_value() {
+        let c = Checked::verify(vec![1u8, 2], &nonempty).unwrap();
+        assert_eq!(c.len(), 2); // via Deref
+        assert_eq!(c[0], 1); // Deref again — no inherent accessors shadow T
+        assert_eq!(c.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn map_preserving_carries_witness() {
+        let c = Checked::verify(vec![5u8], &nonempty).unwrap();
+        let first: Checked<u8> = c.map_preserving(|v| v[0]);
+        assert_eq!(*first, 5);
+    }
+
+    #[test]
+    fn debug_shows_wrapper() {
+        let c = Checked::verify(7u32, &|_: &u32| Ok::<(), ()>(())).unwrap();
+        assert_eq!(format!("{c:?}"), "Checked(7)");
+    }
+
+    #[test]
+    fn validator_trait_object_compatible() {
+        // C-OBJECT: Validator can be used as a trait object.
+        let v: &dyn Validator<u32, Error = &'static str> =
+            &|x: &u32| if *x > 0 { Ok(()) } else { Err("zero") };
+        assert!(v.validate(&1).is_ok());
+        assert!(v.validate(&0).is_err());
+    }
+}

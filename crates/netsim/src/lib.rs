@@ -1,0 +1,52 @@
+//! # netdsl-netsim — deterministic discrete-event network simulator
+//!
+//! The paper has no testbed (it is a position paper); per the reproduction
+//! plan (DESIGN.md §3, substitutions) protocols are exercised over a
+//! simulated network instead. The simulator is:
+//!
+//! * **deterministic** — all randomness comes from a seeded ChaCha stream,
+//!   event ties break on insertion order, so every run is replayable;
+//! * **impairment-complete** — links model loss, corruption (bit flips),
+//!   duplication, reordering (delay jitter) and propagation delay;
+//! * **protocol-agnostic** — endpoints exchange raw byte frames and timer
+//!   events through a mailbox interface, so the DSL runtime, the baseline
+//!   sockets-style code, and the adaptation layers all run on it unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use netdsl_netsim::{Simulator, LinkConfig, Event};
+//!
+//! let mut sim = Simulator::new(1); // seed
+//! let a = sim.add_node();
+//! let b = sim.add_node();
+//! let ab = sim.add_link(a, b, LinkConfig::reliable(5)); // 5-tick delay
+//!
+//! sim.send(ab, b"ping".to_vec());
+//! match sim.step() {
+//!     Some(Event::Frame { node, payload, .. }) => {
+//!         assert_eq!(node, b);
+//!         assert_eq!(payload, b"ping");
+//!         assert_eq!(sim.now(), 5);
+//!     }
+//!     other => panic!("expected frame, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod trace;
+
+pub use link::LinkConfig;
+pub use sim::{Event, LinkId, NodeId, Simulator, TimerToken};
+pub use stats::LinkStats;
+pub use topology::Topology;
+pub use trace::{Trace, TraceEntry};
+
+/// Virtual time, in abstract ticks.
+pub type Tick = u64;

@@ -1,0 +1,142 @@
+//! Link impairment model.
+
+use crate::Tick;
+
+/// Configuration of a unidirectional link's impairments.
+///
+/// Probabilities are in `[0, 1]`; impairments are applied independently in
+/// the order **loss → duplication → corruption → delay (+ jitter)**, which
+/// matches the usual decomposition of a radio/mobile channel (the paper's
+/// motivating environment, §1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Probability a frame is silently dropped.
+    pub loss: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a delivered frame has one random bit flipped.
+    pub corrupt: f64,
+    /// Fixed propagation delay in ticks.
+    pub delay: Tick,
+    /// Maximum extra random delay (uniform in `0..=jitter`). Jitter larger
+    /// than the inter-frame gap causes reordering.
+    pub jitter: Tick,
+}
+
+impl LinkConfig {
+    /// A perfect link with the given propagation delay.
+    pub fn reliable(delay: Tick) -> Self {
+        LinkConfig {
+            loss: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay,
+            jitter: 0,
+        }
+    }
+
+    /// A link that only loses frames (probability `loss`).
+    pub fn lossy(delay: Tick, loss: f64) -> Self {
+        LinkConfig {
+            loss,
+            ..LinkConfig::reliable(delay)
+        }
+    }
+
+    /// A harsh wireless-like channel: loss, corruption and heavy jitter.
+    pub fn harsh(delay: Tick) -> Self {
+        LinkConfig {
+            loss: 0.15,
+            duplicate: 0.02,
+            corrupt: 0.05,
+            delay,
+            jitter: delay * 2,
+        }
+    }
+
+    /// Sets the loss probability (builder style).
+    #[must_use]
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// Sets the duplication probability (builder style).
+    #[must_use]
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the corruption probability (builder style).
+    #[must_use]
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the delay jitter bound (builder style).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: Tick) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Validates that all probabilities are within `[0, 1]`.
+    pub fn is_valid(&self) -> bool {
+        let ok = |p: f64| (0.0..=1.0).contains(&p) && p.is_finite();
+        ok(self.loss) && ok(self.duplicate) && ok(self.corrupt)
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::reliable(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let r = LinkConfig::reliable(7);
+        assert_eq!(r.delay, 7);
+        assert_eq!(r.loss, 0.0);
+        assert!(r.is_valid());
+
+        let l = LinkConfig::lossy(3, 0.25);
+        assert_eq!(l.loss, 0.25);
+        assert_eq!(l.delay, 3);
+
+        let h = LinkConfig::harsh(10);
+        assert!(h.loss > 0.0 && h.corrupt > 0.0 && h.jitter > 0);
+        assert!(h.is_valid());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = LinkConfig::reliable(1)
+            .with_loss(0.1)
+            .with_duplicate(0.2)
+            .with_corrupt(0.3)
+            .with_jitter(4);
+        assert_eq!(c.loss, 0.1);
+        assert_eq!(c.duplicate, 0.2);
+        assert_eq!(c.corrupt, 0.3);
+        assert_eq!(c.jitter, 4);
+    }
+
+    #[test]
+    fn invalid_probabilities_detected() {
+        assert!(!LinkConfig::reliable(1).with_loss(1.5).is_valid());
+        assert!(!LinkConfig::reliable(1).with_corrupt(-0.1).is_valid());
+        assert!(!LinkConfig::reliable(1).with_duplicate(f64::NAN).is_valid());
+    }
+
+    #[test]
+    fn default_is_reliable_unit_delay() {
+        assert_eq!(LinkConfig::default(), LinkConfig::reliable(1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Per-link delivery statistics.
+
+/// Counters accumulated by a link over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames handed to the link by senders.
+    pub sent: u64,
+    /// Frames (including duplicates) delivered to the receiver.
+    pub delivered: u64,
+    /// Frames dropped by the loss process.
+    pub lost: u64,
+    /// Frames the duplication process copied.
+    pub duplicated: u64,
+    /// Delivered frames that suffered a bit flip.
+    pub corrupted: u64,
+}
+
+impl LinkStats {
+    /// Fraction of sent frames that were lost (0 when nothing was sent).
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+
+    /// Fraction of delivered frames that were corrupted.
+    pub fn corruption_ratio(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.corrupted as f64 / self.delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = LinkStats::default();
+        assert_eq!(s.loss_ratio(), 0.0);
+        assert_eq!(s.corruption_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = LinkStats {
+            sent: 10,
+            delivered: 8,
+            lost: 2,
+            duplicated: 0,
+            corrupted: 4,
+        };
+        assert!((s.loss_ratio() - 0.2).abs() < 1e-12);
+        assert!((s.corruption_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Multi-node topology built over a [`Simulator`].
+//!
+//! Adds the graph view that multi-hop experiments (dependable routing over
+//! untrusted relays, DESIGN.md E9) need: adjacency, link lookup by
+//! endpoint pair, and simple path enumeration.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::link::LinkConfig;
+use crate::sim::{LinkId, NodeId, Simulator};
+
+/// A directed graph of simulator nodes with link lookup by endpoints.
+#[derive(Debug, Default)]
+pub struct Topology {
+    nodes: Vec<NodeId>,
+    links: BTreeMap<(NodeId, NodeId), LinkId>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` nodes to `sim`, recording them here.
+    pub fn add_nodes(&mut self, sim: &mut Simulator, n: usize) -> Vec<NodeId> {
+        let created: Vec<NodeId> = (0..n).map(|_| sim.add_node()).collect();
+        self.nodes.extend(&created);
+        created
+    }
+
+    /// Connects `a ↔ b` with duplex links of the same configuration.
+    pub fn connect(&mut self, sim: &mut Simulator, a: NodeId, b: NodeId, config: LinkConfig) {
+        let (ab, ba) = sim.add_duplex(a, b, config);
+        self.links.insert((a, b), ab);
+        self.links.insert((b, a), ba);
+    }
+
+    /// The nodes known to this topology.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The link from `a` to `b`, if connected.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.links.get(&(a, b)).copied()
+    }
+
+    /// Out-neighbours of `a`.
+    pub fn neighbours(&self, a: NodeId) -> Vec<NodeId> {
+        self.links
+            .keys()
+            .filter(|(from, _)| *from == a)
+            .map(|(_, to)| *to)
+            .collect()
+    }
+
+    /// Shortest path (hop count) from `src` to `dst` by BFS, inclusive of
+    /// both endpoints. `None` if unreachable.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::from([src]);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.neighbours(cur) {
+                if next != src && !prev.contains_key(&next) {
+                    prev.insert(next, cur);
+                    if next == dst {
+                        let mut path = vec![dst];
+                        let mut at = dst;
+                        while let Some(&p) = prev.get(&at) {
+                            path.push(p);
+                            at = p;
+                            if at == src {
+                                break;
+                            }
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// All simple paths from `src` to `dst` up to `max_hops` hops,
+    /// lexicographically ordered by node index. Used by the multi-path
+    /// trust-routing experiment to enumerate candidate relay chains.
+    pub fn all_paths(&self, src: NodeId, dst: NodeId, max_hops: usize) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![src];
+        self.dfs_paths(src, dst, max_hops, &mut stack, &mut out);
+        out
+    }
+
+    fn dfs_paths(
+        &self,
+        cur: NodeId,
+        dst: NodeId,
+        max_hops: usize,
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if cur == dst {
+            out.push(stack.clone());
+            return;
+        }
+        if stack.len() > max_hops {
+            return;
+        }
+        for next in self.neighbours(cur) {
+            if !stack.contains(&next) {
+                stack.push(next);
+                self.dfs_paths(next, dst, max_hops, stack, out);
+                stack.pop();
+            }
+        }
+    }
+
+    /// Builds a line `a—b—c—…` of `n` nodes (the simplest relay chain).
+    pub fn line(sim: &mut Simulator, n: usize, config: LinkConfig) -> (Topology, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let nodes = topo.add_nodes(sim, n);
+        for w in nodes.windows(2) {
+            topo.connect(sim, w[0], w[1], config.clone());
+        }
+        (topo, nodes)
+    }
+
+    /// Builds `k` disjoint relay paths of `hops` intermediate nodes each
+    /// between a fresh source and destination (the multi-path topology of
+    /// experiment E9). Returns `(topology, source, destination, relays per
+    /// path)`.
+    pub fn parallel_paths(
+        sim: &mut Simulator,
+        k: usize,
+        hops: usize,
+        config: LinkConfig,
+    ) -> (Topology, NodeId, NodeId, Vec<Vec<NodeId>>) {
+        let mut topo = Topology::new();
+        let src = topo.add_nodes(sim, 1)[0];
+        let dst = topo.add_nodes(sim, 1)[0];
+        let mut paths = Vec::with_capacity(k);
+        for _ in 0..k {
+            let relays = topo.add_nodes(sim, hops);
+            let mut prev = src;
+            for &r in &relays {
+                topo.connect(sim, prev, r, config.clone());
+                prev = r;
+            }
+            topo.connect(sim, prev, dst, config.clone());
+            paths.push(relays);
+        }
+        (topo, src, dst, paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_connects_neighbours() {
+        let mut sim = Simulator::new(0);
+        let (topo, nodes) = Topology::line(&mut sim, 4, LinkConfig::reliable(1));
+        assert_eq!(nodes.len(), 4);
+        assert!(topo.link(nodes[0], nodes[1]).is_some());
+        assert!(topo.link(nodes[1], nodes[0]).is_some());
+        assert!(topo.link(nodes[0], nodes[2]).is_none());
+        assert_eq!(topo.neighbours(nodes[1]), vec![nodes[0], nodes[2]]);
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let mut sim = Simulator::new(0);
+        let (topo, nodes) = Topology::line(&mut sim, 5, LinkConfig::reliable(1));
+        let p = topo.shortest_path(nodes[0], nodes[4]).unwrap();
+        assert_eq!(p, nodes);
+        assert_eq!(topo.shortest_path(nodes[2], nodes[2]).unwrap(), vec![nodes[2]]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut sim = Simulator::new(0);
+        let mut topo = Topology::new();
+        let ns = topo.add_nodes(&mut sim, 2);
+        assert!(topo.shortest_path(ns[0], ns[1]).is_none());
+    }
+
+    #[test]
+    fn parallel_paths_are_disjoint_and_enumerable() {
+        let mut sim = Simulator::new(0);
+        let (topo, src, dst, relays) =
+            Topology::parallel_paths(&mut sim, 3, 2, LinkConfig::reliable(1));
+        assert_eq!(relays.len(), 3);
+        for path in &relays {
+            assert_eq!(path.len(), 2);
+        }
+        let all = topo.all_paths(src, dst, 4);
+        assert_eq!(all.len(), 3, "three disjoint simple paths");
+        for p in &all {
+            assert_eq!(p.first(), Some(&src));
+            assert_eq!(p.last(), Some(&dst));
+            assert_eq!(p.len(), 4, "src + 2 relays + dst");
+        }
+    }
+
+    #[test]
+    fn all_paths_respects_hop_bound() {
+        let mut sim = Simulator::new(0);
+        let (topo, src, dst, _) =
+            Topology::parallel_paths(&mut sim, 2, 3, LinkConfig::reliable(1));
+        assert!(topo.all_paths(src, dst, 2).is_empty(), "paths need 4 hops");
+        assert_eq!(topo.all_paths(src, dst, 4).len(), 2);
+    }
+
+    #[test]
+    fn frames_traverse_topology_links() {
+        let mut sim = Simulator::new(0);
+        let (topo, nodes) = Topology::line(&mut sim, 3, LinkConfig::reliable(1));
+        let l = topo.link(nodes[0], nodes[1]).unwrap();
+        sim.send(l, vec![7]);
+        match sim.step().unwrap() {
+            crate::Event::Frame { node, payload, .. } => {
+                assert_eq!(node, nodes[1]);
+                assert_eq!(payload, vec![7]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

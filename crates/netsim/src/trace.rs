@@ -1,0 +1,124 @@
+//! Event trace: a replayable record of what the network did.
+
+use crate::sim::LinkId;
+use crate::Tick;
+
+/// One recorded network-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// A frame was handed to a link.
+    Sent {
+        /// Time of transmission.
+        at: Tick,
+        /// Link used.
+        link: LinkId,
+        /// Frame size in bytes.
+        bytes: usize,
+    },
+    /// A frame reached its destination.
+    Delivered {
+        /// Time of delivery.
+        at: Tick,
+        /// Link used.
+        link: LinkId,
+        /// Frame size in bytes.
+        bytes: usize,
+    },
+    /// The loss process dropped a frame.
+    Lost {
+        /// Time of the drop.
+        at: Tick,
+        /// Link on which it occurred.
+        link: LinkId,
+    },
+    /// The corruption process flipped a bit in a frame.
+    Corrupted {
+        /// Time of the corruption.
+        at: Tick,
+        /// Link on which it occurred.
+        link: LinkId,
+    },
+}
+
+/// Append-only record of [`TraceEntry`] values.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn record(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Iterates over recorded entries in order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes handed to links (offered load).
+    pub fn bytes_sent(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                TraceEntry::Sent { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes delivered to receivers.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                TraceEntry::Delivered { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.record(TraceEntry::Sent {
+            at: 0,
+            link: LinkId(0),
+            bytes: 10,
+        });
+        t.record(TraceEntry::Delivered {
+            at: 1,
+            link: LinkId(0),
+            bytes: 10,
+        });
+        t.record(TraceEntry::Lost {
+            at: 2,
+            link: LinkId(0),
+        });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.bytes_sent(), 10);
+        assert_eq!(t.bytes_delivered(), 10);
+    }
+}

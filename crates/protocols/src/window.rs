@@ -1,0 +1,150 @@
+//! Shared frame format and statistics for the sliding-window protocols.
+//!
+//! Go-Back-N and Selective Repeat share one wire format: a kind octet, a
+//! 32-bit sequence number, a CRC-16 over the whole frame, and the
+//! payload. As with ARQ, the checksum is part of the declarative
+//! definition, so no unverified frame reaches window logic.
+
+use netdsl_core::packet::{Coverage, Len, PacketSpec, Value};
+use netdsl_core::DslError;
+use netdsl_wire::checksum::ChecksumKind;
+
+/// Frame kind: payload-carrying.
+pub const KIND_DATA: u64 = 1;
+/// Frame kind: acknowledgement.
+pub const KIND_ACK: u64 = 2;
+
+/// Builds the window-protocol frame spec:
+///
+/// ```text
+/// kind:8  seq:32  chk:16(CRC-16 whole-frame)  payload:*
+/// ```
+pub fn window_spec() -> PacketSpec {
+    PacketSpec::builder("window")
+        .enumerated("kind", 8, &[KIND_DATA, KIND_ACK])
+        .uint("seq", 32)
+        .checksum("chk", ChecksumKind::Crc16Ccitt, Coverage::Whole)
+        .bytes("payload", Len::Rest)
+        .build()
+        .expect("window spec is well-formed")
+}
+
+/// A decoded, validated window-protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowFrame {
+    /// Data packet `seq` with its payload.
+    Data {
+        /// Absolute sequence number.
+        seq: u32,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Acknowledgement. Go-Back-N reads it cumulatively ("everything up
+    /// to and including `seq` received"); Selective Repeat individually.
+    Ack {
+        /// Acknowledged sequence number.
+        seq: u32,
+    },
+}
+
+impl WindowFrame {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let spec = window_spec();
+        let mut v = spec.value();
+        match self {
+            WindowFrame::Data { seq, payload } => {
+                v.set("kind", Value::Uint(KIND_DATA));
+                v.set("seq", Value::Uint(u64::from(*seq)));
+                v.set("payload", Value::Bytes(payload.clone()));
+            }
+            WindowFrame::Ack { seq } => {
+                v.set("kind", Value::Uint(KIND_ACK));
+                v.set("seq", Value::Uint(u64::from(*seq)));
+                v.set("payload", Value::Bytes(Vec::new()));
+            }
+        }
+        spec.encode(&v).expect("well-typed frame always encodes")
+    }
+
+    /// Decodes and validates wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Checksum failures, truncation, unknown kinds.
+    pub fn decode(frame: &[u8]) -> Result<WindowFrame, DslError> {
+        let spec = window_spec();
+        let checked = spec.decode(frame)?;
+        let seq = checked.uint("seq")? as u32;
+        match checked.uint("kind")? {
+            KIND_DATA => Ok(WindowFrame::Data {
+                seq,
+                payload: checked.bytes("payload")?.to_vec(),
+            }),
+            KIND_ACK => Ok(WindowFrame::Ack { seq }),
+            other => Err(DslError::Wire(netdsl_wire::WireError::InvalidValue {
+                field: "kind",
+                value: other,
+            })),
+        }
+    }
+}
+
+/// Transfer statistics common to both window protocols.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Data frames transmitted (including retransmissions).
+    pub frames_sent: u64,
+    /// Retransmissions only.
+    pub retransmissions: u64,
+    /// Messages fully acknowledged.
+    pub delivered: u64,
+}
+
+/// Outcome of a complete window-protocol transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowOutcome {
+    /// Every message delivered in order, exactly once?
+    pub success: bool,
+    /// Virtual ticks consumed.
+    pub elapsed: u64,
+    /// Sender statistics.
+    pub stats: WindowStats,
+    /// What the receiver delivered.
+    pub delivered: Vec<Vec<u8>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let d = WindowFrame::Data {
+            seq: 0xDEAD_BEEF,
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(WindowFrame::decode(&d.encode()).unwrap(), d);
+        let a = WindowFrame::Ack { seq: 42 };
+        assert_eq!(WindowFrame::decode(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let wire = WindowFrame::Data {
+            seq: 7,
+            payload: vec![9; 16],
+        }
+        .encode();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x10;
+            assert!(WindowFrame::decode(&bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn ack_frames_are_seven_bytes() {
+        assert_eq!(WindowFrame::Ack { seq: 0 }.encode().len(), 1 + 4 + 2);
+    }
+}

@@ -1,0 +1,423 @@
+//! Generic explicit-state exploration.
+//!
+//! [`System`] is the minimal interface of a labelled transition system.
+//! Anything implementing it — a single reified machine, a sender × channel
+//! × receiver product, a typestate protocol driven symbolically — can be
+//! exhaustively explored, checked against invariants, and queried for
+//! reachability, with counter-example traces extracted on failure.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+use netdsl_core::fsm::{Config, EventId, Machine, Spec};
+
+/// A labelled transition system.
+pub trait System {
+    /// A global state (must be finitely enumerable for exhaustive runs).
+    type State: Clone + Eq + Hash + Ord;
+    /// A transition label (for counter-example readability).
+    type Label: Clone + fmt::Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// All `(label, successor)` pairs from `s`.
+    fn successors(&self, s: &Self::State) -> Vec<(Self::Label, Self::State)>;
+
+    /// `true` for states that are legitimate end points (deadlock in a
+    /// terminal state is success, not failure).
+    fn is_terminal(&self, _s: &Self::State) -> bool {
+        false
+    }
+}
+
+/// Exploration bounds, so state-space blow-ups fail loudly.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorationReport<S> {
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// Number of transitions traversed.
+    pub transitions: usize,
+    /// Non-terminal states with no successors.
+    pub deadlocks: Vec<S>,
+    /// `true` if `max_states` stopped the run early (results are then
+    /// lower bounds, not verdicts).
+    pub truncated: bool,
+}
+
+/// A path from the initial state to a property violation.
+#[derive(Debug, Clone)]
+pub struct CounterExample<S, L> {
+    /// `(label, state)` steps from the initial state; the last state is
+    /// the violating one.
+    pub path: Vec<(L, S)>,
+    /// The violating state (equal to the last path entry's state, or the
+    /// initial state if the path is empty).
+    pub state: S,
+}
+
+/// The explicit-state model checker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Explorer {
+    limits: Limits,
+}
+
+impl Explorer {
+    /// An explorer with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An explorer with custom limits.
+    pub fn with_limits(limits: Limits) -> Self {
+        Explorer { limits }
+    }
+
+    /// Breadth-first exhaustive exploration.
+    pub fn explore<Y: System>(&self, sys: &Y) -> ExplorationReport<Y::State> {
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = VecDeque::new();
+        let init = sys.initial();
+        seen.insert(init.clone());
+        queue.push_back(init);
+        let mut transitions = 0usize;
+        let mut deadlocks = Vec::new();
+        let mut truncated = false;
+        while let Some(s) = queue.pop_front() {
+            let succs = sys.successors(&s);
+            if succs.is_empty() && !sys.is_terminal(&s) {
+                deadlocks.push(s.clone());
+            }
+            for (_, next) in succs {
+                transitions += 1;
+                if !seen.contains(&next) {
+                    if seen.len() >= self.limits.max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    seen.insert(next.clone());
+                    queue.push_back(next);
+                }
+            }
+        }
+        ExplorationReport {
+            states: seen.len(),
+            transitions,
+            deadlocks,
+            truncated,
+        }
+    }
+
+    /// Checks a state invariant; returns a shortest counter-example trace
+    /// if some reachable state violates it.
+    pub fn check_invariant<Y: System>(
+        &self,
+        sys: &Y,
+        invariant: impl Fn(&Y::State) -> bool,
+    ) -> Option<CounterExample<Y::State, Y::Label>> {
+        let init = sys.initial();
+        if !invariant(&init) {
+            return Some(CounterExample {
+                path: Vec::new(),
+                state: init,
+            });
+        }
+        let mut parents: BTreeMap<Y::State, (Y::State, Y::Label)> = BTreeMap::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(init.clone());
+        queue.push_back(init.clone());
+        while let Some(s) = queue.pop_front() {
+            for (label, next) in sys.successors(&s) {
+                if seen.contains(&next) {
+                    continue;
+                }
+                if seen.len() >= self.limits.max_states {
+                    return None; // bounded: no violation found within limits
+                }
+                parents.insert(next.clone(), (s.clone(), label.clone()));
+                if !invariant(&next) {
+                    // Rebuild the path init → next.
+                    let mut path = Vec::new();
+                    let mut cur = next.clone();
+                    while cur != init {
+                        let (p, l) = parents.get(&cur).expect("parent recorded").clone();
+                        path.push((l, cur.clone()));
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(CounterExample { path, state: next });
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// `true` if from **every** reachable state some terminal state is
+    /// reachable — the paper's consistent-termination property (§3.4
+    /// item 4) generalised. Returns `None` if exploration truncated.
+    pub fn always_eventually_terminal<Y: System>(&self, sys: &Y) -> Option<bool> {
+        // Forward pass: collect reachable states and edges.
+        let mut seen = std::collections::HashSet::new();
+        let mut edges: BTreeMap<Y::State, Vec<Y::State>> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let init = sys.initial();
+        seen.insert(init.clone());
+        queue.push_back(init);
+        let mut terminals = Vec::new();
+        while let Some(s) = queue.pop_front() {
+            if sys.is_terminal(&s) {
+                terminals.push(s.clone());
+            }
+            let succs = sys.successors(&s);
+            let entry = edges.entry(s.clone()).or_default();
+            for (_, next) in succs {
+                entry.push(next.clone());
+                if !seen.contains(&next) {
+                    if seen.len() >= self.limits.max_states {
+                        return None;
+                    }
+                    seen.insert(next.clone());
+                    queue.push_back(next);
+                }
+            }
+        }
+        if terminals.is_empty() {
+            return Some(false);
+        }
+        // Backward pass over reversed edges from all terminals.
+        let mut rev: BTreeMap<Y::State, Vec<Y::State>> = BTreeMap::new();
+        for (from, tos) in &edges {
+            for to in tos {
+                rev.entry(to.clone()).or_default().push(from.clone());
+            }
+        }
+        let mut can_reach = std::collections::HashSet::new();
+        let mut queue: VecDeque<Y::State> = terminals.into_iter().collect();
+        for t in &queue {
+            can_reach.insert(t.clone());
+        }
+        while let Some(s) = queue.pop_front() {
+            if let Some(preds) = rev.get(&s) {
+                for p in preds {
+                    if can_reach.insert(p.clone()) {
+                        queue.push_back(p.clone());
+                    }
+                }
+            }
+        }
+        Some(seen.iter().all(|s| can_reach.contains(s)))
+    }
+}
+
+/// Adapts a single reified [`Spec`] as a [`System`]: states are machine
+/// [`Config`]s, labels are event ids, successors are the enabled
+/// transitions of **the interpreter itself** (uses
+/// [`Machine::enabled`] / [`Machine::apply`], so the checked semantics is
+/// executable semantics, by construction).
+#[derive(Debug, Clone, Copy)]
+pub struct SpecSystem<'s> {
+    spec: &'s Spec,
+}
+
+impl<'s> SpecSystem<'s> {
+    /// Wraps a spec.
+    pub fn new(spec: &'s Spec) -> Self {
+        SpecSystem { spec }
+    }
+
+    /// The wrapped spec.
+    pub fn spec(&self) -> &'s Spec {
+        self.spec
+    }
+}
+
+impl System for SpecSystem<'_> {
+    type State = Config;
+    type Label = EventId;
+
+    fn initial(&self) -> Config {
+        Machine::new(self.spec).config().clone()
+    }
+
+    fn successors(&self, s: &Config) -> Vec<(EventId, Config)> {
+        let mut out = Vec::new();
+        for e in 0..self.spec.events().len() {
+            let event = EventId(e);
+            let mut m = Machine::at(self.spec, s.clone()).expect("reachable configs are valid");
+            if m.apply(event).is_ok() {
+                out.push((event, m.config().clone()));
+            }
+        }
+        out
+    }
+
+    fn is_terminal(&self, s: &Config) -> bool {
+        self.spec.states()[s.state.0].terminal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdsl_core::fsm::paper_sender_spec;
+
+    /// A tiny hand-rolled system: counter 0..n with +1 edges, terminal at n.
+    struct Counter {
+        n: u32,
+    }
+
+    impl System for Counter {
+        type State = u32;
+        type Label = &'static str;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn successors(&self, s: &u32) -> Vec<(&'static str, u32)> {
+            if *s < self.n {
+                vec![("inc", s + 1)]
+            } else {
+                vec![]
+            }
+        }
+
+        fn is_terminal(&self, s: &u32) -> bool {
+            *s == self.n
+        }
+    }
+
+    #[test]
+    fn explore_counts_states_and_transitions() {
+        let r = Explorer::new().explore(&Counter { n: 10 });
+        assert_eq!(r.states, 11);
+        assert_eq!(r.transitions, 10);
+        assert!(r.deadlocks.is_empty(), "terminal end is not a deadlock");
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn deadlock_detected_when_not_terminal() {
+        struct Dead;
+        impl System for Dead {
+            type State = u8;
+            type Label = ();
+            fn initial(&self) -> u8 {
+                0
+            }
+            fn successors(&self, s: &u8) -> Vec<((), u8)> {
+                if *s == 0 {
+                    vec![((), 1)]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let r = Explorer::new().explore(&Dead);
+        assert_eq!(r.deadlocks, vec![1]);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let r = Explorer::with_limits(Limits { max_states: 5 }).explore(&Counter { n: 100 });
+        assert!(r.truncated);
+        assert_eq!(r.states, 5);
+    }
+
+    #[test]
+    fn invariant_violation_yields_shortest_trace() {
+        let cex = Explorer::new()
+            .check_invariant(&Counter { n: 10 }, |s| *s < 7)
+            .expect("7 is reachable");
+        assert_eq!(cex.state, 7);
+        assert_eq!(cex.path.len(), 7, "shortest path has 7 steps");
+        assert!(Explorer::new()
+            .check_invariant(&Counter { n: 10 }, |s| *s <= 10)
+            .is_none());
+    }
+
+    #[test]
+    fn initial_state_can_violate() {
+        let cex = Explorer::new()
+            .check_invariant(&Counter { n: 3 }, |s| *s != 0)
+            .unwrap();
+        assert!(cex.path.is_empty());
+        assert_eq!(cex.state, 0);
+    }
+
+    #[test]
+    fn termination_reachability() {
+        assert_eq!(
+            Explorer::new().always_eventually_terminal(&Counter { n: 4 }),
+            Some(true)
+        );
+        // A system with an inescapable non-terminal loop fails.
+        struct Trap;
+        impl System for Trap {
+            type State = u8;
+            type Label = ();
+            fn initial(&self) -> u8 {
+                0
+            }
+            fn successors(&self, s: &u8) -> Vec<((), u8)> {
+                match s {
+                    0 => vec![((), 1), ((), 2)],
+                    1 => vec![],      // terminal
+                    _ => vec![((), 2)], // 2 loops forever
+                }
+            }
+            fn is_terminal(&self, s: &u8) -> bool {
+                *s == 1
+            }
+        }
+        assert_eq!(Explorer::new().always_eventually_terminal(&Trap), Some(false));
+    }
+
+    #[test]
+    fn spec_system_explores_paper_sender() {
+        // seq ∈ 0..=3 → 4 control states × 4 valuations, all reachable
+        // except where control restricts: Ready/Wait/Timeout/Sent each
+        // with 4 seq values = 16 configurations.
+        let spec = paper_sender_spec(3);
+        let sys = SpecSystem::new(&spec);
+        let r = Explorer::new().explore(&sys);
+        assert_eq!(r.states, 16);
+        assert!(r.deadlocks.is_empty(), "Sent is terminal; everything else moves");
+        assert_eq!(
+            Explorer::new().always_eventually_terminal(&sys),
+            Some(true),
+            "the sender can always finish"
+        );
+    }
+
+    #[test]
+    fn spec_system_invariant_seq_in_domain() {
+        let spec = paper_sender_spec(3);
+        let sys = SpecSystem::new(&spec);
+        assert!(
+            Explorer::new()
+                .check_invariant(&sys, |c| c.vars[0] <= 3)
+                .is_none(),
+            "domain wrapping keeps seq within bounds"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # netdsl-verify — model checking and test generation for netdsl
+//!
+//! The paper (§3.3) criticises conventional protocol verification for
+//! checking a *model* that is separate from the implementation: "there may
+//! be errors in transcription between the model and the implementation".
+//! Because netdsl state machines are **reified values**
+//! ([`netdsl_core::fsm::Spec`]) executed directly by the interpreter, this
+//! crate checks *the same object that runs* — no transcription step exists.
+//!
+//! Three layers:
+//!
+//! * [`checker`] — a generic explicit-state explorer over any [`System`]
+//!   (a labelled transition system); used both for single machines and for
+//!   protocol compositions (sender × channel × receiver);
+//! * [`props`] — the paper's properties as checkable verdicts over a
+//!   `Spec`: **soundness** (the interpreter refuses exactly the disabled
+//!   events), **completeness/deadlock-freedom** (every reachable
+//!   non-terminal configuration handles at least one event),
+//!   **determinism**, and **consistent termination** (§3.4 item 4);
+//! * [`testgen`] — automatic construction of behavioural test cases from
+//!   the definition (§2.3), with transition-coverage guarantees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod props;
+pub mod testgen;
+
+pub use checker::{CounterExample, ExplorationReport, Explorer, Limits, System};
+pub use props::{SpecReport, Verdict};
+pub use testgen::{coverage_of, random_suite, transition_cover, TestCase};

@@ -1,0 +1,304 @@
+//! The paper's correctness properties as checkable verdicts.
+//!
+//! §3.3 claims the DSL lets us "ensure at compile-time both that only
+//! valid transitions can be executed (**soundness**), and that all valid
+//! transitions are handled (**completeness**)". For the reified embedding
+//! these become *checked* (rather than typed) properties, established by
+//! exhaustive exploration of the interpreter itself:
+//!
+//! * **soundness** — for every reachable configuration and every event,
+//!   [`Machine::apply`] succeeds *iff* the event has an enabled
+//!   transition; rejected events leave the machine untouched;
+//! * **determinism** — no configuration enables two transitions for one
+//!   event;
+//! * **completeness / deadlock-freedom** — every reachable non-terminal
+//!   configuration handles at least one event;
+//! * **consistent termination** — from every reachable configuration a
+//!   terminal state remains reachable (§3.4 item 4).
+
+use netdsl_core::fsm::{Config, EventId, Machine, Spec};
+
+use crate::checker::{Explorer, Limits, SpecSystem, System};
+
+/// Outcome of one property check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Property holds over the whole reachable space.
+    Holds,
+    /// Property fails; carries a human-readable witness description.
+    Fails(String),
+    /// Exploration hit its state limit before finishing.
+    Unknown,
+}
+
+impl Verdict {
+    /// `true` only for [`Verdict::Holds`].
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+}
+
+/// Full property report for a spec.
+#[derive(Debug, Clone)]
+pub struct SpecReport {
+    /// Name of the spec checked.
+    pub spec: String,
+    /// Distinct reachable configurations.
+    pub states: usize,
+    /// Transitions traversed during exploration.
+    pub transitions: usize,
+    /// Soundness verdict (see module docs).
+    pub soundness: Verdict,
+    /// Determinism verdict.
+    pub determinism: Verdict,
+    /// Completeness (deadlock-freedom) verdict.
+    pub completeness: Verdict,
+    /// Consistent-termination verdict ([`Verdict::Unknown`] when the spec
+    /// declares no terminal states — nothing to terminate into).
+    pub termination: Verdict,
+}
+
+impl SpecReport {
+    /// `true` when every applicable property holds.
+    pub fn all_hold(&self) -> bool {
+        self.soundness.holds()
+            && self.determinism.holds()
+            && self.completeness.holds()
+            && (self.termination.holds() || matches!(self.termination, Verdict::Unknown))
+    }
+}
+
+/// Enumerates every reachable configuration of `spec` (BFS over the
+/// interpreter's own semantics).
+pub fn reachable_configs(spec: &Spec, limits: Limits) -> Vec<Config> {
+    let sys = SpecSystem::new(spec);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    let init = sys.initial();
+    seen.insert(init.clone());
+    queue.push_back(init);
+    while let Some(c) = queue.pop_front() {
+        for (_, next) in sys.successors(&c) {
+            if !seen.contains(&next) && seen.len() < limits.max_states {
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Runs every property check over `spec`.
+pub fn check_spec(spec: &Spec, limits: Limits) -> SpecReport {
+    let sys = SpecSystem::new(spec);
+    let explorer = Explorer::with_limits(limits);
+    let exploration = explorer.explore(&sys);
+    let configs = reachable_configs(spec, limits);
+    let truncated = exploration.truncated;
+
+    // Soundness + determinism in one sweep over (config, event).
+    let mut soundness = Verdict::Holds;
+    let mut determinism = Verdict::Holds;
+    'outer: for c in &configs {
+        for e in 0..spec.events().len() {
+            let event = EventId(e);
+            let m = Machine::at(spec, c.clone()).expect("reachable configs valid");
+            let enabled = match m.enabled(event) {
+                Ok(v) => v,
+                Err(e) => {
+                    soundness = Verdict::Fails(format!("guard evaluation failed: {e}"));
+                    break 'outer;
+                }
+            };
+            if enabled.len() > 1 {
+                determinism = Verdict::Fails(format!(
+                    "config {c} enables {} transitions on `{}`",
+                    enabled.len(),
+                    spec.event_name(event)
+                ));
+            }
+            // The interpreter must accept iff exactly one is enabled, and
+            // must leave the machine untouched on refusal.
+            let mut probe = Machine::at(spec, c.clone()).expect("valid");
+            let before = probe.config().clone();
+            let applied = probe.apply(event);
+            match (enabled.len(), applied) {
+                (1, Ok(_)) => {}
+                (0, Err(_)) => {
+                    if probe.config() != &before {
+                        soundness = Verdict::Fails(format!(
+                            "refused event `{}` mutated config {c}",
+                            spec.event_name(event)
+                        ));
+                        break 'outer;
+                    }
+                }
+                (n, r) => {
+                    if n <= 1 {
+                        soundness = Verdict::Fails(format!(
+                            "interpreter disagreed with enabled-set at {c} on `{}` ({n} enabled, result {r:?})",
+                            spec.event_name(event)
+                        ));
+                        break 'outer;
+                    }
+                    // n > 1 handled by the determinism verdict.
+                }
+            }
+        }
+    }
+
+    // Completeness: no non-terminal deadlocks.
+    let completeness = if truncated {
+        Verdict::Unknown
+    } else if exploration.deadlocks.is_empty() {
+        Verdict::Holds
+    } else {
+        Verdict::Fails(format!(
+            "{} reachable non-terminal configuration(s) handle no event, e.g. {}",
+            exploration.deadlocks.len(),
+            exploration.deadlocks[0]
+        ))
+    };
+
+    // Consistent termination.
+    let has_terminals = spec.states().iter().any(|s| s.terminal);
+    let termination = if !has_terminals {
+        Verdict::Unknown
+    } else {
+        match explorer.always_eventually_terminal(&sys) {
+            None => Verdict::Unknown,
+            Some(true) => Verdict::Holds,
+            Some(false) => Verdict::Fails(
+                "some reachable configuration cannot reach any terminal state".into(),
+            ),
+        }
+    };
+
+    if truncated {
+        soundness = Verdict::Unknown;
+        determinism = Verdict::Unknown;
+    }
+
+    SpecReport {
+        spec: spec.name().to_string(),
+        states: exploration.states,
+        transitions: exploration.transitions,
+        soundness,
+        determinism,
+        completeness,
+        termination,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdsl_core::fsm::{paper_receiver_spec, paper_sender_spec, Expr};
+
+    #[test]
+    fn paper_sender_satisfies_all_properties() {
+        let spec = paper_sender_spec(7);
+        let report = check_spec(&spec, Limits::default());
+        assert_eq!(report.states, 32, "4 control states × 8 seq values");
+        assert!(report.soundness.holds(), "{:?}", report.soundness);
+        assert!(report.determinism.holds(), "{:?}", report.determinism);
+        assert!(report.completeness.holds(), "{:?}", report.completeness);
+        assert!(report.termination.holds(), "{:?}", report.termination);
+        assert!(report.all_hold());
+    }
+
+    #[test]
+    fn paper_receiver_has_no_terminals_so_termination_unknown() {
+        let spec = paper_receiver_spec(7);
+        let report = check_spec(&spec, Limits::default());
+        assert!(report.soundness.holds());
+        assert_eq!(report.termination, Verdict::Unknown);
+        assert!(report.all_hold(), "unknown termination is tolerated");
+    }
+
+    #[test]
+    fn nondeterministic_spec_flagged() {
+        let spec = Spec::builder("nd")
+            .state("A")
+            .state("B")
+            .event("GO")
+            .transition("A", "GO", "B")
+            .transition("A", "GO", "A")
+            .build()
+            .unwrap();
+        let report = check_spec(&spec, Limits::default());
+        assert!(matches!(report.determinism, Verdict::Fails(_)));
+        assert!(!report.all_hold());
+    }
+
+    #[test]
+    fn deadlocked_spec_flagged_incomplete() {
+        let spec = Spec::builder("dead")
+            .state("A")
+            .state("Stuck")
+            .event("GO")
+            .transition("A", "GO", "Stuck")
+            .build()
+            .unwrap();
+        let report = check_spec(&spec, Limits::default());
+        assert!(matches!(report.completeness, Verdict::Fails(_)));
+    }
+
+    #[test]
+    fn unreachable_terminal_fails_termination() {
+        let spec = Spec::builder("trap")
+            .state("A")
+            .state("Loop")
+            .terminal("Done")
+            .event("GO")
+            .event("SPIN")
+            .transition("A", "GO", "Loop")
+            .transition("Loop", "SPIN", "Loop")
+            .build()
+            .unwrap();
+        let report = check_spec(&spec, Limits::default());
+        assert!(matches!(report.termination, Verdict::Fails(_)));
+    }
+
+    #[test]
+    fn guarded_spec_counts_only_reachable_valuations() {
+        // x only ever increments to 2 (guard stops there), so although the
+        // domain is 0..=10, only 3 valuations are reachable.
+        let spec = Spec::builder("g")
+            .state("A")
+            .event("INC")
+            .var("x", 10, 0)
+            .transition_full(
+                "A",
+                "INC",
+                "A",
+                Some(Expr::Lt(Box::new(Expr::var("x")), Box::new(Expr::Const(2)))),
+                vec![(
+                    "x".to_string(),
+                    Expr::Add(Box::new(Expr::var("x")), Box::new(Expr::Const(1))),
+                )],
+            )
+            .build()
+            .unwrap();
+        let report = check_spec(&spec, Limits::default());
+        assert_eq!(report.states, 3);
+        // x = 2 handles no event → completeness fails (deliberate: shows
+        // the checker catching an unhandled-but-reachable configuration).
+        assert!(matches!(report.completeness, Verdict::Fails(_)));
+    }
+
+    #[test]
+    fn truncation_degrades_to_unknown() {
+        let spec = paper_sender_spec(255);
+        let report = check_spec(&spec, Limits { max_states: 10 });
+        assert_eq!(report.soundness, Verdict::Unknown);
+        assert_eq!(report.completeness, Verdict::Unknown);
+    }
+
+    #[test]
+    fn reachable_configs_enumerates_exactly() {
+        let spec = paper_sender_spec(1);
+        let configs = reachable_configs(&spec, Limits::default());
+        assert_eq!(configs.len(), 8, "4 control states × 2 seq values");
+    }
+}

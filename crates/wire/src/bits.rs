@@ -1,0 +1,448 @@
+//! MSB-first bit-stream reader and writer.
+//!
+//! Network headers are defined in *network bit order*: the first bit on the
+//! wire is the most significant bit of the first byte. [`BitReader`] and
+//! [`BitWriter`] implement exactly that convention, which is what the ASCII
+//! packet pictures of RFCs (and Figure 1 of the paper) denote.
+
+use crate::error::WireError;
+
+/// Reads unsigned integers of arbitrary width (1..=64 bits) from a byte
+/// slice, MSB first.
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_wire::BitReader;
+/// # fn main() -> Result<(), netdsl_wire::WireError> {
+/// let mut r = BitReader::new(&[0b1010_0001, 0xFF]);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bits(5)?, 0b0_0001);
+/// assert_eq!(r.read_bits(8)?, 0xFF);
+/// assert!(r.is_empty());
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit position from the start of `data`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`, positioned at the first bit.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Total number of bits in the underlying slice.
+    pub fn total_bits(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Number of bits not yet consumed.
+    pub fn remaining_bits(&self) -> usize {
+        self.total_bits() - self.pos
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_position(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` when every bit has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining_bits() == 0
+    }
+
+    /// `true` when the read position lies on a byte boundary.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.pos % 8 == 0
+    }
+
+    /// Reads `width` bits (1..=64) as an unsigned big-endian integer.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::WidthTooLarge`] if `width > 64` or `width == 0`;
+    /// * [`WireError::UnexpectedEnd`] if fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: usize) -> Result<u64, WireError> {
+        if width == 0 || width > 64 {
+            return Err(WireError::WidthTooLarge { width });
+        }
+        if self.remaining_bits() < width {
+            return Err(WireError::UnexpectedEnd {
+                requested: width,
+                available: self.remaining_bits(),
+            });
+        }
+        let mut out: u64 = 0;
+        let mut taken = 0;
+        while taken < width {
+            let byte_idx = self.pos / 8;
+            let bit_idx = self.pos % 8;
+            let avail_in_byte = 8 - bit_idx;
+            let take = avail_in_byte.min(width - taken);
+            let byte = self.data[byte_idx];
+            // Extract `take` bits starting at `bit_idx` (from the MSB side).
+            let shifted = byte >> (avail_in_byte - take);
+            let mask = if take == 8 { 0xFF } else { (1u8 << take) - 1 };
+            out = (out << take) | u64::from(shifted & mask);
+            self.pos += take;
+            taken += take;
+        }
+        Ok(out)
+    }
+
+    /// Reads a single bit as a boolean flag.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if the input is exhausted.
+    pub fn read_flag(&mut self) -> Result<bool, WireError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Reads `n` whole bytes; requires byte alignment.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::NotByteAligned`] if the position is mid-byte;
+    /// * [`WireError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if !self.is_byte_aligned() {
+            return Err(WireError::NotByteAligned {
+                bit_offset: self.pos % 8,
+            });
+        }
+        let start = self.pos / 8;
+        if start + n > self.data.len() {
+            return Err(WireError::UnexpectedEnd {
+                requested: n * 8,
+                available: self.remaining_bits(),
+            });
+        }
+        self.pos += n * 8;
+        Ok(&self.data[start..start + n])
+    }
+
+    /// Skips `width` bits without interpreting them.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if fewer than `width` bits remain.
+    pub fn skip_bits(&mut self, width: usize) -> Result<(), WireError> {
+        if self.remaining_bits() < width {
+            return Err(WireError::UnexpectedEnd {
+                requested: width,
+                available: self.remaining_bits(),
+            });
+        }
+        self.pos += width;
+        Ok(())
+    }
+
+    /// Returns the rest of the input as a byte slice; requires alignment.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::NotByteAligned`] if the position is mid-byte.
+    pub fn rest(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.remaining_bits() / 8;
+        self.read_bytes(n)
+    }
+}
+
+/// Writes unsigned integers of arbitrary width (1..=64 bits) MSB first,
+/// accumulating into an owned byte vector.
+///
+/// The writer keeps a partial byte internally; [`BitWriter::into_bytes`]
+/// pads the final byte with zero bits, matching the convention that header
+/// pictures always describe a whole number of bytes.
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_wire::BitWriter;
+/// # fn main() -> Result<(), netdsl_wire::WireError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3)?;
+/// w.write_bits(0b00001, 5)?;
+/// assert_eq!(w.into_bytes(), vec![0b1010_0001]);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the trailing partial byte (0..8). When 0 the
+    /// last byte of `bytes` is complete.
+    partial_bits: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with capacity for `bytes` whole bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            bytes: Vec::with_capacity(bytes),
+            partial_bits: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial_bits == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.partial_bits
+        }
+    }
+
+    /// `true` if the writer currently ends on a byte boundary.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.partial_bits == 0
+    }
+
+    /// Writes the low `width` bits of `value`, MSB first.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::WidthTooLarge`] if `width > 64` or `width == 0`;
+    /// * [`WireError::ValueOverflow`] if `value` needs more than `width` bits.
+    pub fn write_bits(&mut self, value: u64, width: usize) -> Result<(), WireError> {
+        if width == 0 || width > 64 {
+            return Err(WireError::WidthTooLarge { width });
+        }
+        if width < 64 && value >> width != 0 {
+            return Err(WireError::ValueOverflow { value, width });
+        }
+        let mut left = width;
+        while left > 0 {
+            if self.partial_bits == 0 {
+                self.bytes.push(0);
+            }
+            let space = 8 - self.partial_bits;
+            let take = space.min(left);
+            let chunk = ((value >> (left - take)) & ((1u64 << take) - 1)) as u8;
+            let last = self.bytes.last_mut().expect("partial byte exists");
+            *last |= chunk << (space - take);
+            self.partial_bits = (self.partial_bits + take) % 8;
+            left -= take;
+        }
+        Ok(())
+    }
+
+    /// Writes a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; returns `Result` for uniformity.
+    pub fn write_flag(&mut self, flag: bool) -> Result<(), WireError> {
+        self.write_bits(u64::from(flag), 1)
+    }
+
+    /// Appends whole bytes; requires byte alignment.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::NotByteAligned`] if the writer ends mid-byte.
+    pub fn write_bytes(&mut self, data: &[u8]) -> Result<(), WireError> {
+        if !self.is_byte_aligned() {
+            return Err(WireError::NotByteAligned {
+                bit_offset: self.partial_bits,
+            });
+        }
+        self.bytes.extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.partial_bits = 0;
+    }
+
+    /// Finishes the stream, zero-padding any trailing partial byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the bytes written so far (including any partial final byte).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_across_byte_boundaries() {
+        let mut r = BitReader::new(&[0xAB, 0xCD, 0xEF]);
+        assert_eq!(r.read_bits(12).unwrap(), 0xABC);
+        assert_eq!(r.read_bits(12).unwrap(), 0xDEF);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn read_full_64_bits() {
+        let data = 0xDEAD_BEEF_CAFE_F00Du64.to_be_bytes();
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits(64).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn read_too_many_bits_fails() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(
+            r.read_bits(9),
+            Err(WireError::UnexpectedEnd {
+                requested: 9,
+                available: 8
+            })
+        );
+    }
+
+    #[test]
+    fn zero_and_oversize_width_rejected() {
+        let mut r = BitReader::new(&[0xFF; 16]);
+        assert_eq!(r.read_bits(0), Err(WireError::WidthTooLarge { width: 0 }));
+        assert_eq!(r.read_bits(65), Err(WireError::WidthTooLarge { width: 65 }));
+        let mut w = BitWriter::new();
+        assert_eq!(w.write_bits(0, 0), Err(WireError::WidthTooLarge { width: 0 }));
+        assert_eq!(
+            w.write_bits(0, 65),
+            Err(WireError::WidthTooLarge { width: 65 })
+        );
+    }
+
+    #[test]
+    fn flags_read_in_order() {
+        let mut r = BitReader::new(&[0b1011_0000]);
+        assert!(r.read_flag().unwrap());
+        assert!(!r.read_flag().unwrap());
+        assert!(r.read_flag().unwrap());
+        assert!(r.read_flag().unwrap());
+    }
+
+    #[test]
+    fn byte_read_requires_alignment() {
+        let mut r = BitReader::new(&[0xAA, 0xBB]);
+        r.read_bits(4).unwrap();
+        assert_eq!(
+            r.read_bytes(1),
+            Err(WireError::NotByteAligned { bit_offset: 4 })
+        );
+        r.read_bits(4).unwrap();
+        assert_eq!(r.read_bytes(1).unwrap(), &[0xBB]);
+    }
+
+    #[test]
+    fn skip_moves_position() {
+        let mut r = BitReader::new(&[0xFF, 0x0F]);
+        r.skip_bits(12).unwrap();
+        assert_eq!(r.read_bits(4).unwrap(), 0xF);
+        assert!(r.skip_bits(1).is_err());
+    }
+
+    #[test]
+    fn rest_returns_remaining_bytes() {
+        let mut r = BitReader::new(&[1, 2, 3, 4]);
+        r.read_bytes(1).unwrap();
+        assert_eq!(r.rest().unwrap(), &[2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn write_overflow_detected() {
+        let mut w = BitWriter::new();
+        assert_eq!(
+            w.write_bits(0x10, 4),
+            Err(WireError::ValueOverflow {
+                value: 0x10,
+                width: 4
+            })
+        );
+    }
+
+    #[test]
+    fn writer_pads_final_byte_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2).unwrap();
+        assert_eq!(w.into_bytes(), vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn write_bytes_requires_alignment() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1).unwrap();
+        assert_eq!(
+            w.write_bytes(&[0xAA]),
+            Err(WireError::NotByteAligned { bit_offset: 1 })
+        );
+        w.align_to_byte();
+        w.write_bytes(&[0xAA]).unwrap();
+        assert_eq!(w.into_bytes(), vec![0b1000_0000, 0xAA]);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3).unwrap();
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 5).unwrap();
+        assert_eq!(w.bit_len(), 8);
+        assert!(w.is_byte_aligned());
+    }
+
+    proptest! {
+        /// Writing a sequence of (value, width) fields then reading the
+        /// same widths back yields the original values — the fundamental
+        /// round-trip law every codec relies on.
+        #[test]
+        fn roundtrip_bits(fields in proptest::collection::vec((any::<u64>(), 1usize..=64), 1..32)) {
+            let mut w = BitWriter::new();
+            let mut expected = Vec::new();
+            for (v, width) in &fields {
+                let masked = if *width == 64 { *v } else { v & ((1u64 << width) - 1) };
+                w.write_bits(masked, *width).unwrap();
+                expected.push((masked, *width));
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for (v, width) in expected {
+                prop_assert_eq!(r.read_bits(width).unwrap(), v);
+            }
+        }
+
+        /// The writer never produces more bytes than needed.
+        #[test]
+        fn writer_length_is_minimal(widths in proptest::collection::vec(1usize..=64, 1..32)) {
+            let mut w = BitWriter::new();
+            let mut total = 0usize;
+            for width in widths {
+                w.write_bits(0, width).unwrap();
+                total += width;
+            }
+            prop_assert_eq!(w.into_bytes().len(), total.div_ceil(8));
+        }
+
+        /// Reading described widths consumes exactly their sum.
+        #[test]
+        fn reader_position_advances_exactly(widths in proptest::collection::vec(1usize..=16, 1..16)) {
+            let total: usize = widths.iter().sum();
+            let data = vec![0xA5u8; total.div_ceil(8)];
+            let mut r = BitReader::new(&data);
+            for w in &widths {
+                r.read_bits(*w).unwrap();
+            }
+            prop_assert_eq!(r.bit_position(), total);
+        }
+    }
+}

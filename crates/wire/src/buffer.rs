@@ -1,0 +1,355 @@
+//! Growable wire buffer and reading cursor.
+//!
+//! [`WireBuffer`] accumulates an outgoing frame; [`ReadCursor`] walks an
+//! incoming one byte-wise. Both are thin, allocation-conscious layers over
+//! [`bytes`] so larger payloads can be sliced without copying.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::endian::{self, Endianness};
+use crate::error::WireError;
+
+/// An append-only frame under construction.
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_wire::WireBuffer;
+/// use netdsl_wire::endian::Endianness;
+///
+/// let mut buf = WireBuffer::new();
+/// buf.put_u8(0x45);
+/// buf.put_u16(20, Endianness::Big);
+/// assert_eq!(buf.as_slice(), &[0x45, 0x00, 0x14]);
+/// let frame = buf.freeze();
+/// assert_eq!(frame.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WireBuffer {
+    inner: BytesMut,
+}
+
+impl WireBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer with the given byte capacity pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireBuffer {
+            inner: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.inner.extend_from_slice(&[v]);
+    }
+
+    /// Appends a 16-bit integer in the given byte order.
+    pub fn put_u16(&mut self, v: u16, endian: Endianness) {
+        let mut tmp = Vec::with_capacity(2);
+        endian::write_u16(&mut tmp, v, endian);
+        self.inner.extend_from_slice(&tmp);
+    }
+
+    /// Appends a 32-bit integer in the given byte order.
+    pub fn put_u32(&mut self, v: u32, endian: Endianness) {
+        let mut tmp = Vec::with_capacity(4);
+        endian::write_u32(&mut tmp, v, endian);
+        self.inner.extend_from_slice(&tmp);
+    }
+
+    /// Appends a 64-bit integer in the given byte order.
+    pub fn put_u64(&mut self, v: u64, endian: Endianness) {
+        let mut tmp = Vec::with_capacity(8);
+        endian::write_u64(&mut tmp, v, endian);
+        self.inner.extend_from_slice(&tmp);
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.inner.extend_from_slice(data);
+    }
+
+    /// Overwrites `len` bytes at `offset` (used to patch checksum/length
+    /// fields after the payload is known).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if `offset + data.len()` exceeds the
+    /// buffer.
+    pub fn patch(&mut self, offset: usize, data: &[u8]) -> Result<(), WireError> {
+        if offset + data.len() > self.inner.len() {
+            return Err(WireError::UnexpectedEnd {
+                requested: (offset + data.len()) * 8,
+                available: self.inner.len() * 8,
+            });
+        }
+        self.inner[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner
+    }
+
+    /// Finishes the frame as an immutable, cheaply-cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        self.inner.freeze()
+    }
+
+    /// Finishes the frame as an owned `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner.to_vec()
+    }
+}
+
+impl AsRef<[u8]> for WireBuffer {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for WireBuffer {
+    fn from(v: Vec<u8>) -> Self {
+        WireBuffer {
+            inner: BytesMut::from(&v[..]),
+        }
+    }
+}
+
+/// A byte-wise reading cursor over a received frame.
+///
+/// # Examples
+///
+/// ```
+/// use netdsl_wire::ReadCursor;
+/// use netdsl_wire::endian::Endianness;
+///
+/// # fn main() -> Result<(), netdsl_wire::WireError> {
+/// let mut c = ReadCursor::new(&[0x45, 0x00, 0x14, 0xAA]);
+/// assert_eq!(c.take_u8()?, 0x45);
+/// assert_eq!(c.take_u16(Endianness::Big)?, 0x0014);
+/// assert_eq!(c.take_slice(1)?, &[0xAA]);
+/// assert!(c.is_empty());
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ReadCursor<'a> {
+    /// Creates a cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ReadCursor { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` when all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn ensure(&self, n: usize) -> Result<(), WireError> {
+        if self.remaining() < n {
+            Err(WireError::UnexpectedEnd {
+                requested: n * 8,
+                available: self.remaining() * 8,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if the cursor is exhausted.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        self.ensure(1)?;
+        let v = self.data[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Consumes a 16-bit integer.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if fewer than 2 bytes remain.
+    pub fn take_u16(&mut self, endian: Endianness) -> Result<u16, WireError> {
+        self.ensure(2)?;
+        let v = endian::read_u16(&self.data[self.pos..], endian)?;
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Consumes a 32-bit integer.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if fewer than 4 bytes remain.
+    pub fn take_u32(&mut self, endian: Endianness) -> Result<u32, WireError> {
+        self.ensure(4)?;
+        let v = endian::read_u32(&self.data[self.pos..], endian)?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Consumes a 64-bit integer.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if fewer than 8 bytes remain.
+    pub fn take_u64(&mut self, endian: Endianness) -> Result<u64, WireError> {
+        self.ensure(8)?;
+        let v = endian::read_u64(&self.data[self.pos..], endian)?;
+        self.pos += 8;
+        Ok(v)
+    }
+
+    /// Consumes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn take_slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.ensure(n)?;
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consumes and returns everything left.
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+
+    /// Peeks at the next byte without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if the cursor is exhausted.
+    pub fn peek_u8(&self) -> Result<u8, WireError> {
+        self.ensure(1)?;
+        Ok(self.data[self.pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buffer_accumulates_in_order() {
+        let mut b = WireBuffer::new();
+        b.put_u8(1);
+        b.put_u16(0x0203, Endianness::Big);
+        b.put_u32(0x0405_0607, Endianness::Big);
+        b.put_slice(&[8, 9]);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(b.len(), 9);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn patch_rewrites_in_place() {
+        let mut b = WireBuffer::new();
+        b.put_u32(0, Endianness::Big);
+        b.put_u8(0xEE);
+        b.patch(1, &[0xAB, 0xCD]).unwrap();
+        assert_eq!(b.as_slice(), &[0, 0xAB, 0xCD, 0, 0xEE]);
+    }
+
+    #[test]
+    fn patch_out_of_range_errors() {
+        let mut b = WireBuffer::new();
+        b.put_u8(0);
+        assert!(b.patch(1, &[1]).is_err());
+        assert!(b.patch(0, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let mut b = WireBuffer::with_capacity(4);
+        b.put_u32(0xDEAD_BEEF, Endianness::Big);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn cursor_reads_in_order_and_errors_at_end() {
+        let mut c = ReadCursor::new(&[1, 2, 3]);
+        assert_eq!(c.peek_u8().unwrap(), 1);
+        assert_eq!(c.take_u8().unwrap(), 1);
+        assert_eq!(c.take_u16(Endianness::Big).unwrap(), 0x0203);
+        assert!(c.take_u8().is_err());
+        assert!(c.peek_u8().is_err());
+    }
+
+    #[test]
+    fn take_rest_empties_cursor() {
+        let mut c = ReadCursor::new(&[1, 2, 3, 4]);
+        c.take_u8().unwrap();
+        assert_eq!(c.take_rest(), &[2, 3, 4]);
+        assert!(c.is_empty());
+        assert_eq!(c.take_rest(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let b = WireBuffer::from(vec![9, 8, 7]);
+        assert_eq!(b.into_vec(), vec![9, 8, 7]);
+    }
+
+    proptest! {
+        /// Everything put into a buffer comes back out of a cursor.
+        #[test]
+        fn buffer_cursor_roundtrip(
+            a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(),
+            tail in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let mut buf = WireBuffer::new();
+            buf.put_u8(a);
+            buf.put_u16(b, Endianness::Big);
+            buf.put_u32(c, Endianness::Little);
+            buf.put_u64(d, Endianness::Big);
+            buf.put_slice(&tail);
+            let bytes = buf.into_vec();
+            let mut cur = ReadCursor::new(&bytes);
+            prop_assert_eq!(cur.take_u8().unwrap(), a);
+            prop_assert_eq!(cur.take_u16(Endianness::Big).unwrap(), b);
+            prop_assert_eq!(cur.take_u32(Endianness::Little).unwrap(), c);
+            prop_assert_eq!(cur.take_u64(Endianness::Big).unwrap(), d);
+            prop_assert_eq!(cur.take_rest(), &tail[..]);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Checksum and CRC algorithms used by protocol definitions.
+//!
+//! The paper's ARQ example (§3.4) hinges on a `check : Byte → List Byte →
+//! Byte` function whose result is embedded in the packet and verified on
+//! receipt; [`arq_check`] is that function. The remaining algorithms are the
+//! ones real header formats use and that the packet DSL exposes as
+//! [`ChecksumKind`] field transforms:
+//!
+//! * [`internet_checksum`] — RFC 1071 ones'-complement sum (IPv4, UDP, TCP);
+//! * [`fletcher16`] / [`fletcher32`] — position-sensitive sums (OSI TP4);
+//! * [`adler32`] — zlib's checksum;
+//! * [`crc16_ccitt`] / [`crc32_ieee`] — table-driven CRCs (HDLC, Ethernet).
+
+/// Identifies a checksum algorithm in a declarative packet description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ChecksumKind {
+    /// The paper's single-byte ARQ checksum ([`arq_check`]).
+    Arq,
+    /// RFC 1071 16-bit ones'-complement Internet checksum.
+    Internet,
+    /// Fletcher-16.
+    Fletcher16,
+    /// Fletcher-32.
+    Fletcher32,
+    /// Adler-32.
+    Adler32,
+    /// CRC-16/CCITT (polynomial 0x1021, init 0xFFFF).
+    Crc16Ccitt,
+    /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+    Crc32Ieee,
+}
+
+impl ChecksumKind {
+    /// Width of the checksum value in bits.
+    pub fn width_bits(self) -> usize {
+        match self {
+            ChecksumKind::Arq => 8,
+            ChecksumKind::Internet | ChecksumKind::Fletcher16 | ChecksumKind::Crc16Ccitt => 16,
+            ChecksumKind::Fletcher32 | ChecksumKind::Adler32 | ChecksumKind::Crc32Ieee => 32,
+        }
+    }
+
+    /// Computes this checksum over `data`, widened to `u64`.
+    pub fn compute(self, data: &[u8]) -> u64 {
+        match self {
+            ChecksumKind::Arq => u64::from(arq_check(0, data)),
+            ChecksumKind::Internet => u64::from(internet_checksum(data)),
+            ChecksumKind::Fletcher16 => u64::from(fletcher16(data)),
+            ChecksumKind::Fletcher32 => u64::from(fletcher32(data)),
+            ChecksumKind::Adler32 => u64::from(adler32(data)),
+            ChecksumKind::Crc16Ccitt => u64::from(crc16_ccitt(data)),
+            ChecksumKind::Crc32Ieee => u64::from(crc32_ieee(data)),
+        }
+    }
+}
+
+/// The paper's ARQ checksum: `check seq data`, a single byte combining the
+/// sequence number and payload.
+///
+/// Defined as the ones'-complement of the byte-wise ones'-complement sum of
+/// the sequence number and every payload byte, so single-bit errors and
+/// byte reorderings with carry effects are detected while staying cheap
+/// enough for the worked example.
+pub fn arq_check(seq: u8, data: &[u8]) -> u8 {
+    let mut sum: u16 = u16::from(seq);
+    for &b in data {
+        sum += u16::from(b);
+        // Fold the carry back in (ones'-complement addition).
+        sum = (sum & 0xFF) + (sum >> 8);
+    }
+    sum = (sum & 0xFF) + (sum >> 8);
+    !(sum as u8)
+}
+
+/// Verifies the paper's ARQ checksum.
+pub fn arq_verify(seq: u8, data: &[u8], carried: u8) -> bool {
+    arq_check(seq, data) == carried
+}
+
+/// RFC 1071 Internet checksum over `data` (odd trailing byte zero-padded).
+///
+/// Returns the ones'-complement of the ones'-complement 16-bit sum, i.e.
+/// the value actually placed in IPv4/UDP/TCP checksum fields.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// The 16-bit ones'-complement sum *without* the final complement.
+///
+/// Exposed separately because incremental-update tricks (RFC 1624) and
+/// pseudo-header folding need the raw sum.
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Fletcher-16 checksum (modulo 255).
+pub fn fletcher16(data: &[u8]) -> u16 {
+    let (mut a, mut b): (u16, u16) = (0, 0);
+    for &byte in data {
+        a = (a + u16::from(byte)) % 255;
+        b = (b + a) % 255;
+    }
+    (b << 8) | a
+}
+
+/// Fletcher-32 checksum over 16-bit words (odd trailing byte zero-padded).
+pub fn fletcher32(data: &[u8]) -> u32 {
+    let (mut a, mut b): (u32, u32) = (0, 0);
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        let w = u32::from(u16::from_be_bytes([c[0], c[1]]));
+        a = (a + w) % 65535;
+        b = (b + a) % 65535;
+    }
+    if let [last] = chunks.remainder() {
+        let w = u32::from(u16::from_be_bytes([*last, 0]));
+        a = (a + w) % 65535;
+        b = (b + a) % 65535;
+    }
+    (b << 16) | a
+}
+
+/// Adler-32 checksum as used by zlib (RFC 1950).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65521;
+    let (mut a, mut b): (u32, u32) = (1, 0);
+    for &byte in data {
+        a = (a + u32::from(byte)) % MOD;
+        b = (b + a) % MOD;
+    }
+    (b << 16) | a
+}
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, initial value 0xFFFF, no
+/// reflection, no final XOR.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3): reflected polynomial 0xEDB88320, init and final
+/// XOR 0xFFFFFFFF. Table-driven, table built at first use.
+pub fn crc32_ieee(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc = table[usize::from((crc as u8) ^ byte)] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CHECK_STR: &[u8] = b"123456789";
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32_ieee(CHECK_STR), 0xCBF4_3926);
+        assert_eq!(crc32_ieee(b""), 0);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE check value.
+        assert_eq!(crc16_ccitt(CHECK_STR), 0x29B1);
+        assert_eq!(crc16_ccitt(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn adler32_known_vector() {
+        // Adler-32 of "Wikipedia" per the published example.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b""), 1);
+    }
+
+    #[test]
+    fn fletcher16_known_vectors() {
+        assert_eq!(fletcher16(b"abcde"), 0xC8F0);
+        assert_eq!(fletcher16(b"abcdef"), 0x2057);
+        assert_eq!(fletcher16(b"abcdefgh"), 0x0627);
+    }
+
+    #[test]
+    fn internet_checksum_rfc1071_example() {
+        // The worked example from RFC 1071 §3: words 0x0001 0xf203 0xf4f5
+        // 0xf6f7 sum to 0xddf2 before complement.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn internet_checksum_odd_length_pads() {
+        assert_eq!(internet_checksum(&[0xFF]), internet_checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn verifying_frame_with_embedded_internet_checksum_yields_zero_sum() {
+        // Classic receiver check: sum over data + checksum = 0xFFFF.
+        let data = [0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06];
+        let ck = internet_checksum(&data);
+        let mut frame = data.to_vec();
+        frame.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(ones_complement_sum(&frame), 0xFFFF);
+    }
+
+    #[test]
+    fn arq_check_detects_seq_and_payload_changes() {
+        let c = arq_check(7, b"hello");
+        assert!(arq_verify(7, b"hello", c));
+        assert!(!arq_verify(8, b"hello", c));
+        assert!(!arq_verify(7, b"hellp", c));
+    }
+
+    #[test]
+    fn checksum_kind_widths_match_algorithms() {
+        assert_eq!(ChecksumKind::Arq.width_bits(), 8);
+        assert_eq!(ChecksumKind::Internet.width_bits(), 16);
+        assert_eq!(ChecksumKind::Fletcher16.width_bits(), 16);
+        assert_eq!(ChecksumKind::Crc16Ccitt.width_bits(), 16);
+        assert_eq!(ChecksumKind::Fletcher32.width_bits(), 32);
+        assert_eq!(ChecksumKind::Adler32.width_bits(), 32);
+        assert_eq!(ChecksumKind::Crc32Ieee.width_bits(), 32);
+    }
+
+    #[test]
+    fn checksum_kind_compute_fits_declared_width() {
+        let kinds = [
+            ChecksumKind::Arq,
+            ChecksumKind::Internet,
+            ChecksumKind::Fletcher16,
+            ChecksumKind::Fletcher32,
+            ChecksumKind::Adler32,
+            ChecksumKind::Crc16Ccitt,
+            ChecksumKind::Crc32Ieee,
+        ];
+        for k in kinds {
+            let v = k.compute(CHECK_STR);
+            let w = k.width_bits();
+            assert!(w == 64 || v >> w == 0, "{k:?} produced over-wide value {v:#x}");
+        }
+    }
+
+    proptest! {
+        /// Single-bit flips are always detected by every algorithm.
+        #[test]
+        fn single_bit_flip_detected(
+            data in proptest::collection::vec(any::<u8>(), 1..128),
+            byte_idx in 0usize..128,
+            bit in 0u8..8,
+        ) {
+            let byte_idx = byte_idx % data.len();
+            let mut corrupt = data.clone();
+            corrupt[byte_idx] ^= 1 << bit;
+            prop_assert_ne!(crc32_ieee(&data), crc32_ieee(&corrupt));
+            prop_assert_ne!(crc16_ccitt(&data), crc16_ccitt(&corrupt));
+            prop_assert_ne!(internet_checksum(&data), internet_checksum(&corrupt));
+        }
+
+        /// The ARQ verify function accepts exactly what check produced.
+        #[test]
+        fn arq_check_verify_inverse(seq in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let c = arq_check(seq, &data);
+            prop_assert!(arq_verify(seq, &data, c));
+        }
+
+        /// Ones'-complement sum is byte-order-stable under 16-bit word
+        /// swaps: reordering whole words leaves the sum unchanged
+        /// (documented weakness of the Internet checksum that CRCs fix).
+        #[test]
+        fn internet_sum_word_reorder_invariant(words in proptest::collection::vec(any::<u16>(), 1..32)) {
+            let mut bytes = Vec::new();
+            for w in &words {
+                bytes.extend_from_slice(&w.to_be_bytes());
+            }
+            let mut rev = words.clone();
+            rev.reverse();
+            let mut rev_bytes = Vec::new();
+            for w in &rev {
+                rev_bytes.extend_from_slice(&w.to_be_bytes());
+            }
+            prop_assert_eq!(internet_checksum(&bytes), internet_checksum(&rev_bytes));
+        }
+
+        /// Fletcher, by contrast, is position sensitive: verify it detects
+        /// a swap of two different adjacent words.
+        #[test]
+        fn fletcher_detects_word_swap(a in any::<u16>(), b in any::<u16>()) {
+            prop_assume!(a != b);
+            let mut fwd = Vec::new();
+            fwd.extend_from_slice(&a.to_be_bytes());
+            fwd.extend_from_slice(&b.to_be_bytes());
+            let mut rev = Vec::new();
+            rev.extend_from_slice(&b.to_be_bytes());
+            rev.extend_from_slice(&a.to_be_bytes());
+            // Fletcher-32 over distinct word pairs differs unless the words
+            // are congruent mod 65535 (e.g. 0x0000 vs 0xFFFF).
+            prop_assume!(a % 0xFFFF != b % 0xFFFF);
+            prop_assert_ne!(fletcher32(&fwd), fletcher32(&rev));
+        }
+    }
+}

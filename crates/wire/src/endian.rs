@@ -1,0 +1,124 @@
+//! Fixed-width integer reads/writes with explicit endianness.
+//!
+//! Protocol specifications define on-the-wire byte order explicitly; these
+//! helpers make the choice visible at every call site instead of hiding it
+//! behind host byte order (the classic `htons`/`ntohs` bug family).
+
+use crate::error::WireError;
+
+/// On-the-wire byte order of a multi-byte integer field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Endianness {
+    /// Network byte order (most significant byte first). The default, as
+    /// for virtually all IETF protocols.
+    #[default]
+    Big,
+    /// Least significant byte first (used by some file formats and legacy
+    /// protocols).
+    Little,
+}
+
+macro_rules! rw_impl {
+    ($read:ident, $write:ident, $ty:ty, $n:expr) => {
+        /// Reads a fixed-width integer from the front of `buf`.
+        ///
+        /// # Errors
+        ///
+        /// [`WireError::UnexpectedEnd`] if `buf` is shorter than the
+        /// integer's width.
+        pub fn $read(buf: &[u8], endian: Endianness) -> Result<$ty, WireError> {
+            if buf.len() < $n {
+                return Err(WireError::UnexpectedEnd {
+                    requested: $n * 8,
+                    available: buf.len() * 8,
+                });
+            }
+            let arr: [u8; $n] = buf[..$n].try_into().expect("length checked");
+            Ok(match endian {
+                Endianness::Big => <$ty>::from_be_bytes(arr),
+                Endianness::Little => <$ty>::from_le_bytes(arr),
+            })
+        }
+
+        /// Appends a fixed-width integer to `out` in the given byte order.
+        pub fn $write(out: &mut Vec<u8>, value: $ty, endian: Endianness) {
+            let bytes = match endian {
+                Endianness::Big => value.to_be_bytes(),
+                Endianness::Little => value.to_le_bytes(),
+            };
+            out.extend_from_slice(&bytes);
+        }
+    };
+}
+
+rw_impl!(read_u16, write_u16, u16, 2);
+rw_impl!(read_u32, write_u32, u32, 4);
+rw_impl!(read_u64, write_u64, u64, 8);
+
+/// Reads a single byte from the front of `buf`.
+///
+/// # Errors
+///
+/// [`WireError::UnexpectedEnd`] if `buf` is empty.
+pub fn read_u8(buf: &[u8]) -> Result<u8, WireError> {
+    buf.first().copied().ok_or(WireError::UnexpectedEnd {
+        requested: 8,
+        available: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u16_round_trips_both_orders() {
+        for endian in [Endianness::Big, Endianness::Little] {
+            let mut out = Vec::new();
+            write_u16(&mut out, 0xABCD, endian);
+            assert_eq!(read_u16(&out, endian).unwrap(), 0xABCD);
+        }
+    }
+
+    #[test]
+    fn big_endian_is_network_order() {
+        let mut out = Vec::new();
+        write_u32(&mut out, 0x0102_0304, Endianness::Big);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        out.clear();
+        write_u32(&mut out, 0x0102_0304, Endianness::Little);
+        assert_eq!(out, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn short_buffers_error() {
+        assert!(read_u16(&[1], Endianness::Big).is_err());
+        assert!(read_u32(&[1, 2, 3], Endianness::Big).is_err());
+        assert!(read_u64(&[0; 7], Endianness::Big).is_err());
+        assert!(read_u8(&[]).is_err());
+    }
+
+    #[test]
+    fn default_endianness_is_big() {
+        assert_eq!(Endianness::default(), Endianness::Big);
+    }
+
+    proptest! {
+        #[test]
+        fn u64_roundtrip(v in any::<u64>(), le in any::<bool>()) {
+            let endian = if le { Endianness::Little } else { Endianness::Big };
+            let mut out = Vec::new();
+            write_u64(&mut out, v, endian);
+            prop_assert_eq!(read_u64(&out, endian).unwrap(), v);
+        }
+
+        #[test]
+        fn reads_ignore_trailing_bytes(v in any::<u32>(), trail in proptest::collection::vec(any::<u8>(), 0..8)) {
+            let mut out = Vec::new();
+            write_u32(&mut out, v, Endianness::Big);
+            out.extend_from_slice(&trail);
+            prop_assert_eq!(read_u32(&out, Endianness::Big).unwrap(), v);
+        }
+    }
+}

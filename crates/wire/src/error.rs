@@ -1,0 +1,171 @@
+//! Error type shared by all wire-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from reading or writing wire-format data.
+///
+/// Every fallible operation in this crate returns `Result<_, WireError>`.
+/// The variants are deliberately precise so that packet codecs built on top
+/// can report *where* and *why* a frame was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the requested number of bits/bytes could be
+    /// read. Carries `(requested, available)` in bits.
+    UnexpectedEnd {
+        /// Number of bits the caller asked for.
+        requested: usize,
+        /// Number of bits that remained in the input.
+        available: usize,
+    },
+    /// A bit-level read or write of more than 64 bits was requested.
+    WidthTooLarge {
+        /// The requested width in bits.
+        width: usize,
+    },
+    /// A value did not fit in the requested field width.
+    ValueOverflow {
+        /// The value that was being written.
+        value: u64,
+        /// The field width in bits.
+        width: usize,
+    },
+    /// A length field described more data than the frame actually carries.
+    LengthMismatch {
+        /// Length the frame claimed.
+        declared: usize,
+        /// Length actually present.
+        actual: usize,
+    },
+    /// A checksum or CRC did not verify. Carries `(expected, computed)`.
+    ChecksumMismatch {
+        /// Checksum carried in the frame.
+        expected: u64,
+        /// Checksum computed over the frame contents.
+        computed: u64,
+    },
+    /// A field held a value outside its allowed set.
+    InvalidValue {
+        /// Human-readable description of the offending field.
+        field: &'static str,
+        /// The offending value, widened to `u64`.
+        value: u64,
+    },
+    /// The reader was not positioned on a byte boundary when a byte-aligned
+    /// operation was requested.
+    NotByteAligned {
+        /// Current bit offset within the byte (1..=7).
+        bit_offset: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd {
+                requested,
+                available,
+            } => write!(
+                f,
+                "unexpected end of input: requested {requested} bits, {available} available"
+            ),
+            WireError::WidthTooLarge { width } => {
+                write!(f, "bit width {width} exceeds the 64-bit limit")
+            }
+            WireError::ValueOverflow { value, width } => {
+                write!(f, "value {value:#x} does not fit in {width} bits")
+            }
+            WireError::LengthMismatch { declared, actual } => write!(
+                f,
+                "declared length {declared} does not match actual length {actual}"
+            ),
+            WireError::ChecksumMismatch { expected, computed } => write!(
+                f,
+                "checksum mismatch: frame carries {expected:#x}, computed {computed:#x}"
+            ),
+            WireError::InvalidValue { field, value } => {
+                write!(f, "invalid value {value:#x} for field `{field}`")
+            }
+            WireError::NotByteAligned { bit_offset } => {
+                write!(f, "operation requires byte alignment, {bit_offset} bits into a byte")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (
+                WireError::UnexpectedEnd {
+                    requested: 8,
+                    available: 3,
+                },
+                "unexpected end",
+            ),
+            (WireError::WidthTooLarge { width: 65 }, "exceeds"),
+            (
+                WireError::ValueOverflow {
+                    value: 256,
+                    width: 8,
+                },
+                "does not fit",
+            ),
+            (
+                WireError::LengthMismatch {
+                    declared: 20,
+                    actual: 10,
+                },
+                "declared length",
+            ),
+            (
+                WireError::ChecksumMismatch {
+                    expected: 1,
+                    computed: 2,
+                },
+                "checksum mismatch",
+            ),
+            (
+                WireError::InvalidValue {
+                    field: "version",
+                    value: 9,
+                },
+                "invalid value",
+            ),
+            (WireError::NotByteAligned { bit_offset: 3 }, "alignment"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error messages start lowercase: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<WireError>();
+    }
+
+    #[test]
+    fn errors_compare_structurally() {
+        assert_eq!(
+            WireError::WidthTooLarge { width: 65 },
+            WireError::WidthTooLarge { width: 65 }
+        );
+        assert_ne!(
+            WireError::WidthTooLarge { width: 65 },
+            WireError::WidthTooLarge { width: 66 }
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Human-readable renderings of raw frames.
+//!
+//! Two views are provided: a conventional hex+ASCII dump ([`hexdump`]) and
+//! the RFC-style 32-bit-per-row "ASCII picture" ([`rfc_picture`]) that the
+//! paper's Figure 1 uses — useful when eyeballing codec output against a
+//! published header diagram.
+
+use std::fmt::Write as _;
+
+/// Renders `data` as a classic 16-bytes-per-line hex dump with an ASCII
+/// gutter.
+///
+/// # Examples
+///
+/// ```
+/// let dump = netdsl_wire::hexdump::hexdump(b"GET / HTTP/1.1\r\n");
+/// assert!(dump.contains("47 45 54"));
+/// assert!(dump.contains("GET / HTTP/1.1"));
+/// ```
+pub fn hexdump(data: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in data.chunks(16).enumerate() {
+        let _ = write!(out, "{:08x}  ", i * 16);
+        for j in 0..16 {
+            match chunk.get(j) {
+                Some(b) => {
+                    let _ = write!(out, "{b:02x} ");
+                }
+                None => out.push_str("   "),
+            }
+            if j == 7 {
+                out.push(' ');
+            }
+        }
+        out.push(' ');
+        for b in chunk {
+            out.push(if b.is_ascii_graphic() || *b == b' ' {
+                *b as char
+            } else {
+                '.'
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `data` as an RFC-style bit diagram: 32 bits per row, `+-+`
+/// rules between rows, matching the visual convention of Figure 1 of the
+/// paper (the RFC 791 IPv4 header picture).
+pub fn rfc_picture(data: &[u8]) -> String {
+    const RULE: &str =
+        "+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n";
+    let mut out = String::new();
+    out.push_str(" 0                   1                   2                   3\n");
+    out.push_str(" 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1\n");
+    out.push_str(RULE);
+    for row in data.chunks(4) {
+        out.push('|');
+        for byte in row {
+            for bit in (0..8).rev() {
+                let _ = write!(out, "{}|", (byte >> bit) & 1);
+            }
+        }
+        out.push('\n');
+        out.push_str(RULE);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hexdump_includes_offsets_hex_and_ascii() {
+        let d = hexdump(b"hello world, this is longer than sixteen bytes");
+        assert!(d.starts_with("00000000"));
+        assert!(d.contains("00000010"), "second line offset present");
+        assert!(d.contains("68 65 6c 6c 6f"));
+        assert!(d.contains("hello world"));
+    }
+
+    #[test]
+    fn hexdump_masks_non_printable() {
+        let d = hexdump(&[0x00, 0x1F, 0x41]);
+        assert!(d.contains("..A"));
+    }
+
+    #[test]
+    fn hexdump_empty_is_empty() {
+        assert_eq!(hexdump(&[]), "");
+    }
+
+    #[test]
+    fn rfc_picture_has_32_bits_per_row() {
+        let pic = rfc_picture(&[0x45, 0x00, 0x00, 0x14]);
+        let data_row = pic
+            .lines()
+            .find(|l| l.starts_with('|') && l.contains('0'))
+            .unwrap();
+        // 32 bits, each followed by '|', plus the leading '|'.
+        assert_eq!(data_row.matches('|').count(), 33);
+        // 0x45 = 0100 0101
+        assert!(data_row.starts_with("|0|1|0|0|0|1|0|1|"));
+    }
+
+    #[test]
+    fn rfc_picture_rows_scale_with_length() {
+        let pic = rfc_picture(&[0u8; 20]); // IPv4 header length
+        let rows = pic.lines().filter(|l| l.starts_with('|')).count();
+        assert_eq!(rows, 5, "20 bytes = five 32-bit rows");
+    }
+}

@@ -1,0 +1,46 @@
+//! # netdsl-wire — bit-granular wire-format substrate
+//!
+//! Network protocol headers are specified down to the bit (see e.g. the
+//! IPv4 header of RFC 791, reproduced as Figure 1 of the paper this
+//! workspace reproduces). This crate provides the low-level machinery that
+//! every packet codec in the workspace sits on:
+//!
+//! * [`BitReader`] / [`BitWriter`] — MSB-first (network order) bit streams;
+//! * [`endian`] — fixed-width integer reads/writes in big/little endian;
+//! * [`checksum`] — the checksum/CRC suite used by protocol definitions;
+//! * [`buffer`] — a growable byte buffer with a reading cursor;
+//! * [`hexdump`] — human-readable views of raw frames.
+//!
+//! # Examples
+//!
+//! ```
+//! use netdsl_wire::{BitWriter, BitReader};
+//!
+//! # fn main() -> Result<(), netdsl_wire::WireError> {
+//! let mut w = BitWriter::new();
+//! w.write_bits(0x4, 4)?;            // IPv4 version
+//! w.write_bits(5, 4)?;              // IHL
+//! w.write_bits(0, 8)?;              // TOS
+//! w.write_bits(20, 16)?;            // total length
+//! let bytes = w.into_bytes();
+//! assert_eq!(bytes, vec![0x45, 0x00, 0x00, 0x14]);
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.read_bits(4)?, 0x4);
+//! assert_eq!(r.read_bits(4)?, 5);
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod buffer;
+pub mod checksum;
+pub mod endian;
+pub mod error;
+pub mod hexdump;
+
+pub use bits::{BitReader, BitWriter};
+pub use buffer::{ReadCursor, WireBuffer};
+pub use error::WireError;

@@ -1,0 +1,61 @@
+//! Distance-vector routing over a mesh with a link failure — the MANET
+//! scenario that motivates the paper (§1, §1.1): topology changes, the
+//! protocol re-converges, unreachable destinations age out.
+//!
+//! Run with: `cargo run --example routing_mesh`
+
+use netdsl::netsim::LinkConfig;
+use netdsl::protocols::dv::DvNetwork;
+
+fn print_routes(net: &DvNetwork, n: u16, label: &str) {
+    println!("{label}");
+    print!("      ");
+    for to in 0..n {
+        print!(" to {to} ");
+    }
+    println!();
+    for from in 0..n {
+        print!("from {from}");
+        for to in 0..n {
+            match net.route(from, to) {
+                Some(r) => print!("  m{}  ", r.metric),
+                None => print!("  --  "),
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    // A 6-node mesh:   0 — 1 — 2
+    //                  |       |
+    //                  3 — 4 — 5
+    let mut net = DvNetwork::new(7, 6, 50, 400);
+    for (a, b) in [(0, 1), (1, 2), (0, 3), (3, 4), (4, 5), (2, 5)] {
+        net.connect(a, b, LinkConfig::lossy(2, 0.05)); // slightly lossy radio
+    }
+
+    net.run(3_000);
+    print_routes(&net, 6, "converged routing tables (metric = hop count):");
+    let path = net.forwarding_path(0, 5).expect("route exists");
+    println!("forwarding path 0 → 5: {path:?}\n");
+    assert!(path.len() == 4, "two 3-hop routes exist");
+
+    // The 4–5 link fails (node 5 moved out of range of 4).
+    println!("*** link 4–5 fails ***\n");
+    net.fail_link(4, 5);
+    net.run(5_000);
+    print_routes(&net, 6, "re-converged tables:");
+    let path = net.forwarding_path(0, 5).expect("rerouted");
+    println!("forwarding path 0 → 5 now: {path:?}");
+    assert_eq!(path, vec![0, 1, 2, 5], "traffic shifted to the north route");
+
+    // Now node 5 is cut off entirely.
+    println!("\n*** link 2–5 fails too: node 5 is partitioned ***\n");
+    net.fail_link(2, 5);
+    net.run(6_000);
+    assert!(net.route(0, 5).is_none(), "route to 5 must age out");
+    println!("route 0 → 5 after partition: aged out (correct)");
+    print_routes(&net, 6, "\nfinal tables (node 5 unreachable everywhere):");
+}

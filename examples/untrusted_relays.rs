@@ -1,0 +1,46 @@
+//! Dependable communication over untrusted relays (§1.1, ref [12]).
+//!
+//! Four disjoint relay paths; progressively more of them are compromised
+//! (their relays drop 90% of traffic). Trust-learning path selection is
+//! compared against random and fixed selection.
+//!
+//! Run with: `cargo run --example untrusted_relays`
+
+use netdsl::adapt::trust::{run_relay_session, Policy};
+
+fn main() {
+    const PATHS: usize = 4;
+    const HOPS: usize = 2;
+    const ROUNDS: u64 = 300;
+
+    println!("delivery ratio over {PATHS} relay paths, {ROUNDS} messages, vs #compromised\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "#compromised", "trust", "random", "fixed"
+    );
+
+    for k in 0..PATHS {
+        let compromised: Vec<usize> = (0..k).collect();
+        let trust = run_relay_session(PATHS, HOPS, &compromised, Policy::TrustLearning, ROUNDS, 11);
+        let random = run_relay_session(PATHS, HOPS, &compromised, Policy::Random, ROUNDS, 11);
+        let fixed = run_relay_session(PATHS, HOPS, &compromised, Policy::Fixed, ROUNDS, 11);
+        println!(
+            "{:<14} {:>9.1}% {:>9.1}% {:>9.1}%",
+            k,
+            trust.delivery_ratio() * 100.0,
+            random.delivery_ratio() * 100.0,
+            fixed.delivery_ratio() * 100.0
+        );
+        if k > 0 {
+            assert!(
+                trust.delivery_ratio() >= random.delivery_ratio(),
+                "learning should not lose to random"
+            );
+        }
+        if k == PATHS - 1 {
+            println!("\nfinal trust scores with {k} compromised: {:?}", trust.trust);
+        }
+    }
+    println!("\ntrust learning holds delivery high until every path is compromised;");
+    println!("fixed selection collapses as soon as its path is (k ≥ 1).");
+}

@@ -1,0 +1,42 @@
+//! # netdsl — correct-by-construction network protocols
+//!
+//! Facade crate re-exporting the whole workspace, which reproduces
+//! *"Domain Specific Languages (DSLs) for Network Protocols"* (Bhatti,
+//! Brady, Hammond, McKinna — ICDCS 2009): a protocol-definition DSL in
+//! which packet formats (with semantic constraints), state machines (with
+//! soundness and completeness guarantees) and their execution live in one
+//! framework.
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`wire`] | `netdsl-wire` | bit-granular I/O, checksums |
+//! | [`abnf`] | `netdsl-abnf` | RFC 5234 grammars (syntactic baseline 1) |
+//! | [`asn1`] | `netdsl-asn1` | ASN.1 + DER (syntactic baseline 2) |
+//! | [`core`] | `netdsl-core` | the DSL: packet specs, witnesses, typestate & reified FSMs |
+//! | [`verify`] | `netdsl-verify` | model checker + behavioural test generation |
+//! | [`netsim`] | `netdsl-netsim` | deterministic network simulator |
+//! | [`protocols`] | `netdsl-protocols` | ARQ (§3.4), GBN, SR, handshake, IPv4, UDP, TFTP, baseline |
+//! | [`adapt`] | `netdsl-adapt` | fuzzy QoS, trust routing, adaptive timers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use netdsl::protocols::arq::session::run_transfer;
+//! use netdsl::netsim::LinkConfig;
+//!
+//! let messages = vec![b"hello".to_vec(), b"world".to_vec()];
+//! let out = run_transfer(messages, LinkConfig::lossy(5, 0.2), 42, 100, 10, 1_000_000);
+//! assert!(out.success);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use netdsl_abnf as abnf;
+pub use netdsl_asn1 as asn1;
+pub use netdsl_adapt as adapt;
+pub use netdsl_core as core;
+pub use netdsl_netsim as netsim;
+pub use netdsl_protocols as protocols;
+pub use netdsl_verify as verify;
+pub use netdsl_wire as wire;
