@@ -201,13 +201,7 @@ impl Grammar {
         if self.rules.contains_key(&key) {
             return Err(AbnfError::DuplicateRule { name: key });
         }
-        self.rules.insert(
-            key.clone(),
-            Rule {
-                name: key,
-                element,
-            },
-        );
+        self.rules.insert(key.clone(), Rule { name: key, element });
         Ok(())
     }
 
@@ -273,9 +267,7 @@ impl Grammar {
                     }
                     Ok(())
                 }
-                Element::Concat(es) | Element::Alt(es) => {
-                    es.iter().try_for_each(|e| walk(g, e))
-                }
+                Element::Concat(es) | Element::Alt(es) => es.iter().try_for_each(|e| walk(g, e)),
                 Element::Repeat(_, inner) | Element::Optional(inner) => walk(g, inner),
                 _ => Ok(()),
             }
@@ -339,8 +331,10 @@ mod tests {
             Err(AbnfError::IncrementalWithoutBase { .. })
         ));
         g.add_rule("r", Element::CharVal("a".into())).unwrap();
-        g.add_alternative("r", Element::CharVal("b".into())).unwrap();
-        g.add_alternative("R", Element::CharVal("c".into())).unwrap();
+        g.add_alternative("r", Element::CharVal("b".into()))
+            .unwrap();
+        g.add_alternative("R", Element::CharVal("c".into()))
+            .unwrap();
         match &g.rule("r").unwrap().element {
             Element::Alt(alts) => assert_eq!(alts.len(), 3),
             other => panic!("expected Alt, got {other:?}"),
@@ -358,7 +352,8 @@ mod tests {
     #[test]
     fn validate_finds_dangling_reference() {
         let mut g = Grammar::new();
-        g.add_rule("top", Element::RuleRef("missing".into())).unwrap();
+        g.add_rule("top", Element::RuleRef("missing".into()))
+            .unwrap();
         assert_eq!(
             g.validate(),
             Err(AbnfError::UndefinedRule {
@@ -384,10 +379,16 @@ mod tests {
     #[test]
     fn nullable_analysis() {
         let mut g = Grammar::new();
-        g.add_rule("maybe", Element::Optional(Box::new(Element::CharVal("x".into()))))
-            .unwrap();
-        g.add_rule("star", Element::Repeat(Repeat::any(), Box::new(Element::CharVal("y".into()))))
-            .unwrap();
+        g.add_rule(
+            "maybe",
+            Element::Optional(Box::new(Element::CharVal("x".into()))),
+        )
+        .unwrap();
+        g.add_rule(
+            "star",
+            Element::Repeat(Repeat::any(), Box::new(Element::CharVal("y".into()))),
+        )
+        .unwrap();
         g.add_rule("one", Element::CharVal("z".into())).unwrap();
         assert!(g.rule("maybe").unwrap().element.nullable(&g));
         assert!(g.rule("star").unwrap().element.nullable(&g));

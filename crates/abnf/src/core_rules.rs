@@ -45,7 +45,10 @@ fn build() -> BTreeMap<String, Rule> {
     // CTL = %x00-1F / %x7F
     def(
         "ctl",
-        Element::Alt(vec![Element::Range(0x00, 0x1F), Element::NumVal(vec![0x7F])]),
+        Element::Alt(vec![
+            Element::Range(0x00, 0x1F),
+            Element::NumVal(vec![0x7F]),
+        ]),
     );
     // DIGIT = %x30-39
     def("digit", Element::Range(0x30, 0x39));
@@ -99,10 +102,16 @@ fn build() -> BTreeMap<String, Rule> {
     m
 }
 
-/// Looks up a core rule by lowercased name.
+/// Looks up a core rule by name (case-insensitive, as RFC 5234 rule
+/// names are).
 pub fn core_rule(name: &str) -> Option<&'static Rule> {
     static RULES: OnceLock<BTreeMap<String, Rule>> = OnceLock::new();
-    RULES.get_or_init(build).get(name)
+    let rules = RULES.get_or_init(build);
+    // The matcher hot path (Grammar::rule) passes pre-lowercased names;
+    // only fold case when the exact lookup misses.
+    rules
+        .get(name)
+        .or_else(|| rules.get(&name.to_ascii_lowercase()))
 }
 
 /// Names of all core rules (lowercased).
@@ -155,6 +164,9 @@ mod tests {
         assert!(g.matches("LWSP", b"").unwrap());
         assert!(g.matches("LWSP", b"  \t").unwrap());
         assert!(g.matches("LWSP", b" \r\n ").unwrap());
-        assert!(!g.matches("LWSP", b" \r\n").unwrap(), "CRLF must be followed by WSP");
+        assert!(
+            !g.matches("LWSP", b" \r\n").unwrap(),
+            "CRLF must be followed by WSP"
+        );
     }
 }

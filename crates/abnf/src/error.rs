@@ -61,7 +61,10 @@ impl fmt::Display for AbnfError {
             }
             AbnfError::DuplicateRule { name } => write!(f, "rule `{name}` defined twice"),
             AbnfError::FuelExhausted { rule } => {
-                write!(f, "backtracking fuel exhausted while matching rule `{rule}`")
+                write!(
+                    f,
+                    "backtracking fuel exhausted while matching rule `{rule}`"
+                )
             }
             AbnfError::DepthExceeded { rule } => {
                 write!(f, "recursion depth exceeded while generating rule `{rule}`")
@@ -83,7 +86,10 @@ mod tests {
             column: 7,
             message: "expected `=`".into(),
         };
-        assert_eq!(e.to_string(), "syntax error at line 3, column 7: expected `=`");
+        assert_eq!(
+            e.to_string(),
+            "syntax error at line 3, column 7: expected `=`"
+        );
         assert!(AbnfError::UndefinedRule { name: "foo".into() }
             .to_string()
             .contains("foo"));

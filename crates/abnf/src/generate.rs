@@ -151,8 +151,8 @@ fn gen_element<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::Grammar;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -184,7 +184,11 @@ mod tests {
         let mut r = rng();
         for _ in 0..100 {
             let s = generate(&g, "r", &mut r, GenConfig::default()).unwrap();
-            assert!((2..=4).contains(&s.len()), "length {} out of bounds", s.len());
+            assert!(
+                (2..=4).contains(&s.len()),
+                "length {} out of bounds",
+                s.len()
+            );
         }
     }
 

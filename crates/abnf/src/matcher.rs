@@ -439,10 +439,15 @@ mod tests {
              pchar = ALPHA / DIGIT / \"/\" / \".\" / \"-\" / \"_\"\n\
              http-version = %s\"HTTP/\" DIGIT \".\" DIGIT\n",
         );
-        assert!(g.matches("request-line", b"GET /index.html HTTP/1.1\r\n").unwrap());
+        assert!(g
+            .matches("request-line", b"GET /index.html HTTP/1.1\r\n")
+            .unwrap());
         assert!(g.matches("request-line", b"POST / HTTP/1.0\r\n").unwrap());
         assert!(!g.matches("request-line", b"GET  / HTTP/1.1\r\n").unwrap());
-        assert!(!g.matches("request-line", b"GET / http/1.1\r\n").unwrap(), "%s is case-sensitive");
+        assert!(
+            !g.matches("request-line", b"GET / http/1.1\r\n").unwrap(),
+            "%s is case-sensitive"
+        );
     }
 
     #[test]

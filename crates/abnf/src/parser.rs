@@ -211,13 +211,14 @@ impl<'a> Parser<'a> {
             }
             match self.peek() {
                 // These begin a new repetition.
-                Some(b) if b.is_ascii_alphanumeric()
-                    || b == b'"'
-                    || b == b'%'
-                    || b == b'('
-                    || b == b'['
-                    || b == b'<'
-                    || b == b'*' =>
+                Some(b)
+                    if b.is_ascii_alphanumeric()
+                        || b == b'"'
+                        || b == b'%'
+                        || b == b'('
+                        || b == b'['
+                        || b == b'<'
+                        || b == b'*' =>
                 {
                     items.push(self.repetition()?);
                 }
@@ -425,11 +426,17 @@ mod tests {
     fn parses_repetitions() {
         assert_eq!(
             parse_element("3DIGIT").unwrap(),
-            Element::Repeat(Repeat::exactly(3), Box::new(Element::RuleRef("digit".into())))
+            Element::Repeat(
+                Repeat::exactly(3),
+                Box::new(Element::RuleRef("digit".into()))
+            )
         );
         assert_eq!(
             parse_element("1*3DIGIT").unwrap(),
-            Element::Repeat(Repeat::between(1, 3), Box::new(Element::RuleRef("digit".into())))
+            Element::Repeat(
+                Repeat::between(1, 3),
+                Box::new(Element::RuleRef("digit".into()))
+            )
         );
         assert_eq!(
             parse_element("*DIGIT").unwrap(),
@@ -437,7 +444,10 @@ mod tests {
         );
         assert_eq!(
             parse_element("2*ALPHA").unwrap(),
-            Element::Repeat(Repeat::at_least(2), Box::new(Element::RuleRef("alpha".into())))
+            Element::Repeat(
+                Repeat::at_least(2),
+                Box::new(Element::RuleRef("alpha".into()))
+            )
         );
     }
 
@@ -453,7 +463,10 @@ mod tests {
             parse_element("%x0D.0A").unwrap(),
             Element::NumVal(vec![0x0D, 0x0A])
         );
-        assert_eq!(parse_element("%x30-39").unwrap(), Element::Range(0x30, 0x39));
+        assert_eq!(
+            parse_element("%x30-39").unwrap(),
+            Element::Range(0x30, 0x39)
+        );
     }
 
     #[test]

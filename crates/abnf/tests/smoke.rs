@@ -1,0 +1,16 @@
+//! Crate-level smoke test: core rules match and grammars parse.
+
+use netdsl_abnf::core_rules::{core_rule, core_rule_names};
+use netdsl_abnf::Grammar;
+
+#[test]
+fn core_rules_present_and_grammar_matches() {
+    assert!(core_rule("DIGIT").is_some(), "lookup is case-insensitive");
+    assert!(core_rule("crlf").is_some());
+    assert!(core_rule_names().contains(&"alpha"));
+
+    let g = Grammar::parse("greeting = \"HI\" SP 1*2DIGIT CRLF\n").expect("parses");
+    assert!(g.matches("greeting", b"HI 42\r\n").expect("rule exists"));
+    assert!(!g.matches("greeting", b"HI 123\r\n").expect("rule exists"));
+    assert!(!g.matches("greeting", b"HI xy\r\n").expect("rule exists"));
+}

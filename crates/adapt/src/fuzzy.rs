@@ -186,7 +186,10 @@ impl MediaAdapter {
         // Rule base (the conservative additive-increase shape of [1]).
         c.rule(Rule::new(&[("loss", "high")], "cut"));
         c.rule(Rule::new(&[("loss", "medium"), ("delay", "high")], "cut"));
-        c.rule(Rule::new(&[("loss", "medium"), ("delay", "medium")], "reduce"));
+        c.rule(Rule::new(
+            &[("loss", "medium"), ("delay", "medium")],
+            "reduce",
+        ));
         c.rule(Rule::new(&[("loss", "medium"), ("delay", "low")], "reduce"));
         c.rule(Rule::new(&[("loss", "low"), ("delay", "high")], "reduce"));
         c.rule(Rule::new(&[("loss", "low"), ("delay", "medium")], "hold"));

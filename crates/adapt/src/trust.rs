@@ -274,7 +274,10 @@ mod tests {
         }
         assert!(t.trust(0) > 0.85);
         assert!(t.trust(1) < 0.15);
-        assert!((t.trust(2) - 0.5).abs() < 1e-12, "untouched path keeps prior");
+        assert!(
+            (t.trust(2) - 0.5).abs() < 1e-12,
+            "untouched path keeps prior"
+        );
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Crate-level smoke test: the three adaptation libraries respond sanely.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netdsl_adapt::timers::RtoEstimator;
+use netdsl_adapt::trust::TrustTable;
+use netdsl_adapt::MediaAdapter;
+
+#[test]
+fn rto_estimator_tracks_rtt() {
+    let mut e = RtoEstimator::new(3000, 100, 60_000);
+    for _ in 0..8 {
+        e.on_sample(50);
+    }
+    assert!(e.rto() < 3000, "RTO converges towards the true RTT");
+    assert!(e.srtt().is_some());
+}
+
+#[test]
+fn trust_table_learns_the_good_path() {
+    let mut table = TrustTable::new(3, 0.1, 0.99);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..300 {
+        let path = table.choose(&mut rng);
+        // Path 2 always delivers; the others always drop.
+        table.record(path, path == 2);
+    }
+    assert!(table.trust(2) > table.trust(0));
+    assert!(table.trust(2) > table.trust(1));
+}
+
+#[test]
+fn media_adapter_backs_off_under_loss() {
+    let mut adapter = MediaAdapter::new(1000.0, 100.0, 2000.0);
+    let calm = adapter.observe(0.0, 0.1);
+    let stressed = adapter.observe(0.5, 0.9);
+    assert!(stressed <= calm, "rate does not rise under heavy loss");
+}

@@ -71,8 +71,7 @@ fn integer_bytes(i: i64) -> Vec<u8> {
     while start < 7 {
         let cur = be[start];
         let next = be[start + 1];
-        let redundant =
-            (cur == 0x00 && next & 0x80 == 0) || (cur == 0xFF && next & 0x80 != 0);
+        let redundant = (cur == 0x00 && next & 0x80 == 0) || (cur == 0xFF && next & 0x80 != 0);
         if redundant {
             start += 1;
         } else {
@@ -231,10 +230,19 @@ mod tests {
         // Classic DER integer encodings.
         assert_eq!(encode(&AsnValue::Integer(0)), vec![0x02, 0x01, 0x00]);
         assert_eq!(encode(&AsnValue::Integer(127)), vec![0x02, 0x01, 0x7F]);
-        assert_eq!(encode(&AsnValue::Integer(128)), vec![0x02, 0x02, 0x00, 0x80]);
-        assert_eq!(encode(&AsnValue::Integer(256)), vec![0x02, 0x02, 0x01, 0x00]);
+        assert_eq!(
+            encode(&AsnValue::Integer(128)),
+            vec![0x02, 0x02, 0x00, 0x80]
+        );
+        assert_eq!(
+            encode(&AsnValue::Integer(256)),
+            vec![0x02, 0x02, 0x01, 0x00]
+        );
         assert_eq!(encode(&AsnValue::Integer(-128)), vec![0x02, 0x01, 0x80]);
-        assert_eq!(encode(&AsnValue::Integer(-129)), vec![0x02, 0x02, 0xFF, 0x7F]);
+        assert_eq!(
+            encode(&AsnValue::Integer(-129)),
+            vec![0x02, 0x02, 0xFF, 0x7F]
+        );
     }
 
     #[test]

@@ -101,10 +101,7 @@ impl AsnType {
                 }
                 Ok(())
             }
-            (
-                AsnType::OctetString { min_len, max_len },
-                AsnValue::OctetString(bytes),
-            ) => {
+            (AsnType::OctetString { min_len, max_len }, AsnValue::OctetString(bytes)) => {
                 if min_len.is_some_and(|m| bytes.len() < m)
                     || max_len.is_some_and(|m| bytes.len() > m)
                 {

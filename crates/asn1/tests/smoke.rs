@@ -1,0 +1,17 @@
+//! Crate-level smoke test: DER encode/decode round-trips.
+
+use netdsl_asn1::{der, AsnValue};
+
+#[test]
+fn der_roundtrip_nested() {
+    let v = AsnValue::Sequence(vec![
+        AsnValue::Integer(42),
+        AsnValue::OctetString(b"hi".to_vec()),
+        AsnValue::Boolean(true),
+        AsnValue::Sequence(vec![AsnValue::Null]),
+    ]);
+    let bytes = der::encode(&v);
+    assert_eq!(der::decode(&bytes).expect("decodes"), v);
+    // DER is canonical: re-encoding reproduces the bytes.
+    assert_eq!(der::encode(&der::decode(&bytes).unwrap()), bytes);
+}

@@ -58,7 +58,10 @@ fn main() {
             rand_cov_1x * 100.0,
             rand_cov_4x * 100.0
         );
-        assert!((cov - 1.0).abs() < 1e-9, "generated suite covers everything");
+        assert!(
+            (cov - 1.0).abs() < 1e-9,
+            "generated suite covers everything"
+        );
         assert!(rand_cov_1x <= cov, "random never beats complete coverage");
     }
     println!("\nexpected shape: generated coverage = 100% with a handful of cases;");

@@ -34,15 +34,19 @@ fn bench(c: &mut Criterion) {
         let wire = p.encode().expect("encodes");
         g.throughput(Throughput::Bytes(wire.len() as u64));
 
-        g.bench_with_input(BenchmarkId::new("encode_declarative", payload), &p, |b, p| {
-            b.iter(|| black_box(p.encode().expect("encodes")))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("encode_declarative", payload),
+            &p,
+            |b, p| b.iter(|| black_box(p.encode().expect("encodes"))),
+        );
         g.bench_with_input(BenchmarkId::new("encode_manual", payload), &p, |b, p| {
             b.iter(|| black_box(encode_manual(p).expect("encodes")))
         });
-        g.bench_with_input(BenchmarkId::new("decode_declarative", payload), &wire, |b, w| {
-            b.iter(|| black_box(Ipv4Packet::decode(w).expect("valid")))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decode_declarative", payload),
+            &wire,
+            |b, w| b.iter(|| black_box(Ipv4Packet::decode(w).expect("valid"))),
+        );
         g.bench_with_input(BenchmarkId::new("decode_manual", payload), &wire, |b, w| {
             b.iter(|| black_box(decode_manual(w).expect("valid")))
         });

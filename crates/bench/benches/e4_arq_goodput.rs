@@ -30,7 +30,10 @@ fn goodput(payload_bytes: u64, elapsed: u64) -> f64 {
 
 fn main() {
     println!("E4: goodput (payload bytes / 1000 ticks) vs loss probability");
-    println!("workload: {MESSAGES} × {MSG_SIZE}B messages, delay {DELAY} ticks, mean of {} seeds\n", SEEDS.len());
+    println!(
+        "workload: {MESSAGES} × {MSG_SIZE}B messages, delay {DELAY} ticks, mean of {} seeds\n",
+        SEEDS.len()
+    );
     println!(
         "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "loss", "SW", "GBN w=4", "GBN w=8", "SR w=8", "SR w=16"
@@ -111,7 +114,11 @@ fn main() {
                     ok_runs += 1;
                 }
             }
-            row.push(if ok_runs > 0 { sum / f64::from(ok_runs) } else { 0.0 });
+            row.push(if ok_runs > 0 {
+                sum / f64::from(ok_runs)
+            } else {
+                0.0
+            });
         }
         println!(
             "{:>5.2} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",

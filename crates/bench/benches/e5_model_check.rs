@@ -48,7 +48,11 @@ fn main() {
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         println!(
             "{:<26} {:>8} {:>12} {:>9.2} {:>7} {:>7} {:>9} {:>7}",
-            format!("{}({})", report.spec, spec.vars().first().map(|v| v.max + 1).unwrap_or(0)),
+            format!(
+                "{}({})",
+                report.spec,
+                spec.vars().first().map(|v| v.max + 1).unwrap_or(0)
+            ),
             report.states,
             report.transitions,
             ms,
@@ -79,7 +83,11 @@ fn main() {
             report.transitions,
             ms,
             if safety.is_none() { "holds" } else { "FAILS" },
-            if report.deadlocks.is_empty() { "none" } else { "FOUND" },
+            if report.deadlocks.is_empty() {
+                "none"
+            } else {
+                "FOUND"
+            },
             match term {
                 Some(true) => "holds",
                 Some(false) => "FAILS",

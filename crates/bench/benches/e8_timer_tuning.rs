@@ -31,7 +31,14 @@ fn main() {
             let cfg = LinkConfig::lossy(delay, loss);
             let mut cells = Vec::new();
             for &t in &[30u64, 150, 600] {
-                let o = run_transfer(workload::messages(N, SIZE), cfg.clone(), 5, t, 400, DEADLINE);
+                let o = run_transfer(
+                    workload::messages(N, SIZE),
+                    cfg.clone(),
+                    5,
+                    t,
+                    400,
+                    DEADLINE,
+                );
                 cells.push(if o.success {
                     format!(
                         "{:.2} ({})",

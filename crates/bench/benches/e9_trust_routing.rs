@@ -46,7 +46,7 @@ fn main() {
             random * 100.0,
             fixed * 100.0
         );
-        if k >= 1 && k < PATHS {
+        if (1..PATHS).contains(&k) {
             assert!(trust > random, "learning beats random at k={k}");
             assert!(trust > fixed, "learning beats fixed at k={k}");
         }

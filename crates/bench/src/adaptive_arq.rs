@@ -81,10 +81,9 @@ impl AdaptiveSwSender {
         } else {
             self.sent_at = io.now();
         }
-        self.was_retransmitted = retransmit || (self.was_retransmitted && retransmit);
-        if retransmit {
-            self.was_retransmitted = true;
-        }
+        // Karn's algorithm: the flag sticks until the next fresh send
+        // (cleared in `on_frame` before launching the following message).
+        self.was_retransmitted |= retransmit;
         self.attempt += 1;
         self.waiting = true;
         io.set_timer(self.rto.rto(), self.attempt);
@@ -184,7 +183,14 @@ mod tests {
 
     #[test]
     fn adaptive_transfer_succeeds_on_reliable_link() {
-        let out = run_adaptive_transfer(messages(20, 16), LinkConfig::reliable(10), 1, 500, 5, 1_000_000);
+        let out = run_adaptive_transfer(
+            messages(20, 16),
+            LinkConfig::reliable(10),
+            1,
+            500,
+            5,
+            1_000_000,
+        );
         assert!(out.success);
         assert_eq!(out.stats.retransmissions, 0);
     }
@@ -203,7 +209,10 @@ mod tests {
         assert!(duplex.a().succeeded());
         let srtt = duplex.a().estimator().srtt().unwrap();
         assert!((45..=55).contains(&srtt), "learned srtt {srtt}");
-        assert!(duplex.a().estimator().rto() < 200, "rto tightened from 1000");
+        assert!(
+            duplex.a().estimator().rto() < 200,
+            "rto tightened from 1000"
+        );
     }
 
     #[test]

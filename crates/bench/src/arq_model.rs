@@ -246,16 +246,24 @@ impl System for ArqProduct {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netdsl_verify::{Explorer, Limits};
+    use netdsl_verify::Explorer;
 
     #[test]
     fn product_explores_and_terminates() {
         let sys = ArqProduct::new(3, 2);
         let explorer = Explorer::new();
         let report = explorer.explore(&sys);
-        assert!(report.states > 10, "non-trivial joint space: {}", report.states);
+        assert!(
+            report.states > 10,
+            "non-trivial joint space: {}",
+            report.states
+        );
         assert!(!report.truncated);
-        assert!(report.deadlocks.is_empty(), "no stuck joint states: {:?}", report.deadlocks);
+        assert!(
+            report.deadlocks.is_empty(),
+            "no stuck joint states: {:?}",
+            report.deadlocks
+        );
         assert_eq!(
             explorer.always_eventually_terminal(&sys),
             Some(true),
@@ -298,8 +306,7 @@ mod tests {
         // receiver == sender always), the checker finds the in-flight
         // window and produces a trace.
         let sys = ArqProduct::new(3, 2);
-        let cex = Explorer::new()
-            .check_invariant(&sys, |s| s.sender.vars[0] == s.receiver.vars[0]);
+        let cex = Explorer::new().check_invariant(&sys, |s| s.sender.vars[0] == s.receiver.vars[0]);
         let cex = cex.expect("one-ahead state must be reachable");
         assert!(!cex.path.is_empty(), "trace explains the violation");
     }

@@ -3,13 +3,19 @@
 /// `n` messages of `size` bytes each, deterministic content.
 pub fn messages(n: usize, size: usize) -> Vec<Vec<u8>> {
     (0..n)
-        .map(|i| (0..size).map(|j| ((i * 131 + j * 31) % 251) as u8).collect())
+        .map(|i| {
+            (0..size)
+                .map(|j| ((i * 131 + j * 31) % 251) as u8)
+                .collect()
+        })
         .collect()
 }
 
 /// A pseudo-random file of `len` bytes (fixed generator, no RNG state).
 pub fn file(len: usize) -> Vec<u8> {
-    (0..len).map(|i| ((i * 2654435761_usize) >> 8) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 2654435761_usize) >> 8) as u8)
+        .collect()
 }
 
 /// Loss-probability sweep used by E4: 0.0, 0.05, …, 0.5.

@@ -126,10 +126,9 @@ impl fmt::Display for DslError {
             DslError::InvalidEnumValue { field, value } => {
                 write!(f, "enumerated field `{field}` disallows value {value:#x}")
             }
-            DslError::NoTransition { state, event } => write!(
-                f,
-                "no transition from state `{state}` on event `{event}`"
-            ),
+            DslError::NoTransition { state, event } => {
+                write!(f, "no transition from state `{state}` on event `{event}`")
+            }
             DslError::Nondeterministic { state, event } => write!(
                 f,
                 "two transitions enabled in state `{state}` on event `{event}`"

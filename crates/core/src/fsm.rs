@@ -79,9 +79,9 @@ impl Expr {
     /// [`DslError::UnknownName`] for unresolved variables.
     pub fn eval(&self, env: &BTreeMap<String, u64>) -> Result<u64, DslError> {
         Ok(match self {
-            Expr::Var(n) => *env.get(n).ok_or_else(|| DslError::UnknownName {
-                name: n.clone(),
-            })?,
+            Expr::Var(n) => *env
+                .get(n)
+                .ok_or_else(|| DslError::UnknownName { name: n.clone() })?,
             Expr::Const(c) => *c,
             Expr::Add(a, b) => a.eval(env)?.saturating_add(b.eval(env)?),
             Expr::Sub(a, b) => a.eval(env)?.saturating_sub(b.eval(env)?),
@@ -256,24 +256,21 @@ impl Spec {
         let _ = writeln!(out, "  init [shape=point];");
         let _ = writeln!(out, "  init -> s{};", self.initial.0);
         for t in &self.transitions {
-            let guard = t
-                .guard
-                .as_ref()
-                .map(|_| " [guarded]")
-                .unwrap_or("");
+            let guard = t.guard.as_ref().map(|_| " [guarded]").unwrap_or("");
             let _ = writeln!(
                 out,
                 "  s{} -> s{} [label=\"{}{}\"];",
-                t.from.0,
-                t.to.0,
-                self.events[t.event.0].name,
-                guard
+                t.from.0, t.to.0, self.events[t.event.0].name, guard
             );
         }
         out.push_str("}\n");
         out
     }
 }
+
+/// A transition as declared on the builder, still by name:
+/// `(from, event, guard, to, effects)`.
+type PendingTransition = (String, String, Option<Expr>, String, Vec<(String, Expr)>);
 
 /// Builder for [`Spec`].
 #[derive(Debug)]
@@ -282,7 +279,7 @@ pub struct SpecBuilder {
     states: Vec<StateDef>,
     events: Vec<EventDef>,
     vars: Vec<VarDef>,
-    transitions: Vec<(String, String, Option<Expr>, String, Vec<(String, Expr)>)>,
+    transitions: Vec<PendingTransition>,
 }
 
 impl SpecBuilder {
@@ -397,14 +394,18 @@ impl SpecBuilder {
                 .iter()
                 .position(|s| s.name == n)
                 .map(StateId)
-                .ok_or(DslError::UnknownName { name: n.to_string() })
+                .ok_or(DslError::UnknownName {
+                    name: n.to_string(),
+                })
         };
         let event_id = |n: &str| {
             self.events
                 .iter()
                 .position(|e| e.name == n)
                 .map(EventId)
-                .ok_or(DslError::UnknownName { name: n.to_string() })
+                .ok_or(DslError::UnknownName {
+                    name: n.to_string(),
+                })
         };
         let var_exists = |n: &str| self.vars.iter().any(|v| v.name == n);
 
@@ -413,7 +414,9 @@ impl SpecBuilder {
             if let Some(g) = guard {
                 for v in g.variables() {
                     if !var_exists(v) {
-                        return Err(DslError::UnknownName { name: v.to_string() });
+                        return Err(DslError::UnknownName {
+                            name: v.to_string(),
+                        });
                     }
                 }
             }
@@ -425,7 +428,9 @@ impl SpecBuilder {
                 }
                 for v in expr.variables() {
                     if !var_exists(v) {
-                        return Err(DslError::UnknownName { name: v.to_string() });
+                        return Err(DslError::UnknownName {
+                            name: v.to_string(),
+                        });
                     }
                 }
             }
@@ -778,7 +783,10 @@ mod tests {
         // The machine is unchanged after a rejected event.
         assert_eq!(spec.state_name(m.state()), "Ready");
         m.apply_named("SEND").unwrap();
-        assert!(m.apply_named("SEND").is_err(), "no pipelining in stop-and-wait");
+        assert!(
+            m.apply_named("SEND").is_err(),
+            "no pipelining in stop-and-wait"
+        );
     }
 
     #[test]
@@ -875,10 +883,7 @@ mod tests {
             Err(DslError::UnknownName { .. })
         ));
         assert!(matches!(
-            Spec::builder("x")
-                .state("A")
-                .var("v", 3, 9)
-                .build(),
+            Spec::builder("x").state("A").var("v", 3, 9).build(),
             Err(DslError::DomainViolation { .. })
         ));
         assert!(matches!(

@@ -411,10 +411,7 @@ impl PacketSpecBuilder {
                         }
                         Len::Prefixed { field, unit, .. } => {
                             if *unit == 0 {
-                                return Err(bad(format!(
-                                    "`{}` has zero length unit",
-                                    f.name
-                                )));
+                                return Err(bad(format!("`{}` has zero length unit", f.name)));
                             }
                             match seen.get(field) {
                                 Some(&j) if j < i => {
@@ -465,7 +462,9 @@ impl PacketSpecBuilder {
             }
         }
         if bit_mod8 != 0 {
-            return Err(bad("total fixed width is not a whole number of bytes".into()));
+            return Err(bad(
+                "total fixed width is not a whole number of bytes".into()
+            ));
         }
         Ok(PacketSpec {
             name: self.name,
@@ -946,19 +945,18 @@ impl PacketSpec {
         out.push_str(&rule());
         let mut row = String::from("|");
         let mut bits_in_row = 0usize;
-        let emit_cell = |row: &mut String, bits_in_row: &mut usize, out: &mut String, name: &str, mut bits: usize| {
+        let emit_cell = |row: &mut String,
+                         bits_in_row: &mut usize,
+                         out: &mut String,
+                         name: &str,
+                         mut bits: usize| {
             while bits > 0 {
                 let take = bits.min(ROW_BITS - *bits_in_row);
                 let cell_width = take * 2 - 1;
                 let label: String = if name.len() <= cell_width {
                     let pad = cell_width - name.len();
                     let left = pad / 2;
-                    format!(
-                        "{}{}{}",
-                        " ".repeat(left),
-                        name,
-                        " ".repeat(pad - left)
-                    )
+                    format!("{}{}{}", " ".repeat(left), name, " ".repeat(pad - left))
                 } else {
                     name.chars().take(cell_width).collect()
                 };
@@ -983,7 +981,13 @@ impl PacketSpec {
                         let pad = ROW_BITS - bits_in_row;
                         emit_cell(&mut row, &mut bits_in_row, &mut out, "", pad);
                     }
-                    emit_cell(&mut row, &mut bits_in_row, &mut out, &format!("{} ...", f.name), ROW_BITS);
+                    emit_cell(
+                        &mut row,
+                        &mut bits_in_row,
+                        &mut out,
+                        &format!("{} ...", f.name),
+                        ROW_BITS,
+                    );
                 }
             }
         }
@@ -1022,7 +1026,11 @@ mod tests {
         v.set("data", Value::Bytes(b"hello".to_vec()));
         let frame = spec.encode(&v).unwrap();
         assert_eq!(frame[0], 7);
-        assert_eq!(frame[1], arq_check(7, b"hello"), "checksum matches the paper's check(seq, data)");
+        assert_eq!(
+            frame[1],
+            arq_check(7, b"hello"),
+            "checksum matches the paper's check(seq, data)"
+        );
         assert_eq!(&frame[2..], b"hello");
 
         let decoded = spec.decode(&frame).unwrap();
@@ -1040,7 +1048,9 @@ mod tests {
         frame[3] ^= 0x40; // flip payload bit
         assert_eq!(
             spec.decode(&frame),
-            Err(DslError::ChecksumFailed { field: "chk".into() })
+            Err(DslError::ChecksumFailed {
+                field: "chk".into()
+            })
         );
         // Corrupting the sequence number is caught too (check covers seq).
         let mut frame2 = spec.encode(&v).unwrap();
@@ -1115,7 +1125,9 @@ mod tests {
             .uint("pad", 24)
             .build()
             .unwrap();
-        let frame = spec.encode(spec.value().set("pad", Value::Uint(0))).unwrap();
+        let frame = spec
+            .encode(spec.value().set("pad", Value::Uint(0)))
+            .unwrap();
         assert_eq!(frame[0], 1, "4 header bytes = one 32-bit word");
         assert!(spec.decode(&frame).is_ok());
     }
@@ -1264,14 +1276,18 @@ mod tests {
         // first absence reported.
         assert_eq!(
             spec.encode(&v),
-            Err(DslError::MissingField { field: "data".into() })
+            Err(DslError::MissingField {
+                field: "data".into()
+            })
         );
         let mut v2 = spec.value();
         v2.set("seq", Value::Bytes(vec![7]));
         v2.set("data", Value::Bytes(vec![]));
         assert_eq!(
             spec.encode(&v2),
-            Err(DslError::WrongKind { field: "seq".into() })
+            Err(DslError::WrongKind {
+                field: "seq".into()
+            })
         );
     }
 

@@ -150,6 +150,8 @@ impl<T: fmt::Display> fmt::Display for Checked<T> {
 mod tests {
     use super::*;
 
+    // The validated type is Vec<u8>, so the Validator impl fixes `&Vec<u8>`.
+    #[allow(clippy::ptr_arg)]
     fn nonempty(v: &Vec<u8>) -> Result<(), &'static str> {
         if v.is_empty() {
             Err("empty")
@@ -161,7 +163,10 @@ mod tests {
     #[test]
     fn verify_issues_witness_only_on_success() {
         assert!(Checked::verify(vec![1u8], &nonempty).is_ok());
-        assert_eq!(Checked::verify(Vec::<u8>::new(), &nonempty).unwrap_err(), "empty");
+        assert_eq!(
+            Checked::verify(Vec::<u8>::new(), &nonempty).unwrap_err(),
+            "empty"
+        );
     }
 
     #[test]

@@ -378,10 +378,7 @@ mod tests {
         let e2 = sim.step().unwrap();
         assert!(sim.step().is_none());
         match (e1, e2) {
-            (
-                Event::Frame { payload: p1, .. },
-                Event::Frame { payload: p2, .. },
-            ) => {
+            (Event::Frame { payload: p1, .. }, Event::Frame { payload: p2, .. }) => {
                 assert_eq!(p1, vec![1]);
                 assert_eq!(p2, vec![2]);
             }

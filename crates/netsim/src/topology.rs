@@ -180,7 +180,10 @@ mod tests {
         let (topo, nodes) = Topology::line(&mut sim, 5, LinkConfig::reliable(1));
         let p = topo.shortest_path(nodes[0], nodes[4]).unwrap();
         assert_eq!(p, nodes);
-        assert_eq!(topo.shortest_path(nodes[2], nodes[2]).unwrap(), vec![nodes[2]]);
+        assert_eq!(
+            topo.shortest_path(nodes[2], nodes[2]).unwrap(),
+            vec![nodes[2]]
+        );
     }
 
     #[test]
@@ -212,8 +215,7 @@ mod tests {
     #[test]
     fn all_paths_respects_hop_bound() {
         let mut sim = Simulator::new(0);
-        let (topo, src, dst, _) =
-            Topology::parallel_paths(&mut sim, 2, 3, LinkConfig::reliable(1));
+        let (topo, src, dst, _) = Topology::parallel_paths(&mut sim, 2, 3, LinkConfig::reliable(1));
         assert!(topo.all_paths(src, dst, 2).is_empty(), "paths need 4 hops");
         assert_eq!(topo.all_paths(src, dst, 4).len(), 2);
     }

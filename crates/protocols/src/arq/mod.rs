@@ -171,7 +171,10 @@ mod tests {
         v.set("kind", Value::Uint(3));
         v.set("seq", Value::Uint(0));
         v.set("payload", Value::Bytes(vec![]));
-        assert!(spec.encode(&v).is_err(), "cannot even build an ill-kinded frame");
+        assert!(
+            spec.encode(&v).is_err(),
+            "cannot even build an ill-kinded frame"
+        );
 
         // …and a hand-forged kind-3 frame with a *valid* checksum is
         // refused at decode time by the same declared constraint.

@@ -12,7 +12,7 @@ use netdsl_netsim::TimerToken;
 use crate::driver::{Endpoint, Io};
 
 use super::typestate::{new_sender, Finish, Ok_, Retry, Send, Sender, Timeout, ValidAck};
-use super::{ArqFrame, typestate};
+use super::{typestate, ArqFrame};
 
 /// Retransmission statistics for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -301,7 +301,9 @@ mod tests {
     use netdsl_netsim::LinkConfig;
 
     fn msgs(n: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("message-{i}").into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("message-{i}").into_bytes())
+            .collect()
     }
 
     #[test]
@@ -318,7 +320,10 @@ mod tests {
         let out = run_transfer(msgs(20), LinkConfig::lossy(2, 0.3), 7, 50, 20, 1_000_000);
         assert!(out.success, "30% loss must be survivable: {out:?}");
         assert_eq!(out.delivered.len(), 20);
-        assert!(out.sender.retransmissions > 0, "loss must have forced retries");
+        assert!(
+            out.sender.retransmissions > 0,
+            "loss must have forced retries"
+        );
     }
 
     #[test]

@@ -415,5 +415,4 @@ mod tests {
         assert!(ValidAck::validate(&corrupt, 0).is_none(), "corrupt");
         assert!(ValidAck::validate(&[], 0).is_none(), "truncated");
     }
-
 }

@@ -284,7 +284,12 @@ mod tests {
                 true
             }
         }
-        let mut d = Duplex::new(0, LinkConfig::reliable(1), TimerUser { fired: false }, Inert);
+        let mut d = Duplex::new(
+            0,
+            LinkConfig::reliable(1),
+            TimerUser { fired: false },
+            Inert,
+        );
         d.run(100);
         assert!(d.a().fired);
     }

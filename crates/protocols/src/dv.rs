@@ -211,19 +211,13 @@ impl DvNetwork {
                 .routes
                 .iter()
                 .filter(|(_, r)| r.next_hop != nb_addr)
-                .filter(|(_, r)| {
-                    r.metric == 0 || now.saturating_sub(r.refreshed) < self.hold_time
-                })
+                .filter(|(_, r)| r.metric == 0 || now.saturating_sub(r.refreshed) < self.hold_time)
                 .map(|(&dest, r)| AdvertEntry {
                     dest,
                     metric: r.metric,
                 })
                 .collect();
-            let frame = Advert {
-                origin,
-                entries,
-            }
-            .encode();
+            let frame = Advert { origin, entries }.encode();
             let link = self
                 .topo
                 .link(self.routers[idx].node, self.routers[nb].node)
@@ -279,8 +273,11 @@ impl DvNetwork {
         let end = self.sim.now() + duration;
         // Stagger initial adverts so synchronized bursts don't alias.
         for i in 0..self.routers.len() {
-            self.sim
-                .set_timer(self.routers[i].node, (i as Tick) % self.advert_interval + 1, 0);
+            self.sim.set_timer(
+                self.routers[i].node,
+                (i as Tick) % self.advert_interval + 1,
+                0,
+            );
         }
         loop {
             match self.sim.step() {
@@ -363,7 +360,10 @@ mod tests {
         v.set("count", Value::Uint(2));
         v.set("entries", Value::Bytes(vec![0, 1, 0])); // only one entry
         let bad = spec.encode(&v).unwrap();
-        assert!(Advert::decode(&bad).is_err(), "count/entries mismatch caught");
+        assert!(
+            Advert::decode(&bad).is_err(),
+            "count/entries mismatch caught"
+        );
         // Bit corruption is caught by the CRC.
         let mut corrupt = wire.clone();
         corrupt[5] ^= 1;
@@ -384,14 +384,10 @@ mod tests {
         net.run(2_000);
         for from in 0..5u16 {
             for to in 0..5u16 {
-                let r = net.route(from, to).unwrap_or_else(|| {
-                    panic!("no route {from}→{to} after convergence")
-                });
-                assert_eq!(
-                    r.metric,
-                    from.abs_diff(to) as u8,
-                    "metric {from}→{to}"
-                );
+                let r = net
+                    .route(from, to)
+                    .unwrap_or_else(|| panic!("no route {from}→{to} after convergence"));
+                assert_eq!(r.metric, from.abs_diff(to) as u8, "metric {from}→{to}");
             }
         }
         assert_eq!(net.forwarding_path(0, 4).unwrap(), vec![0, 1, 2, 3, 4]);

@@ -269,7 +269,15 @@ mod tests {
 
     #[test]
     fn survives_loss() {
-        let out = run_transfer(msgs(30), 4, LinkConfig::lossy(3, 0.2), 9, 100, 30, 10_000_000);
+        let out = run_transfer(
+            msgs(30),
+            4,
+            LinkConfig::lossy(3, 0.2),
+            9,
+            100,
+            30,
+            10_000_000,
+        );
         assert!(out.success, "{:?}", out.stats);
         assert!(out.stats.retransmissions > 0);
     }

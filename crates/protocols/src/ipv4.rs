@@ -96,9 +96,15 @@ impl Ipv4Packet {
         let spec = ipv4_spec();
         let mut v = spec.value();
         v.set("tos", Value::Uint(u64::from(self.tos)));
-        v.set("identification", Value::Uint(u64::from(self.identification)));
+        v.set(
+            "identification",
+            Value::Uint(u64::from(self.identification)),
+        );
         v.set("flags", Value::Uint(u64::from(self.flags)));
-        v.set("fragment_offset", Value::Uint(u64::from(self.fragment_offset)));
+        v.set(
+            "fragment_offset",
+            Value::Uint(u64::from(self.fragment_offset)),
+        );
         v.set("ttl", Value::Uint(u64::from(self.ttl)));
         v.set("protocol", Value::Uint(u64::from(self.protocol)));
         v.set("source", Value::Uint(u64::from(self.source)));
@@ -285,7 +291,7 @@ mod tests {
     fn wrong_version_rejected() {
         let mut wire = sample().encode().unwrap();
         wire[0] = 0x65; // version 6
-        // (checksum now also wrong; fix it so the version check is what fires)
+                        // (checksum now also wrong; fix it so the version check is what fires)
         wire[10] = 0;
         wire[11] = 0;
         let ck = internet_checksum(&[&wire[..10], &[0, 0], &wire[12..20]].concat());

@@ -244,7 +244,15 @@ mod tests {
         // Find a seed where exactly one frame is lost, then check SR only
         // resent that one.
         for seed in 0..200 {
-            let out = run_transfer(msgs(20), 8, LinkConfig::lossy(3, 0.03), seed, 100, 10, 10_000_000);
+            let out = run_transfer(
+                msgs(20),
+                8,
+                LinkConfig::lossy(3, 0.03),
+                seed,
+                100,
+                10,
+                10_000_000,
+            );
             if out.success && out.stats.retransmissions == 1 {
                 assert_eq!(out.stats.frames_sent, 21, "exactly one extra frame");
                 return;
@@ -255,7 +263,15 @@ mod tests {
 
     #[test]
     fn survives_heavy_loss() {
-        let out = run_transfer(msgs(30), 8, LinkConfig::lossy(3, 0.3), 5, 100, 40, 10_000_000);
+        let out = run_transfer(
+            msgs(30),
+            8,
+            LinkConfig::lossy(3, 0.3),
+            5,
+            100,
+            40,
+            10_000_000,
+        );
         assert!(out.success, "{:?}", out.stats);
     }
 

@@ -115,7 +115,7 @@ impl TftpSender {
     /// block, per RFC 1350 semantics.
     pub fn new(file: &[u8], timeout: u64, max_retries: u32) -> Self {
         let mut blocks: Vec<Vec<u8>> = file.chunks(BLOCK_SIZE).map(<[u8]>::to_vec).collect();
-        if file.is_empty() || file.len() % BLOCK_SIZE == 0 {
+        if file.is_empty() || file.len().is_multiple_of(BLOCK_SIZE) {
             blocks.push(Vec::new());
         }
         TftpSender {

@@ -104,7 +104,11 @@ mod tests {
         };
         let wire = d.encode().unwrap();
         assert_eq!(wire.len(), 8 + 9);
-        assert_eq!(u16::from_be_bytes([wire[4], wire[5]]), 17, "length = 8 + payload");
+        assert_eq!(
+            u16::from_be_bytes([wire[4], wire[5]]),
+            17,
+            "length = 8 + payload"
+        );
         assert_eq!(UdpDatagram::decode(&wire).unwrap(), d);
     }
 

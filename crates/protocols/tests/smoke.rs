@@ -1,0 +1,40 @@
+//! Crate-level smoke test: a full stop-and-wait transfer over a lossy link.
+
+use netdsl_netsim::LinkConfig;
+use netdsl_protocols::arq::session::run_transfer;
+use netdsl_protocols::ipv4::Ipv4Packet;
+
+#[test]
+fn arq_transfer_survives_loss() {
+    let messages = vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()];
+    let out = run_transfer(
+        messages.clone(),
+        LinkConfig::lossy(5, 0.2),
+        42,
+        100,
+        10,
+        1_000_000,
+    );
+    assert!(out.success);
+    assert_eq!(out.delivered, messages);
+}
+
+#[test]
+fn ipv4_codec_roundtrip() {
+    let p = Ipv4Packet {
+        tos: 0,
+        identification: 0x1c46,
+        flags: 0b010,
+        fragment_offset: 0,
+        ttl: 64,
+        protocol: 6,
+        source: 0xC0A8_0001,
+        destination: 0xC0A8_00C7,
+        payload: b"data".to_vec(),
+    };
+    let wire = p.encode().expect("encodes");
+    assert_eq!(Ipv4Packet::decode(&wire).expect("decodes"), p);
+    let mut bad = wire;
+    bad[10] ^= 0xFF; // corrupt the header checksum
+    assert!(Ipv4Packet::decode(&bad).is_err());
+}

@@ -381,7 +381,7 @@ mod tests {
             fn successors(&self, s: &u8) -> Vec<((), u8)> {
                 match s {
                     0 => vec![((), 1), ((), 2)],
-                    1 => vec![],      // terminal
+                    1 => vec![],        // terminal
                     _ => vec![((), 2)], // 2 loops forever
                 }
             }
@@ -389,7 +389,10 @@ mod tests {
                 *s == 1
             }
         }
-        assert_eq!(Explorer::new().always_eventually_terminal(&Trap), Some(false));
+        assert_eq!(
+            Explorer::new().always_eventually_terminal(&Trap),
+            Some(false)
+        );
     }
 
     #[test]
@@ -401,7 +404,10 @@ mod tests {
         let sys = SpecSystem::new(&spec);
         let r = Explorer::new().explore(&sys);
         assert_eq!(r.states, 16);
-        assert!(r.deadlocks.is_empty(), "Sent is terminal; everything else moves");
+        assert!(
+            r.deadlocks.is_empty(),
+            "Sent is terminal; everything else moves"
+        );
         assert_eq!(
             Explorer::new().always_eventually_terminal(&sys),
             Some(true),

@@ -166,7 +166,12 @@ fn shortest_path_to_uncovered(
 /// Baseline: `n` random walks of length `len` (events drawn uniformly;
 /// invalid events are skipped without advancing — exactly what a naive
 /// random tester does).
-pub fn random_suite<R: Rng + ?Sized>(spec: &Spec, rng: &mut R, n: usize, len: usize) -> Vec<TestCase> {
+pub fn random_suite<R: Rng + ?Sized>(
+    spec: &Spec,
+    rng: &mut R,
+    n: usize,
+    len: usize,
+) -> Vec<TestCase> {
     let mut suite = Vec::with_capacity(n);
     for _ in 0..n {
         let mut m = Machine::new(spec);

@@ -1,0 +1,17 @@
+//! Crate-level smoke test: the checker proves the paper's sender spec.
+
+use netdsl_core::fsm::paper_sender_spec;
+use netdsl_verify::props::check_spec;
+use netdsl_verify::{transition_cover, Limits, Verdict};
+
+#[test]
+fn paper_sender_verifies_and_is_coverable() {
+    let spec = paper_sender_spec(7);
+    let report = check_spec(&spec, Limits::default());
+    assert!(matches!(report.soundness, Verdict::Holds));
+    assert!(matches!(report.completeness, Verdict::Holds));
+    assert!(report.all_hold(), "all four verdicts hold");
+
+    let suite = transition_cover(&spec);
+    assert!(!suite.is_empty(), "behavioural tests generated");
+}

@@ -57,7 +57,7 @@ impl<'a> BitReader<'a> {
 
     /// `true` when the read position lies on a byte boundary.
     pub fn is_byte_aligned(&self) -> bool {
-        self.pos % 8 == 0
+        self.pos.is_multiple_of(8)
     }
 
     /// Reads `width` bits (1..=64) as an unsigned big-endian integer.
@@ -314,7 +314,10 @@ mod tests {
         assert_eq!(r.read_bits(0), Err(WireError::WidthTooLarge { width: 0 }));
         assert_eq!(r.read_bits(65), Err(WireError::WidthTooLarge { width: 65 }));
         let mut w = BitWriter::new();
-        assert_eq!(w.write_bits(0, 0), Err(WireError::WidthTooLarge { width: 0 }));
+        assert_eq!(
+            w.write_bits(0, 0),
+            Err(WireError::WidthTooLarge { width: 0 })
+        );
         assert_eq!(
             w.write_bits(0, 65),
             Err(WireError::WidthTooLarge { width: 65 })

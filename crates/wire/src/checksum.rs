@@ -169,7 +169,11 @@ pub fn crc32_ieee(data: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -274,7 +278,10 @@ mod tests {
         for k in kinds {
             let v = k.compute(CHECK_STR);
             let w = k.width_bits();
-            assert!(w == 64 || v >> w == 0, "{k:?} produced over-wide value {v:#x}");
+            assert!(
+                w == 64 || v >> w == 0,
+                "{k:?} produced over-wide value {v:#x}"
+            );
         }
     }
 

@@ -88,7 +88,10 @@ impl fmt::Display for WireError {
                 write!(f, "invalid value {value:#x} for field `{field}`")
             }
             WireError::NotByteAligned { bit_offset } => {
-                write!(f, "operation requires byte alignment, {bit_offset} bits into a byte")
+                write!(
+                    f,
+                    "operation requires byte alignment, {bit_offset} bits into a byte"
+                )
             }
         }
     }

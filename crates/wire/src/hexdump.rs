@@ -49,8 +49,7 @@ pub fn hexdump(data: &[u8]) -> String {
 /// rules between rows, matching the visual convention of Figure 1 of the
 /// paper (the RFC 791 IPv4 header picture).
 pub fn rfc_picture(data: &[u8]) -> String {
-    const RULE: &str =
-        "+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n";
+    const RULE: &str = "+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n";
     let mut out = String::new();
     out.push_str(" 0                   1                   2                   3\n");
     out.push_str(" 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1\n");

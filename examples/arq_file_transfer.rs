@@ -17,7 +17,10 @@ fn main() {
     let channel = LinkConfig::harsh(10);
 
     println!("transferring {n} messages over a harsh channel (loss 15%, corrupt 5%)\n");
-    println!("{:<18} {:>10} {:>10} {:>14}", "protocol", "ticks", "frames", "retransmits");
+    println!(
+        "{:<18} {:>10} {:>10} {:>14}",
+        "protocol", "ticks", "frames", "retransmits"
+    );
 
     let sw = arq::session::run_transfer(messages.clone(), channel.clone(), 7, 200, 50, 100_000_000);
     assert!(sw.success, "stop-and-wait failed");
@@ -26,7 +29,15 @@ fn main() {
         "stop-and-wait", sw.elapsed, sw.sender.frames_sent, sw.sender.retransmissions
     );
 
-    let g = gbn::run_transfer(messages.clone(), 8, channel.clone(), 7, 300, 80, 100_000_000);
+    let g = gbn::run_transfer(
+        messages.clone(),
+        8,
+        channel.clone(),
+        7,
+        300,
+        80,
+        100_000_000,
+    );
     assert!(g.success, "go-back-n failed");
     println!(
         "{:<18} {:>10} {:>10} {:>14}",

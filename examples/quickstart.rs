@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pkt.set("seq", Value::Uint(7));
     pkt.set("data", Value::Bytes(b"hello, netdsl".to_vec()));
     let wire = spec.encode(&pkt)?;
-    println!("encoded frame ({} bytes), checksum auto-filled:", wire.len());
+    println!(
+        "encoded frame ({} bytes), checksum auto-filled:",
+        wire.len()
+    );
     println!("{}", netdsl::wire::hexdump::hexdump(&wire));
 
     // Decoding validates everything; the result is a witness.

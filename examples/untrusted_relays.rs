@@ -38,7 +38,10 @@ fn main() {
             );
         }
         if k == PATHS - 1 {
-            println!("\nfinal trust scores with {k} compromised: {:?}", trust.trust);
+            println!(
+                "\nfinal trust scores with {k} compromised: {:?}",
+                trust.trust
+            );
         }
     }
     println!("\ntrust learning holds delivery high until every path is compromised;");

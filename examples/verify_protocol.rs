@@ -40,6 +40,9 @@ fn main() {
         }
 
         // The machine's structure, as Graphviz (render with `dot -Tpng`).
-        println!("\ndot output available via Spec::to_dot() ({} bytes)\n", spec.to_dot().len());
+        println!(
+            "\ndot output available via Spec::to_dot() ({} bytes)\n",
+            spec.to_dot().len()
+        );
     }
 }

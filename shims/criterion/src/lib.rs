@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface the netdsl benches use — groups,
+//! parameterised benchmark IDs, throughput annotation, `Bencher::iter` —
+//! with a simple measurement loop: warm up briefly, then time batches
+//! until a fixed measurement budget elapses and report the mean per
+//! iteration (plus derived throughput). No statistics, plots, or baseline
+//! files; swapping in real criterion requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Write as _};
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle; one per `criterion_group!` run.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup { throughput: None }
+    }
+
+    /// Measures a single standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, &mut f);
+        self
+    }
+}
+
+/// A group of measurements sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `f` with `input` passed through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.throughput.clone(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Measures a function within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.throughput.clone(), &mut f);
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Units of work per iteration, for derived rates.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark name with an attached parameter value.
+#[derive(Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an ID like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Handed to the closure; calls back into the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: establish a per-iteration estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < WARMUP {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) as u64 / warmup_iters.max(1);
+        let batch = (MEASURE.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = batch;
+    }
+}
+
+const WARMUP: Duration = Duration::from_millis(20);
+const MEASURE: Duration = Duration::from_millis(80);
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter_ns = if bencher.iters_done == 0 {
+        0.0
+    } else {
+        bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64
+    };
+    let mut line = String::new();
+    write!(line, "  {name:<40} {:>12}/iter", format_ns(per_iter_ns)).expect("write to String");
+    if per_iter_ns > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (per_iter_ns / 1e9) / (1024.0 * 1024.0);
+                write!(line, " {rate:>10.1} MiB/s").expect("write to String");
+            }
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (per_iter_ns / 1e9);
+                write!(line, " {rate:>10.0} elem/s").expect("write to String");
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_smoke");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(21) * 2));
+    }
+
+    #[test]
+    fn id_formats_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("enc", 1024).to_string(), "enc/1024");
+    }
+}

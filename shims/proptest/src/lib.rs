@@ -1,0 +1,241 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the property-testing surface the netdsl workspace uses:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), integer/bool
+//! [`prelude::any`], range and tuple strategies, [`collection::vec`],
+//! `prop_map`, `prop_oneof!`, `prop_recursive`, simple string-pattern
+//! strategies, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs verbatim;
+//! * **deterministic seeding** — each test's RNG is seeded from the hash of
+//!   its module path and name, so failures reproduce across runs (override
+//!   with the `PROPTEST_SEED` environment variable);
+//! * **case count** — defaults to 64, override per-test with
+//!   `ProptestConfig::with_cases` or globally with `PROPTEST_CASES`;
+//! * string strategies accept only the literal/class/repeat regex subset
+//!   (`[a-z0-9]{0,24}`-shaped patterns).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]`, then any
+/// number of test functions of the form
+/// `#[test] fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+),
+                    $(&$arg),+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    if e.is_rejection() {
+                        continue;
+                    }
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, config.cases, e, inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (with
+/// its inputs reported) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), left, right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds (the shim moves on to the
+/// next case; there is no global rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Chooses among several strategies with equal weight. All operands must
+/// yield the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(
+            (0..16).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u8..10, y in -4i64..=4, n in 0usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!(n < 5);
+        }
+
+        /// Vec strategies respect their size range and element strategy.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        /// Tuples, maps and oneof compose.
+        #[test]
+        fn composition(pair in (any::<bool>(), 0u16..9), tagged in prop_oneof![
+            (0u8..3).prop_map(|v| v as u64),
+            Just(99u64),
+        ]) {
+            prop_assert!(pair.1 < 9);
+            prop_assert!(tagged < 3 || tagged == 99);
+        }
+
+        /// String pattern strategies honour class and repetition.
+        #[test]
+        fn string_patterns(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        /// Default config: recursion terminates and stays well-typed.
+        #[test]
+        fn recursion_bounded(v in (0u8..10).prop_map(Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Node)
+        })) {
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            prop_assert!(depth(&v) <= 4);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+    use Tree::{Leaf, Node};
+}

@@ -1,0 +1,5 @@
+//! The usual imports: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,155 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest compiles full regexes into strategies; this shim supports
+//! the subset the workspace's tests use: literal characters, character
+//! classes `[a-z0-9_ ]` (ranges and singletons, no negation), and the
+//! repetition suffixes `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats are
+//! capped at 8). Unsupported syntax panics at test time with a clear
+//! message rather than generating wrong data.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// One of these characters.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min) as u64;
+        let count = piece.min
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Class(chars) => {
+                    out.push(chars[rng.below(chars.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let set = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("trailing '\\' in pattern {pattern:?}"));
+                i += 2;
+                Atom::Class(vec![c])
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {:?} in pattern {pattern:?} (shim supports literals, classes, and repetition only)", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        body.first() != Some(&'^'),
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    set
+}
+
+/// Parses an optional repetition suffix at `*i`, advancing past it.
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    const UNBOUNDED_CAP: usize = 8;
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                let lo = lo.trim().parse().unwrap_or_else(|_| bad_repeat(pattern));
+                let hi = if hi.trim().is_empty() {
+                    lo + UNBOUNDED_CAP
+                } else {
+                    hi.trim().parse().unwrap_or_else(|_| bad_repeat(pattern))
+                };
+                assert!(lo <= hi, "inverted repeat range in pattern {pattern:?}");
+                (lo, hi)
+            } else {
+                let n = body.trim().parse().unwrap_or_else(|_| bad_repeat(pattern));
+                (n, n)
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn bad_repeat(pattern: &str) -> usize {
+    panic!("malformed repetition in pattern {pattern:?}")
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The netdsl workspace wires `serde` for tooling interoperability (specs
+//! can be stored/exchanged once the real crate is swapped in), but the
+//! build environment has no registry access. This shim keeps the trait
+//! bounds and `#[derive(Serialize, Deserialize)]` attributes compiling:
+//! the traits are markers with no methods, and the derive macros emit
+//! empty impls. Replacing the `serde` entry in `[workspace.dependencies]`
+//! with the real crate requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (shim: no data model).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (shim: no data model).
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

@@ -1,0 +1,73 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits marker implementations of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits. Supports plain (non-generic) structs and
+//! enums, which is all the netdsl workspace derives on; deriving on a
+//! generic type is a compile error with a clear message rather than a
+//! silently wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Extracts the type name from a `struct`/`enum`/`union` item, rejecting
+/// generic types (the shim cannot know the right bounds).
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => {
+                            return Err(format!("expected type name after `{kw}`, got {other:?}"))
+                        }
+                    };
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            return Err(format!(
+                                "serde shim derive does not support generic type `{name}`"
+                            ));
+                        }
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    Err("serde shim derive: no struct/enum found in input".to_string())
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}

@@ -32,11 +32,77 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// RFC 5234 ABNF grammars — the paper's first syntactic baseline.
+///
+/// ```
+/// let g = netdsl::abnf::Grammar::parse("num = 1*3DIGIT\n").unwrap();
+/// assert!(g.matches("num", b"123").unwrap());
+/// assert!(!g.matches("num", b"12345").unwrap());
+/// ```
 pub use netdsl_abnf as abnf;
-pub use netdsl_asn1 as asn1;
+
+/// Behavioural adaptation: fuzzy QoS, trust routing, adaptive timers.
+///
+/// ```
+/// let mut rto = netdsl::adapt::RtoEstimator::new(3000, 100, 60_000);
+/// rto.on_sample(50);
+/// assert!(rto.rto() < 3000, "RTO converges after a sample");
+/// ```
 pub use netdsl_adapt as adapt;
+
+/// ASN.1 + DER — the paper's second syntactic baseline.
+///
+/// ```
+/// use netdsl::asn1::{der, AsnValue};
+/// let v = AsnValue::Integer(300);
+/// assert_eq!(der::decode(&der::encode(&v)).unwrap(), v);
+/// ```
+pub use netdsl_asn1 as asn1;
+
+/// The DSL itself: packet specs, witnesses, typestate and reified FSMs.
+///
+/// ```
+/// use netdsl::core::fsm::paper_sender_spec;
+/// let spec = paper_sender_spec(7);
+/// assert_eq!(spec.name(), "paper-arq-sender");
+/// ```
 pub use netdsl_core as core;
+
+/// Deterministic network simulator (loss, duplication, corruption, jitter).
+///
+/// ```
+/// use netdsl::netsim::{LinkConfig, Simulator};
+/// let mut sim = Simulator::new(1);
+/// let (a, b) = (sim.add_node(), sim.add_node());
+/// let link = sim.add_link(a, b, LinkConfig::reliable(3));
+/// assert!(sim.send(link, vec![0x42]));
+/// ```
 pub use netdsl_netsim as netsim;
+
+/// Protocols written in the DSL: ARQ (§3.4), GBN, SR, handshake, IPv4,
+/// UDP, TFTP and the hand-rolled baseline.
+///
+/// ```
+/// let spec = netdsl::protocols::ipv4::ipv4_spec();
+/// assert_eq!(spec.name(), "ipv4");
+/// ```
 pub use netdsl_protocols as protocols;
+
+/// Model checker and behavioural test generation over reified specs.
+///
+/// ```
+/// use netdsl::core::fsm::paper_sender_spec;
+/// use netdsl::verify::{props::check_spec, Limits};
+/// let report = check_spec(&paper_sender_spec(3), Limits::default());
+/// assert!(report.all_hold());
+/// ```
 pub use netdsl_verify as verify;
+
+/// Bit-granular wire I/O and checksums.
+///
+/// ```
+/// use netdsl::wire::checksum::{arq_check, arq_verify};
+/// let c = arq_check(1, b"payload");
+/// assert!(arq_verify(1, b"payload", c));
+/// ```
 pub use netdsl_wire as wire;

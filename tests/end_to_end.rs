@@ -33,14 +33,17 @@ fn define_verify_generate_execute_pipeline() {
     }
 
     // 4. Execute: the same protocol over a lossy simulated network.
-    let out = arq::session::run_transfer(msgs(25), LinkConfig::lossy(5, 0.25), 9, 80, 30, 10_000_000);
+    let out =
+        arq::session::run_transfer(msgs(25), LinkConfig::lossy(5, 0.25), 9, 80, 30, 10_000_000);
     assert!(out.success);
     assert_eq!(out.delivered, msgs(25));
 }
 
 #[test]
 fn every_transport_delivers_the_same_workload() {
-    let cfg = LinkConfig::reliable(4).with_corrupt(0.1).with_duplicate(0.05);
+    let cfg = LinkConfig::reliable(4)
+        .with_corrupt(0.1)
+        .with_duplicate(0.05);
     let sw = arq::session::run_transfer(msgs(30), cfg.clone(), 5, 80, 40, 50_000_000);
     let gb = gbn::run_transfer(msgs(30), 8, cfg.clone(), 5, 120, 60, 50_000_000);
     let s = sr::run_transfer(msgs(30), 8, cfg.clone(), 5, 120, 60, 50_000_000);
@@ -91,7 +94,8 @@ fn handshake_spec_and_runtime_agree() {
     for history in [&d.a().history, &d.b().history] {
         let mut m = netdsl::core::fsm::Machine::new(&spec);
         for ev in history {
-            m.apply_named(ev).expect("runtime history must be spec-legal");
+            m.apply_named(ev)
+                .expect("runtime history must be spec-legal");
         }
     }
 }
@@ -161,7 +165,10 @@ fn custom_packet_spec_over_the_network() {
     }
     assert_eq!(valid + rejected, sent);
     assert!(valid > 50, "some frames survive");
-    assert!(rejected > 50, "corruption is detected, never delivered as data");
+    assert!(
+        rejected > 50,
+        "corruption is detected, never delivered as data"
+    );
 }
 
 #[test]
@@ -170,7 +177,8 @@ fn receiver_spec_matches_session_receiver_behaviour() {
     // receiver advances only on valid in-order data — align the two by
     // replaying a session's delivery count through the spec.
     let spec = paper_receiver_spec(255);
-    let out = arq::session::run_transfer(msgs(12), LinkConfig::lossy(3, 0.2), 21, 60, 30, 10_000_000);
+    let out =
+        arq::session::run_transfer(msgs(12), LinkConfig::lossy(3, 0.2), 21, 60, 30, 10_000_000);
     assert!(out.success);
     let mut m = netdsl::core::fsm::Machine::new(&spec);
     for _ in 0..out.delivered.len() {

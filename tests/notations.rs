@@ -74,7 +74,10 @@ fn the_dsl_rejects_what_the_baselines_accept() {
     let spec = dsl_spec();
     // Build the forged frame at the byte level: seq 7, chk 0, "hi".
     let forged = vec![7u8, 0, b'h', b'i'];
-    assert!(spec.decode(&forged).is_err(), "checksum constraint enforced");
+    assert!(
+        spec.decode(&forged).is_err(),
+        "checksum constraint enforced"
+    );
 
     // And the honest frame decodes.
     let mut v = spec.value();
