@@ -113,6 +113,8 @@ pub struct RelayOutcome {
     pub delivered: u64,
     /// Messages sent.
     pub sent: u64,
+    /// Virtual ticks the whole session consumed.
+    pub elapsed: u64,
     /// Final trust score per path (empty for non-learning policies).
     pub trust: Vec<f64>,
 }
@@ -132,6 +134,8 @@ impl RelayOutcome {
 /// relays each; `compromised` lists path indices whose relays drop
 /// traffic (loss `0.9` on their outgoing links); `rounds` messages are
 /// sent under `policy`, each acknowledged end-to-end on the reverse path.
+/// All honest links are clean unit-delay; use
+/// [`run_relay_session_over`] to impair them.
 pub fn run_relay_session(
     k: usize,
     hops: usize,
@@ -140,9 +144,32 @@ pub fn run_relay_session(
     rounds: u64,
     seed: u64,
 ) -> RelayOutcome {
+    run_relay_session_over(
+        k,
+        hops,
+        LinkConfig::reliable(1),
+        compromised,
+        policy,
+        rounds,
+        seed,
+    )
+}
+
+/// [`run_relay_session`] with every (honest) link carrying the given
+/// impairment configuration — the campaign layer's link axis.
+/// Compromised relays still override their outgoing links with the 90%
+/// drop process.
+pub fn run_relay_session_over(
+    k: usize,
+    hops: usize,
+    link: LinkConfig,
+    compromised: &[usize],
+    policy: Policy,
+    rounds: u64,
+    seed: u64,
+) -> RelayOutcome {
     let mut sim = Simulator::new(seed);
-    let (topo, src, dst, relay_paths) =
-        Topology::parallel_paths(&mut sim, k, hops, LinkConfig::reliable(1));
+    let (topo, src, dst, relay_paths) = Topology::parallel_paths(&mut sim, k, hops, link);
 
     // Compromise: every outgoing link of every relay on the listed paths
     // becomes 90% lossy (a subverted forwarder that occasionally lets a
@@ -192,6 +219,7 @@ pub fn run_relay_session(
     RelayOutcome {
         delivered,
         sent: rounds,
+        elapsed: sim.now(),
         trust: if policy == Policy::TrustLearning {
             (0..k).map(|i| table.trust(i)).collect()
         } else {

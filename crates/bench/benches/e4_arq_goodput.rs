@@ -9,120 +9,101 @@
 //! .5}, window ∈ {1 (SW), 4, 8, 16} where applicable.
 //! Expected shape: goodput decreasing in p; SR ≥ GBN ≥ SW for p > 0;
 //! window gains shrink as loss grows (retransmission storms).
+//!
+//! Since PR 2 the whole sweep is one declarative [`Campaign`]: protocols
+//! × loss grid × seed replicates, expanded and executed in parallel, and
+//! every cell below is a [`Summary`] of that one report.
 
 use netdsl_bench::workload;
+use netdsl_netsim::campaign::{Campaign, Sweep};
+use netdsl_netsim::scenario::{ProtocolSpec, TrafficPattern};
 use netdsl_netsim::LinkConfig;
-use netdsl_protocols::{arq, gbn, sr};
+use netdsl_protocols::scenario::{SuiteDriver, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
 
 const MESSAGES: usize = 60;
 const MSG_SIZE: usize = 64;
 const DELAY: u64 = 10;
 const DEADLINE: u64 = 500_000_000;
-const SEEDS: [u64; 3] = [11, 23, 47];
-
-fn goodput(payload_bytes: u64, elapsed: u64) -> f64 {
-    if elapsed == 0 {
-        0.0
-    } else {
-        payload_bytes as f64 * 1000.0 / elapsed as f64
-    }
-}
+const SEEDS: u64 = 3;
+const THREADS: usize = 4;
 
 fn main() {
+    let protocols = Sweep::grid([
+        (
+            "SW",
+            ProtocolSpec::new(STOP_AND_WAIT)
+                .with_timeout(150)
+                .with_retries(200),
+        ),
+        (
+            "GBN w=4",
+            ProtocolSpec::new(GO_BACK_N)
+                .with_window(4)
+                .with_timeout(150)
+                .with_retries(400),
+        ),
+        (
+            "GBN w=8",
+            ProtocolSpec::new(GO_BACK_N)
+                .with_window(8)
+                .with_timeout(150)
+                .with_retries(400),
+        ),
+        (
+            "SR w=8",
+            ProtocolSpec::new(SELECTIVE_REPEAT)
+                .with_window(8)
+                .with_timeout(150)
+                .with_retries(400),
+        ),
+        (
+            "SR w=16",
+            ProtocolSpec::new(SELECTIVE_REPEAT)
+                .with_window(16)
+                .with_timeout(150)
+                .with_retries(400),
+        ),
+    ]);
+    let links = Sweep::grid(
+        workload::loss_sweep()
+            .into_iter()
+            .map(|p| (format!("{p:.2}"), LinkConfig::lossy(DELAY, p))),
+    );
+    let campaign = Campaign::new("e4-goodput", 0xE4)
+        .protocols(protocols)
+        .links(links)
+        .traffic(Sweep::single(
+            "60x64",
+            TrafficPattern::messages(MESSAGES, MSG_SIZE),
+        ))
+        .seeds(Sweep::seeds(SEEDS))
+        .deadline(DEADLINE);
+
     println!("E4: goodput (payload bytes / 1000 ticks) vs loss probability");
     println!(
-        "workload: {MESSAGES} × {MSG_SIZE}B messages, delay {DELAY} ticks, mean of {} seeds\n",
-        SEEDS.len()
+        "workload: {MESSAGES} × {MSG_SIZE}B messages, delay {DELAY} ticks, mean of {SEEDS} seeds"
     );
+    println!(
+        "campaign: {} scenarios on {THREADS} threads\n",
+        campaign.scenarios().len()
+    );
+
+    let report = campaign.run(&SuiteDriver::new(), THREADS);
+    let cells = report.group_by(|s| format!("{}|{}", s.labels.link, s.labels.protocol));
+
+    let proto_labels = ["SW", "GBN w=4", "GBN w=8", "SR w=8", "SR w=16"];
     println!(
         "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "loss", "SW", "GBN w=4", "GBN w=8", "SR w=8", "SR w=16"
     );
-
-    let total_payload = (MESSAGES * MSG_SIZE) as u64;
     for p in workload::loss_sweep() {
-        let mut row = Vec::new();
-        type Runner = Box<dyn Fn(u64) -> (bool, u64)>;
-        let runners: Vec<Runner> = vec![
-            Box::new(move |seed| {
-                let o = arq::session::run_transfer(
-                    workload::messages(MESSAGES, MSG_SIZE),
-                    LinkConfig::lossy(DELAY, p),
-                    seed,
-                    150,
-                    200,
-                    DEADLINE,
-                );
-                (o.success, o.elapsed)
-            }),
-            Box::new(move |seed| {
-                let o = gbn::run_transfer(
-                    workload::messages(MESSAGES, MSG_SIZE),
-                    4,
-                    LinkConfig::lossy(DELAY, p),
-                    seed,
-                    150,
-                    400,
-                    DEADLINE,
-                );
-                (o.success, o.elapsed)
-            }),
-            Box::new(move |seed| {
-                let o = gbn::run_transfer(
-                    workload::messages(MESSAGES, MSG_SIZE),
-                    8,
-                    LinkConfig::lossy(DELAY, p),
-                    seed,
-                    150,
-                    400,
-                    DEADLINE,
-                );
-                (o.success, o.elapsed)
-            }),
-            Box::new(move |seed| {
-                let o = sr::run_transfer(
-                    workload::messages(MESSAGES, MSG_SIZE),
-                    8,
-                    LinkConfig::lossy(DELAY, p),
-                    seed,
-                    150,
-                    400,
-                    DEADLINE,
-                );
-                (o.success, o.elapsed)
-            }),
-            Box::new(move |seed| {
-                let o = sr::run_transfer(
-                    workload::messages(MESSAGES, MSG_SIZE),
-                    16,
-                    LinkConfig::lossy(DELAY, p),
-                    seed,
-                    150,
-                    400,
-                    DEADLINE,
-                );
-                (o.success, o.elapsed)
-            }),
-        ];
-        for run in &runners {
-            let mut sum = 0.0;
-            let mut ok_runs = 0;
-            for &seed in &SEEDS {
-                let (ok, elapsed) = run(seed);
-                if ok {
-                    sum += goodput(total_payload, elapsed);
-                    ok_runs += 1;
-                }
-            }
-            row.push(if ok_runs > 0 {
-                sum / f64::from(ok_runs)
-            } else {
-                0.0
-            });
-        }
+        let row: Vec<f64> = proto_labels
+            .iter()
+            .map(|proto| cells[&format!("{p:.2}|{proto}")].goodput.mean())
+            .collect();
         println!(
-            "{:>5.2} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            p, row[0], row[1], row[2], row[3], row[4]
+            "{p:>5.2} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            row[0], row[1], row[2], row[3], row[4]
         );
     }
     println!("\nexpected shape: columns fall with loss; SR ≥ GBN ≥ SW at equal window.");

@@ -9,63 +9,88 @@
 //! Expected shape: each fixed timer is good at exactly one RTT (too
 //! short → spurious retransmissions; too long → slow loss recovery);
 //! the adaptive timer tracks every RTT with near-minimal overhead.
+//!
+//! Since PR 2 the sweep is one declarative [`Campaign`] over a
+//! [`DriverSet`]: the fixed-timer senders come from the protocol suite,
+//! the adaptive sender from this crate's [`AdaptiveDriver`] — the two
+//! compose without either crate knowing about the other.
 
-use netdsl_bench::adaptive_arq::run_adaptive_transfer;
-use netdsl_bench::workload;
+use netdsl_bench::campaign_drivers::{AdaptiveDriver, ADAPTIVE_SW};
+use netdsl_netsim::campaign::{Campaign, Sweep};
+use netdsl_netsim::scenario::{DriverSet, ProtocolSpec, TrafficPattern};
 use netdsl_netsim::LinkConfig;
-use netdsl_protocols::arq::session::run_transfer;
+use netdsl_protocols::scenario::{SuiteDriver, STOP_AND_WAIT};
 
 const N: usize = 40;
 const SIZE: usize = 32;
 const DEADLINE: u64 = 500_000_000;
+const THREADS: usize = 4;
 
 fn main() {
+    let fixed = |t: u64| {
+        ProtocolSpec::new(STOP_AND_WAIT)
+            .with_timeout(t)
+            .with_retries(400)
+    };
+    let campaign = Campaign::new("e8-timers", 0xE8)
+        .protocols(
+            Sweep::grid([
+                ("fixed 30", fixed(30)),
+                ("fixed 150", fixed(150)),
+                ("fixed 600", fixed(600)),
+            ])
+            .and(
+                "adaptive",
+                ProtocolSpec::new(ADAPTIVE_SW)
+                    .with_timeout(150)
+                    .with_retries(400),
+            ),
+        )
+        .links(Sweep::grid([5u64, 30, 75].into_iter().flat_map(|delay| {
+            [0.0, 0.1].into_iter().map(move |loss| {
+                (
+                    format!("delay {delay}, loss {loss}"),
+                    LinkConfig::lossy(delay, loss),
+                )
+            })
+        })))
+        .traffic(Sweep::single("40x32", TrafficPattern::messages(N, SIZE)))
+        .seeds(Sweep::seeds(1))
+        .deadline(DEADLINE);
+
     println!("E8: retransmissions per message (and completion ticks) vs timer policy\n");
     println!(
         "{:<22} {:>16} {:>16} {:>16} {:>16}",
         "delay / loss", "fixed 30", "fixed 150", "fixed 600", "adaptive"
     );
 
-    for &delay in &[5u64, 30, 75] {
-        for &loss in &[0.0, 0.1] {
-            let cfg = LinkConfig::lossy(delay, loss);
-            let mut cells = Vec::new();
-            for &t in &[30u64, 150, 600] {
-                let o = run_transfer(
-                    workload::messages(N, SIZE),
-                    cfg.clone(),
-                    5,
-                    t,
-                    400,
-                    DEADLINE,
-                );
-                cells.push(if o.success {
-                    format!(
-                        "{:.2} ({})",
-                        o.sender.retransmissions as f64 / N as f64,
-                        o.elapsed
-                    )
-                } else {
-                    "fail".to_string()
-                });
-            }
-            let a = run_adaptive_transfer(workload::messages(N, SIZE), cfg, 5, 150, 400, DEADLINE);
-            cells.push(if a.success {
-                format!(
-                    "{:.2} ({})",
-                    a.stats.retransmissions as f64 / N as f64,
-                    a.elapsed
-                )
-            } else {
-                "fail".to_string()
-            });
+    let driver = DriverSet::new()
+        .with(SuiteDriver::new())
+        .with(AdaptiveDriver::new());
+    let report = campaign.run(&driver, THREADS);
+    let cells = report.group_by(|s| format!("{}|{}", s.labels.link, s.labels.protocol));
+
+    for delay in [5u64, 30, 75] {
+        for loss in [0.0, 0.1] {
+            let link = format!("delay {delay}, loss {loss}");
+            let row: Vec<String> = ["fixed 30", "fixed 150", "fixed 600", "adaptive"]
+                .iter()
+                .map(|proto| {
+                    let s = &cells[&format!("{link}|{proto}")];
+                    if s.succeeded == s.runs {
+                        format!(
+                            "{:.2} ({:.0})",
+                            s.retransmits.mean(),
+                            s.latency.mean() * N as f64
+                        )
+                    } else {
+                        "fail".to_string()
+                    }
+                })
+                .collect();
             println!(
-                "{:<22} {:>16} {:>16} {:>16} {:>16}",
-                format!("delay {delay}, loss {loss}"),
-                cells[0],
-                cells[1],
-                cells[2],
-                cells[3]
+                "{link:<22} {:>16} {:>16} {:>16} {:>16}",
+                row[0], row[1], row[2], row[3]
             );
         }
     }

@@ -11,37 +11,68 @@
 //! Expected shape: trust-learning degrades only when honest paths run
 //! out; random degrades linearly; fixed collapses at the first
 //! compromise (its path is index 0).
+//!
+//! Since PR 2 the sweep is one declarative [`Campaign`]: the policy is
+//! the protocol axis, the compromise level is the topology axis
+//! (`ParallelPaths { compromised, .. }`), and replication is the seed
+//! axis — 45 scenarios from one definition.
 
-use netdsl_adapt::trust::{run_relay_session, Policy};
+use netdsl_bench::campaign_drivers::{RelayDriver, FIXED_PATH, RANDOM_PATH, TRUST_LEARNING};
+use netdsl_netsim::campaign::{Campaign, Sweep};
+use netdsl_netsim::scenario::{ProtocolSpec, TopologySpec, TrafficPattern};
+use netdsl_netsim::LinkConfig;
 
 const PATHS: usize = 4;
 const HOPS: usize = 2;
-const ROUNDS: u64 = 300;
-const SEEDS: [u64; 3] = [3, 17, 29];
-
-fn mean_ratio(compromised: &[usize], policy: Policy) -> f64 {
-    SEEDS
-        .iter()
-        .map(|&s| run_relay_session(PATHS, HOPS, compromised, policy, ROUNDS, s).delivery_ratio())
-        .sum::<f64>()
-        / SEEDS.len() as f64
-}
+const ROUNDS: usize = 300;
+const SEEDS: u64 = 3;
+const THREADS: usize = 4;
 
 fn main() {
-    println!("E9: delivery ratio vs compromised paths ({PATHS} paths, {HOPS} relays each)\n");
+    let campaign = Campaign::new("e9-trust", 0xE9)
+        .protocols(Sweep::grid([
+            ("trust", ProtocolSpec::new(TRUST_LEARNING)),
+            ("random", ProtocolSpec::new(RANDOM_PATH)),
+            ("fixed", ProtocolSpec::new(FIXED_PATH)),
+        ]))
+        .links(Sweep::single("relay-net", LinkConfig::reliable(1)))
+        .topologies(Sweep::grid((0..=PATHS).map(|k| {
+            (
+                format!("k={k}"),
+                TopologySpec::ParallelPaths {
+                    paths: PATHS,
+                    hops: HOPS,
+                    compromised: k,
+                },
+            )
+        })))
+        .traffic(Sweep::single(
+            "300 rounds",
+            TrafficPattern::messages(ROUNDS, 8),
+        ))
+        .seeds(Sweep::seeds(SEEDS));
+
+    println!("E9: delivery ratio vs compromised paths ({PATHS} paths, {HOPS} relays each)");
+    println!(
+        "campaign: {} scenarios on {THREADS} threads\n",
+        campaign.scenarios().len()
+    );
     println!(
         "{:>13} {:>10} {:>10} {:>10}",
         "#compromised", "trust", "random", "fixed"
     );
+
+    let report = campaign.run(&RelayDriver::new(), THREADS);
+    let cells = report.group_by(|s| format!("{}|{}", s.labels.topology, s.labels.protocol));
+    let ratio = |k: usize, proto: &str| cells[&format!("k={k}|{proto}")].delivery.mean();
+
     let mut prev_trust = 1.0;
     for k in 0..=PATHS {
-        let compromised: Vec<usize> = (0..k).collect();
-        let trust = mean_ratio(&compromised, Policy::TrustLearning);
-        let random = mean_ratio(&compromised, Policy::Random);
-        let fixed = mean_ratio(&compromised, Policy::Fixed);
+        let trust = ratio(k, "trust");
+        let random = ratio(k, "random");
+        let fixed = ratio(k, "fixed");
         println!(
-            "{:>13} {:>9.1}% {:>9.1}% {:>9.1}%",
-            k,
+            "{k:>13} {:>9.1}% {:>9.1}% {:>9.1}%",
             trust * 100.0,
             random * 100.0,
             fixed * 100.0

@@ -12,6 +12,9 @@
 //!   experiment E8 against fixed-timer senders;
 //! * [`arq_model`] — the sender × channel × receiver product model the
 //!   E5 composition rows are checked on;
+//! * [`campaign_drivers`] — [`ScenarioDriver`](netdsl_netsim::scenario::ScenarioDriver)
+//!   plug-ins (adaptive timers, trust relaying) that compose the
+//!   `protocols` and `adapt` crates for declarative campaign sweeps;
 //! * [`workload`] — deterministic message/workload generators.
 
 #![forbid(unsafe_code)]
@@ -19,5 +22,6 @@
 
 pub mod adaptive_arq;
 pub mod arq_model;
+pub mod campaign_drivers;
 pub mod loc;
 pub mod workload;

@@ -1,0 +1,527 @@
+//! Cartesian scenario sweeps executed in parallel.
+//!
+//! A [`Campaign`] is the declarative counterpart of the hand-wired
+//! experiment harnesses: each axis — protocols, link conditions,
+//! topologies, traffic patterns, seeds — is a labelled [`Sweep`], the
+//! campaign expands their cartesian product into [`Scenario`]s, and
+//! [`Campaign::run`] executes them across std threads. Three properties
+//! make the sweeps trustworthy:
+//!
+//! * **deterministic seeding** — each scenario's simulator seed is drawn
+//!   from a ChaCha stream keyed by the campaign base seed and that
+//!   scenario's seed-axis value, so seeds never depend on expansion
+//!   order or scheduling;
+//! * **common random numbers** — scenarios that differ only on non-seed
+//!   axes share the same simulator seed, so protocol A and protocol B
+//!   face the *same* channel randomness (the classic variance-reduction
+//!   device for paired comparisons);
+//! * **schedule independence** — results are written into per-scenario
+//!   slots, so a run on 8 threads is bit-identical to a run on 1 (there
+//!   is a property test for this in `tests/campaign.rs`).
+//!
+//! ```
+//! use netdsl_netsim::campaign::{Campaign, Sweep};
+//! use netdsl_netsim::scenario::ProtocolSpec;
+//! use netdsl_netsim::LinkConfig;
+//!
+//! let campaign = Campaign::new("doc", 1)
+//!     .protocols(Sweep::grid([("sw", ProtocolSpec::new("stop-and-wait"))]))
+//!     .links(Sweep::grid([
+//!         ("clean", LinkConfig::reliable(2)),
+//!         ("lossy", LinkConfig::lossy(2, 0.2)),
+//!     ]))
+//!     .seeds(Sweep::seeds(3));
+//! assert_eq!(campaign.scenarios().len(), 6); // 1 protocol × 2 links × 3 seeds
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::link::LinkConfig;
+use crate::scenario::{
+    Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioError, ScenarioLabels, ScenarioResult,
+    TopologySpec, TrafficPattern,
+};
+use crate::stats::Aggregate;
+use crate::Tick;
+
+/// One labelled campaign axis: an ordered list of `(label, value)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep<T> {
+    entries: Vec<(String, T)>,
+}
+
+impl<T> Sweep<T> {
+    /// An axis holding exactly one value.
+    pub fn single(label: impl Into<String>, value: T) -> Self {
+        Sweep {
+            entries: vec![(label.into(), value)],
+        }
+    }
+
+    /// An axis over all the given `(label, value)` pairs.
+    pub fn grid<L: Into<String>>(entries: impl IntoIterator<Item = (L, T)>) -> Self {
+        Sweep {
+            entries: entries.into_iter().map(|(l, v)| (l.into(), v)).collect(),
+        }
+    }
+
+    /// Appends one more entry (builder style).
+    #[must_use]
+    pub fn and(mut self, label: impl Into<String>, value: T) -> Self {
+        self.entries.push((label.into(), value));
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the axis has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(label, value)` pairs in sweep order.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, T)> {
+        self.entries.iter()
+    }
+
+    /// The labels in sweep order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(l, _)| l.as_str())
+    }
+}
+
+impl Sweep<u64> {
+    /// The canonical seed axis: `n` replicates labelled `s0..s{n-1}`
+    /// with axis values `0..n`. The axis value is *not* the simulator
+    /// seed — the campaign derives that through ChaCha (see
+    /// [`derive_seed`]) — it only identifies the replicate.
+    pub fn seeds(n: u64) -> Self {
+        Sweep {
+            entries: (0..n).map(|i| (format!("s{i}"), i)).collect(),
+        }
+    }
+}
+
+/// Derives the simulator seed for one scenario from the campaign base
+/// seed and the scenario's seed-axis value, via a ChaCha12 stream. The
+/// derivation is a pure function of `(base_seed, axis_seed)`: it does
+/// not depend on where the scenario sits in the expansion, which axes
+/// exist, or how many threads run the campaign.
+pub fn derive_seed(base_seed: u64, axis_seed: u64) -> u64 {
+    // Golden-ratio mixing keeps consecutive axis seeds far apart in the
+    // ChaCha key space.
+    let key = base_seed ^ axis_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ChaCha12Rng::seed_from_u64(key).next_u64()
+}
+
+/// A declarative sweep over protocols × links × topologies × traffic ×
+/// seeds. See the [module docs](self) for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    name: String,
+    base_seed: u64,
+    deadline: Tick,
+    protocols: Sweep<ProtocolSpec>,
+    links: Sweep<LinkConfig>,
+    topologies: Sweep<TopologySpec>,
+    traffic: Sweep<TrafficPattern>,
+    seeds: Sweep<u64>,
+    faults: Vec<Fault>,
+}
+
+impl Campaign {
+    /// An empty campaign: one duplex topology, default traffic, one
+    /// seed replicate, no faults. Protocols and links start empty and
+    /// must be populated for the campaign to expand to anything.
+    pub fn new(name: impl Into<String>, base_seed: u64) -> Self {
+        Campaign {
+            name: name.into(),
+            base_seed,
+            deadline: 500_000_000,
+            protocols: Sweep {
+                entries: Vec::new(),
+            },
+            links: Sweep {
+                entries: Vec::new(),
+            },
+            topologies: Sweep::single("duplex", TopologySpec::Duplex),
+            traffic: Sweep::single("default", TrafficPattern::default()),
+            seeds: Sweep::seeds(1),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Campaign name (used as the scenario-name prefix).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the protocol axis (builder style).
+    #[must_use]
+    pub fn protocols(mut self, protocols: Sweep<ProtocolSpec>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Sets the link-condition axis (builder style).
+    #[must_use]
+    pub fn links(mut self, links: Sweep<LinkConfig>) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// Sets the topology axis (builder style).
+    #[must_use]
+    pub fn topologies(mut self, topologies: Sweep<TopologySpec>) -> Self {
+        self.topologies = topologies;
+        self
+    }
+
+    /// Sets the traffic axis (builder style).
+    #[must_use]
+    pub fn traffic(mut self, traffic: Sweep<TrafficPattern>) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Sets the seed axis (builder style).
+    #[must_use]
+    pub fn seeds(mut self, seeds: Sweep<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Schedules a fault in every scenario (builder style).
+    #[must_use]
+    pub fn fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Sets the per-scenario virtual-time budget (builder style).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Tick) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Expands the cartesian product into concrete scenarios, in a fixed
+    /// order (protocol-major, then link, topology, traffic, seed).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(
+            self.protocols.len()
+                * self.links.len()
+                * self.topologies.len()
+                * self.traffic.len()
+                * self.seeds.len(),
+        );
+        for (proto_label, proto) in self.protocols.iter() {
+            for (link_label, link) in self.links.iter() {
+                for (topo_label, topo) in self.topologies.iter() {
+                    for (traffic_label, traffic) in self.traffic.iter() {
+                        for (seed_label, axis_seed) in self.seeds.iter() {
+                            out.push(Scenario {
+                                name: format!(
+                                    "{}/{proto_label}/{link_label}/{topo_label}/{traffic_label}/{seed_label}",
+                                    self.name
+                                ),
+                                protocol: proto.clone(),
+                                link: link.clone(),
+                                topology: *topo,
+                                traffic: *traffic,
+                                faults: self.faults.clone(),
+                                seed: derive_seed(self.base_seed, *axis_seed),
+                                deadline: self.deadline,
+                                labels: ScenarioLabels {
+                                    protocol: proto_label.clone(),
+                                    link: link_label.clone(),
+                                    topology: topo_label.clone(),
+                                    traffic: traffic_label.clone(),
+                                    seed: seed_label.clone(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes every scenario on `threads` worker threads (clamped to
+    /// at least 1) and returns the per-scenario outcomes in expansion
+    /// order. The report is a pure function of the campaign and driver:
+    /// thread count only changes wall-clock time.
+    pub fn run(&self, driver: &dyn ScenarioDriver, threads: usize) -> CampaignReport {
+        let scenarios = self.scenarios();
+        let n = scenarios.len();
+        let slots: Mutex<Vec<Option<Result<ScenarioResult, ScenarioError>>>> =
+            Mutex::new(vec![None; n]);
+        let next = AtomicUsize::new(0);
+
+        thread::scope(|scope| {
+            for _ in 0..threads.max(1).min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let scenario = &scenarios[i];
+                    let outcome = if driver.supports(&scenario.protocol.name) {
+                        driver.run(scenario)
+                    } else {
+                        Err(ScenarioError::UnknownProtocol(
+                            scenario.protocol.name.clone(),
+                        ))
+                    };
+                    slots.lock().expect("no poisoned workers")[i] = Some(outcome);
+                });
+            }
+        });
+
+        let outcomes = slots.into_inner().expect("workers joined");
+        CampaignReport {
+            campaign: self.name.clone(),
+            runs: scenarios
+                .into_iter()
+                .zip(outcomes)
+                .map(|(scenario, outcome)| ScenarioRun {
+                    scenario,
+                    outcome: outcome.expect("every slot filled"),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One scenario plus what running it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Its result, or why no driver could execute it.
+    pub outcome: Result<ScenarioResult, ScenarioError>,
+}
+
+/// Everything a campaign run produced, in expansion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Name of the campaign that ran.
+    pub campaign: String,
+    /// Per-scenario outcomes.
+    pub runs: Vec<ScenarioRun>,
+}
+
+impl CampaignReport {
+    /// Aggregate over every run.
+    pub fn aggregate(&self) -> Summary {
+        Summary::of(self.runs.iter())
+    }
+
+    /// Aggregates per group, keyed by `key(scenario)`; groups are sorted
+    /// by key. Typical keys join axis labels, e.g.
+    /// `|s| format!("{}/{}", s.labels.link, s.labels.protocol)`.
+    pub fn group_by<F>(&self, key: F) -> BTreeMap<String, Summary>
+    where
+        F: Fn(&Scenario) -> String,
+    {
+        let mut groups: BTreeMap<String, Vec<&ScenarioRun>> = BTreeMap::new();
+        for run in &self.runs {
+            groups.entry(key(&run.scenario)).or_default().push(run);
+        }
+        groups
+            .into_iter()
+            .map(|(k, runs)| (k, Summary::of(runs.into_iter())))
+            .collect()
+    }
+
+    /// The runs whose driver errored (unknown protocol, bad topology).
+    pub fn errors(&self) -> impl Iterator<Item = &ScenarioRun> {
+        self.runs.iter().filter(|r| r.outcome.is_err())
+    }
+}
+
+/// Cross-run statistics for a set of scenario runs.
+///
+/// The percentile distributions cover *successful* runs only (a run that
+/// failed has no meaningful goodput); `succeeded`/`failed`/`errors`
+/// count every run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Total runs in the group.
+    pub runs: usize,
+    /// Runs whose workload completed correctly.
+    pub succeeded: usize,
+    /// Runs that executed but did not complete the workload.
+    pub failed: usize,
+    /// Runs no driver could execute.
+    pub errors: usize,
+    /// Goodput distribution (payload bytes / 1000 ticks).
+    pub goodput: Aggregate,
+    /// Per-message latency distribution (ticks per delivered message).
+    pub latency: Aggregate,
+    /// Retransmit-rate distribution (retransmissions per message).
+    pub retransmits: Aggregate,
+    /// Delivery-ratio distribution over *all* executed runs (including
+    /// failures — partial delivery is the interesting signal there).
+    pub delivery: Aggregate,
+}
+
+impl Summary {
+    fn of<'a>(runs: impl Iterator<Item = &'a ScenarioRun>) -> Summary {
+        let mut total = 0;
+        let mut succeeded = 0;
+        let mut failed = 0;
+        let mut errors = 0;
+        let mut goodput = Vec::new();
+        let mut latency = Vec::new();
+        let mut retransmits = Vec::new();
+        let mut delivery = Vec::new();
+        for run in runs {
+            total += 1;
+            match &run.outcome {
+                Ok(r) => {
+                    delivery.push(r.delivery_ratio());
+                    if r.success {
+                        succeeded += 1;
+                        goodput.push(r.goodput());
+                        latency.push(r.latency_per_message());
+                        retransmits.push(r.retransmit_rate());
+                    } else {
+                        failed += 1;
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        Summary {
+            runs: total,
+            succeeded,
+            failed,
+            errors,
+            goodput: Aggregate::from_samples(goodput),
+            latency: Aggregate::from_samples(latency),
+            retransmits: Aggregate::from_samples(retransmits),
+            delivery: Aggregate::from_samples(delivery),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LinkStats;
+
+    /// Driver whose result encodes the scenario seed, to observe
+    /// expansion and scheduling behaviour.
+    struct Echo;
+
+    impl ScenarioDriver for Echo {
+        fn supports(&self, protocol: &str) -> bool {
+            protocol != "unknown"
+        }
+        fn run(&self, scenario: &Scenario) -> Result<ScenarioResult, ScenarioError> {
+            Ok(ScenarioResult {
+                success: scenario.link.loss < 0.5,
+                elapsed: 1000,
+                messages_offered: scenario.traffic.count as u64,
+                messages_delivered: scenario.traffic.count as u64,
+                payload_bytes: scenario.seed % 10_000,
+                frames_sent: scenario.traffic.count as u64,
+                retransmissions: 0,
+                link: LinkStats::default(),
+            })
+        }
+    }
+
+    fn small_campaign() -> Campaign {
+        Campaign::new("t", 42)
+            .protocols(
+                Sweep::grid([("p1", ProtocolSpec::new("a"))]).and("p2", ProtocolSpec::new("b")),
+            )
+            .links(Sweep::grid([
+                ("clean", LinkConfig::reliable(1)),
+                ("dead", LinkConfig::lossy(1, 1.0)),
+            ]))
+            .seeds(Sweep::seeds(3))
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_fixed_order() {
+        let scenarios = small_campaign().scenarios();
+        assert_eq!(scenarios.len(), 2 * 2 * 3);
+        assert_eq!(scenarios[0].name, "t/p1/clean/duplex/default/s0");
+        assert_eq!(scenarios[11].name, "t/p2/dead/duplex/default/s2");
+        // Common random numbers: same seed replicate → same derived seed
+        // across protocols and links.
+        assert_eq!(scenarios[0].seed, scenarios[3].seed);
+        assert_eq!(scenarios[0].seed, scenarios[6].seed);
+        // Different replicates differ.
+        assert_ne!(scenarios[0].seed, scenarios[1].seed);
+    }
+
+    #[test]
+    fn derive_seed_is_pure_and_spreads() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_the_report() {
+        let c = small_campaign();
+        let one = c.run(&Echo, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(one, c.run(&Echo, threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_distributions() {
+        let report = small_campaign().run(&Echo, 2);
+        let s = report.aggregate();
+        assert_eq!(s.runs, 12);
+        assert_eq!(s.succeeded, 6, "dead links fail");
+        assert_eq!(s.failed, 6);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.goodput.count(), 6);
+        assert_eq!(s.delivery.count(), 12);
+    }
+
+    #[test]
+    fn group_by_splits_on_axis_labels() {
+        let report = small_campaign().run(&Echo, 2);
+        let groups = report.group_by(|s| s.labels.link.clone());
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups["clean"].succeeded, 6);
+        assert_eq!(groups["dead"].succeeded, 0);
+    }
+
+    #[test]
+    fn unknown_protocols_surface_as_errors() {
+        let c = Campaign::new("e", 0)
+            .protocols(Sweep::single("bad", ProtocolSpec::new("unknown")))
+            .links(Sweep::single("clean", LinkConfig::reliable(1)));
+        let report = c.run(&Echo, 1);
+        assert_eq!(report.errors().count(), 1);
+        assert_eq!(report.aggregate().errors, 1);
+    }
+
+    #[test]
+    fn more_threads_than_scenarios_is_fine() {
+        let c = Campaign::new("tiny", 0)
+            .protocols(Sweep::single("p", ProtocolSpec::new("a")))
+            .links(Sweep::single("l", LinkConfig::reliable(1)));
+        let report = c.run(&Echo, 64);
+        assert_eq!(report.runs.len(), 1);
+    }
+}

@@ -12,6 +12,13 @@
 //!   events through a mailbox interface, so the DSL runtime, the baseline
 //!   sockets-style code, and the adaptation layers all run on it unchanged.
 //!
+//! On top of the engine sit the declarative experiment layers: a
+//! [`scenario`] describes one run (protocol × topology × link × traffic ×
+//! faults × seed) as plain data executed by a pluggable
+//! [`ScenarioDriver`], and a [`campaign`] expands labelled sweeps into
+//! scenario grids and runs them across threads with deterministic
+//! per-scenario seeding. See `docs/SCENARIOS.md` for the tutorial.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,15 +43,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod link;
+pub mod scenario;
 pub mod sim;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
+pub use campaign::{Campaign, CampaignReport, Summary, Sweep};
 pub use link::LinkConfig;
+pub use scenario::{
+    Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioResult, TopologySpec, TrafficPattern,
+};
 pub use sim::{Event, LinkId, NodeId, Simulator, TimerToken};
-pub use stats::LinkStats;
+pub use stats::{Aggregate, LinkStats};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEntry};
 

@@ -1,0 +1,539 @@
+//! Declarative scenario descriptions and the driver plug-in interface.
+//!
+//! A [`Scenario`] bundles everything one simulated experiment needs —
+//! which protocol to run ([`ProtocolSpec`]), the shape of the network
+//! ([`TopologySpec`]), the link impairments ([`LinkConfig`]), the offered
+//! workload ([`TrafficPattern`]), any mid-run [`Fault`]s, and the RNG
+//! seed — as plain data. Execution is delegated to a [`ScenarioDriver`]:
+//! this crate knows nothing about concrete protocols, so drivers live in
+//! downstream crates (`netdsl-protocols` ships `SuiteDriver` for the
+//! pairwise ARQ family; `netdsl-bench` adds adaptive-timer and
+//! trust-relay drivers) and several drivers compose via [`DriverSet`].
+//!
+//! Scenarios are usually not written by hand but expanded from a
+//! [`Campaign`](crate::campaign::Campaign) sweep; see the
+//! [`campaign`](crate::campaign) module.
+
+use std::fmt;
+
+use crate::link::LinkConfig;
+use crate::stats::LinkStats;
+use crate::Tick;
+
+/// Which protocol a driver should run, plus its tuning knobs.
+///
+/// The `name` is a driver-defined key (e.g. `netdsl-protocols`'
+/// `SuiteDriver` understands `"stop-and-wait"`, `"go-back-n"`,
+/// `"selective-repeat"` and `"baseline"`); unknown names surface as
+/// [`ScenarioError::UnknownProtocol`] so that typos fail loudly instead
+/// of silently skipping a sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolSpec {
+    /// Driver-defined protocol key.
+    pub name: String,
+    /// Sliding-window size (1 = stop-and-wait for windowed drivers).
+    pub window: u32,
+    /// Retransmission timeout in ticks (initial RTO for adaptive timers).
+    pub timeout: Tick,
+    /// Retry budget per message before the sender gives up.
+    pub max_retries: u32,
+}
+
+impl ProtocolSpec {
+    /// A spec for `name` with default tuning (window 1, timeout 150,
+    /// 200 retries).
+    pub fn new(name: impl Into<String>) -> Self {
+        ProtocolSpec {
+            name: name.into(),
+            window: 1,
+            timeout: 150,
+            max_retries: 200,
+        }
+    }
+
+    /// Sets the window size (builder style).
+    #[must_use]
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the retransmission timeout (builder style).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Tick) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the per-message retry budget (builder style).
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// The shape of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Two endpoints joined by one duplex link (the pairwise-protocol
+    /// harness shape).
+    Duplex,
+    /// A line `a—b—…` of `nodes` nodes.
+    Line {
+        /// Total node count (≥ 2).
+        nodes: usize,
+    },
+    /// `paths` disjoint relay paths of `hops` relays each between a
+    /// source and a destination, with the first `compromised` paths
+    /// hostile (their relays drop most traffic) — the E9 environment.
+    ParallelPaths {
+        /// Number of disjoint relay paths.
+        paths: usize,
+        /// Relays per path.
+        hops: usize,
+        /// How many paths (taken from index 0 upward) are compromised.
+        compromised: usize,
+    },
+}
+
+/// Deterministic offered load: `count` messages of `size` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficPattern {
+    /// Number of application messages to transfer.
+    pub count: usize,
+    /// Size of each message in bytes.
+    pub size: usize,
+}
+
+impl TrafficPattern {
+    /// `count` messages of `size` bytes each.
+    pub fn messages(count: usize, size: usize) -> Self {
+        TrafficPattern { count, size }
+    }
+
+    /// Total payload bytes offered.
+    pub fn payload_bytes(&self) -> u64 {
+        (self.count * self.size) as u64
+    }
+
+    /// Materialises the messages; content is a fixed function of the
+    /// indices, so every run of the same pattern sees identical bytes.
+    ///
+    /// ```
+    /// use netdsl_netsim::scenario::TrafficPattern;
+    /// let t = TrafficPattern::messages(3, 8);
+    /// assert_eq!(t.generate(), t.generate());
+    /// assert_eq!(t.generate().len(), 3);
+    /// assert_eq!(t.generate()[1].len(), 8);
+    /// ```
+    pub fn generate(&self) -> Vec<Vec<u8>> {
+        (0..self.count)
+            .map(|i| {
+                (0..self.size)
+                    .map(|j| ((i * 131 + j * 31) % 251) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl Default for TrafficPattern {
+    fn default() -> Self {
+        TrafficPattern::messages(32, 32)
+    }
+}
+
+/// Which direction(s) of the scenario's duplex link a fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDirection {
+    /// The sender→receiver (data) direction.
+    Forward,
+    /// The receiver→sender (ack) direction.
+    Reverse,
+    /// Both directions.
+    Both,
+}
+
+/// A scheduled mid-run link reconfiguration: at tick `at`, the affected
+/// direction(s) switch to `config`. A total partition is a fault whose
+/// config loses everything; a repair is a later fault back to a clean
+/// config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Virtual time at which the fault takes effect.
+    pub at: Tick,
+    /// Affected direction(s).
+    pub direction: FaultDirection,
+    /// The link configuration in force from `at` onward.
+    pub config: LinkConfig,
+}
+
+impl Fault {
+    /// A fault hitting both directions at `at`.
+    pub fn both(at: Tick, config: LinkConfig) -> Self {
+        Fault {
+            at,
+            direction: FaultDirection::Both,
+            config,
+        }
+    }
+
+    /// A total two-way partition starting at `at` (loss 1.0, delay kept
+    /// at 1 so stragglers still burn simulated time).
+    pub fn partition(at: Tick) -> Self {
+        Fault::both(at, LinkConfig::lossy(1, 1.0))
+    }
+
+    /// A two-way repair to a clean link at `at`.
+    pub fn repair(at: Tick, delay: Tick) -> Self {
+        Fault::both(at, LinkConfig::reliable(delay))
+    }
+}
+
+/// Axis labels a scenario inherited from its campaign (empty strings for
+/// hand-built scenarios). Group-by helpers key off these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioLabels {
+    /// Protocol-axis label.
+    pub protocol: String,
+    /// Link-axis label.
+    pub link: String,
+    /// Topology-axis label.
+    pub topology: String,
+    /// Traffic-axis label.
+    pub traffic: String,
+    /// Seed-axis label.
+    pub seed: String,
+}
+
+/// One fully-specified experiment, as data.
+///
+/// Build directly for one-off tests, or let
+/// [`Campaign::scenarios`](crate::campaign::Campaign::scenarios) expand
+/// a sweep into many.
+///
+/// ```
+/// use netdsl_netsim::scenario::{ProtocolSpec, Scenario};
+/// use netdsl_netsim::LinkConfig;
+///
+/// let s = Scenario::new(
+///     ProtocolSpec::new("stop-and-wait"),
+///     LinkConfig::lossy(5, 0.2),
+/// )
+/// .with_seed(42);
+/// assert_eq!(s.protocol.name, "stop-and-wait");
+/// assert_eq!(s.seed, 42);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable name (campaign expansion joins the axis labels).
+    pub name: String,
+    /// Protocol to run and its tuning.
+    pub protocol: ProtocolSpec,
+    /// Link impairment configuration.
+    pub link: LinkConfig,
+    /// Network shape.
+    pub topology: TopologySpec,
+    /// Offered workload.
+    pub traffic: TrafficPattern,
+    /// Scheduled mid-run link reconfigurations, in any order.
+    pub faults: Vec<Fault>,
+    /// Simulator seed (fully determines all randomness).
+    pub seed: u64,
+    /// Virtual-time budget; drivers stop pumping past this tick.
+    pub deadline: Tick,
+    /// Campaign axis labels (empty for hand-built scenarios).
+    pub labels: ScenarioLabels,
+}
+
+impl Scenario {
+    /// A duplex scenario with default traffic, no faults, seed 0 and a
+    /// generous deadline.
+    pub fn new(protocol: ProtocolSpec, link: LinkConfig) -> Self {
+        Scenario {
+            name: protocol.name.clone(),
+            protocol,
+            link,
+            topology: TopologySpec::Duplex,
+            traffic: TrafficPattern::default(),
+            faults: Vec::new(),
+            seed: 0,
+            deadline: 500_000_000,
+            labels: ScenarioLabels::default(),
+        }
+    }
+
+    /// Sets the name (builder style).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the topology (builder style).
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the traffic pattern (builder style).
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficPattern) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Adds a scheduled fault (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the virtual-time budget (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Tick) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The faults sorted by activation time (what drivers should apply).
+    pub fn sorted_faults(&self) -> Vec<Fault> {
+        let mut faults = self.faults.clone();
+        faults.sort_by_key(|f| f.at);
+        faults
+    }
+}
+
+/// What one scenario execution produced, in driver-independent terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Did the whole workload complete correctly?
+    pub success: bool,
+    /// Virtual time consumed.
+    pub elapsed: Tick,
+    /// Messages offered by the traffic pattern.
+    pub messages_offered: u64,
+    /// Messages delivered to the receiving application.
+    pub messages_delivered: u64,
+    /// Payload bytes delivered end-to-end.
+    pub payload_bytes: u64,
+    /// Data frames transmitted (including retransmissions).
+    pub frames_sent: u64,
+    /// Retransmissions only.
+    pub retransmissions: u64,
+    /// Combined per-link counters over every link in the scenario
+    /// (built with [`LinkStats::merge`]).
+    pub link: LinkStats,
+}
+
+impl ScenarioResult {
+    /// Goodput in payload bytes per 1000 ticks (0 when no time elapsed).
+    pub fn goodput(&self) -> f64 {
+        if self.elapsed == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 * 1000.0 / self.elapsed as f64
+        }
+    }
+
+    /// Mean ticks per delivered message (0 when nothing was delivered).
+    pub fn latency_per_message(&self) -> f64 {
+        if self.messages_delivered == 0 {
+            0.0
+        } else {
+            self.elapsed as f64 / self.messages_delivered as f64
+        }
+    }
+
+    /// Retransmissions per offered message.
+    pub fn retransmit_rate(&self) -> f64 {
+        if self.messages_offered == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / self.messages_offered as f64
+        }
+    }
+
+    /// Fraction of offered messages delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_offered == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.messages_offered as f64
+        }
+    }
+}
+
+/// Why a driver could not execute a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// No driver recognises the protocol name.
+    UnknownProtocol(String),
+    /// The driver recognises the protocol but not the requested topology.
+    UnsupportedTopology(String),
+    /// The driver recognises the protocol but cannot honour some other
+    /// part of the scenario (e.g. a fault schedule it has no hook for).
+    /// Failing loudly here is what keeps sweep cells honest — a driver
+    /// must never silently ignore an axis.
+    Unsupported(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownProtocol(name) => {
+                write!(f, "no driver supports protocol {name:?}")
+            }
+            ScenarioError::UnsupportedTopology(what) => {
+                write!(f, "unsupported topology: {what}")
+            }
+            ScenarioError::Unsupported(what) => {
+                write!(f, "driver cannot honour scenario: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Executes scenarios. Implementations must be [`Sync`]: the campaign
+/// runner shares one driver across its worker threads, so drivers keep
+/// per-run state on the stack (each [`run`](ScenarioDriver::run) builds
+/// its own [`Simulator`](crate::Simulator) from `scenario.seed`).
+pub trait ScenarioDriver: Sync {
+    /// `true` if this driver can execute scenarios naming `protocol`.
+    fn supports(&self, protocol: &str) -> bool;
+
+    /// Executes one scenario to completion.
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioResult, ScenarioError>;
+}
+
+/// Dispatches each scenario to the first member driver that supports its
+/// protocol — the way protocol-suite, adaptive-timer and relay drivers
+/// combine into one campaign.
+#[derive(Default)]
+pub struct DriverSet {
+    drivers: Vec<Box<dyn ScenarioDriver>>,
+}
+
+impl DriverSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DriverSet::default()
+    }
+
+    /// Adds a driver (builder style); earlier drivers win ties.
+    #[must_use]
+    pub fn with(mut self, driver: impl ScenarioDriver + 'static) -> Self {
+        self.drivers.push(Box::new(driver));
+        self
+    }
+}
+
+impl ScenarioDriver for DriverSet {
+    fn supports(&self, protocol: &str) -> bool {
+        self.drivers.iter().any(|d| d.supports(protocol))
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioResult, ScenarioError> {
+        self.drivers
+            .iter()
+            .find(|d| d.supports(&scenario.protocol.name))
+            .ok_or_else(|| ScenarioError::UnknownProtocol(scenario.protocol.name.clone()))?
+            .run(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(&'static str);
+
+    impl ScenarioDriver for Fixed {
+        fn supports(&self, protocol: &str) -> bool {
+            protocol == self.0
+        }
+        fn run(&self, scenario: &Scenario) -> Result<ScenarioResult, ScenarioError> {
+            Ok(ScenarioResult {
+                success: true,
+                elapsed: scenario.seed,
+                messages_offered: 1,
+                messages_delivered: 1,
+                payload_bytes: 1,
+                frames_sent: 1,
+                retransmissions: 0,
+                link: LinkStats::default(),
+            })
+        }
+    }
+
+    #[test]
+    fn driver_set_dispatches_by_protocol_name() {
+        let set = DriverSet::new().with(Fixed("a")).with(Fixed("b"));
+        assert!(set.supports("a") && set.supports("b") && !set.supports("c"));
+        let sa = Scenario::new(ProtocolSpec::new("a"), LinkConfig::default()).with_seed(7);
+        assert_eq!(set.run(&sa).unwrap().elapsed, 7);
+        let sc = Scenario::new(ProtocolSpec::new("c"), LinkConfig::default());
+        assert_eq!(
+            set.run(&sc),
+            Err(ScenarioError::UnknownProtocol("c".into()))
+        );
+    }
+
+    #[test]
+    fn sorted_faults_orders_by_activation_time() {
+        let s = Scenario::new(ProtocolSpec::new("x"), LinkConfig::default())
+            .with_fault(Fault::repair(100, 1))
+            .with_fault(Fault::partition(10));
+        let sorted = s.sorted_faults();
+        assert_eq!(sorted[0].at, 10);
+        assert_eq!(sorted[1].at, 100);
+    }
+
+    #[test]
+    fn result_derived_metrics() {
+        let r = ScenarioResult {
+            success: true,
+            elapsed: 2000,
+            messages_offered: 10,
+            messages_delivered: 8,
+            payload_bytes: 4000,
+            frames_sent: 14,
+            retransmissions: 4,
+            link: LinkStats::default(),
+        };
+        assert!((r.goodput() - 2000.0).abs() < 1e-9);
+        assert!((r.latency_per_message() - 250.0).abs() < 1e-9);
+        assert!((r.retransmit_rate() - 0.4).abs() < 1e-9);
+        assert!((r.delivery_ratio() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero_not_nan() {
+        let r = ScenarioResult {
+            success: false,
+            elapsed: 0,
+            messages_offered: 0,
+            messages_delivered: 0,
+            payload_bytes: 0,
+            frames_sent: 0,
+            retransmissions: 0,
+            link: LinkStats::default(),
+        };
+        assert_eq!(r.goodput(), 0.0);
+        assert_eq!(r.latency_per_message(), 0.0);
+        assert_eq!(r.retransmit_rate(), 0.0);
+        assert_eq!(r.delivery_ratio(), 0.0);
+    }
+}

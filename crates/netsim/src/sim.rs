@@ -193,6 +193,24 @@ impl Simulator {
         &self.links[link.0].stats
     }
 
+    /// Counters of every link folded into one [`LinkStats`] — what the
+    /// scenario aggregation layer records for a whole run.
+    ///
+    /// ```
+    /// use netdsl_netsim::{LinkConfig, Simulator};
+    /// let mut sim = Simulator::new(0);
+    /// let (a, b) = (sim.add_node(), sim.add_node());
+    /// let (ab, ba) = sim.add_duplex(a, b, LinkConfig::reliable(1));
+    /// sim.send(ab, vec![1]);
+    /// sim.send(ba, vec![2]);
+    /// assert_eq!(sim.total_stats().sent, 2);
+    /// ```
+    pub fn total_stats(&self) -> LinkStats {
+        self.links
+            .iter()
+            .fold(LinkStats::default(), |acc, l| acc.merge(l.stats))
+    }
+
     /// Replaces a link's impairment configuration mid-run (used by the
     /// adaptation experiments to model changing network conditions).
     ///

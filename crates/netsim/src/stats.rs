@@ -1,4 +1,8 @@
-//! Per-link delivery statistics.
+//! Per-link delivery counters and cross-run statistical aggregation.
+//!
+//! [`LinkStats`] is what one link accumulates during a run;
+//! [`Aggregate`] summarises a set of per-run samples (goodput, latency,
+//! retransmit rate) into percentiles for campaign reports.
 
 /// Counters accumulated by a link over its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -17,6 +21,13 @@ pub struct LinkStats {
 
 impl LinkStats {
     /// Fraction of sent frames that were lost (0 when nothing was sent).
+    ///
+    /// ```
+    /// use netdsl_netsim::LinkStats;
+    /// let s = LinkStats { sent: 10, lost: 2, ..LinkStats::default() };
+    /// assert!((s.loss_ratio() - 0.2).abs() < 1e-12);
+    /// assert_eq!(LinkStats::default().loss_ratio(), 0.0);
+    /// ```
     pub fn loss_ratio(&self) -> f64 {
         if self.sent == 0 {
             0.0
@@ -26,12 +37,161 @@ impl LinkStats {
     }
 
     /// Fraction of delivered frames that were corrupted.
+    ///
+    /// ```
+    /// use netdsl_netsim::LinkStats;
+    /// let s = LinkStats { delivered: 8, corrupted: 4, ..LinkStats::default() };
+    /// assert!((s.corruption_ratio() - 0.5).abs() < 1e-12);
+    /// ```
     pub fn corruption_ratio(&self) -> f64 {
         if self.delivered == 0 {
             0.0
         } else {
             self.corrupted as f64 / self.delivered as f64
         }
+    }
+
+    /// Fraction of sent frames that reached the receiver (duplicates
+    /// count once per delivery, so this can exceed 1 on a duplicating
+    /// link).
+    ///
+    /// ```
+    /// use netdsl_netsim::LinkStats;
+    /// let s = LinkStats { sent: 10, delivered: 8, ..LinkStats::default() };
+    /// assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+    /// assert_eq!(LinkStats::default().delivery_ratio(), 0.0);
+    /// ```
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Fraction of sent frames the duplication process copied.
+    ///
+    /// ```
+    /// use netdsl_netsim::LinkStats;
+    /// let s = LinkStats { sent: 20, duplicated: 5, ..LinkStats::default() };
+    /// assert!((s.duplication_ratio() - 0.25).abs() < 1e-12);
+    /// ```
+    pub fn duplication_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.duplicated as f64 / self.sent as f64
+        }
+    }
+
+    /// Component-wise sum — how the aggregation layer folds the counters
+    /// of several links (e.g. both directions of a duplex pair) into one.
+    ///
+    /// ```
+    /// use netdsl_netsim::LinkStats;
+    /// let ab = LinkStats { sent: 10, delivered: 9, lost: 1, ..LinkStats::default() };
+    /// let ba = LinkStats { sent: 9, delivered: 9, ..LinkStats::default() };
+    /// let both = ab.merge(ba);
+    /// assert_eq!(both.sent, 19);
+    /// assert_eq!(both.delivered, 18);
+    /// assert_eq!(both.lost, 1);
+    /// ```
+    #[must_use]
+    pub fn merge(self, other: LinkStats) -> LinkStats {
+        LinkStats {
+            sent: self.sent + other.sent,
+            delivered: self.delivered + other.delivered,
+            lost: self.lost + other.lost,
+            duplicated: self.duplicated + other.duplicated,
+            corrupted: self.corrupted + other.corrupted,
+        }
+    }
+}
+
+/// An immutable summary of a sample set: count, mean, min/max and
+/// nearest-rank percentiles. Built once from samples, queried many
+/// times; campaign reports hold one per metric.
+///
+/// Empty aggregates answer `0.0` everywhere rather than `NaN`, so
+/// reports stay comparable with `==` (the campaign determinism property
+/// test relies on this).
+///
+/// ```
+/// use netdsl_netsim::stats::Aggregate;
+/// let a = Aggregate::from_samples([4.0, 1.0, 3.0, 2.0]);
+/// assert_eq!(a.count(), 4);
+/// assert_eq!(a.min(), 1.0);
+/// assert_eq!(a.max(), 4.0);
+/// assert!((a.mean() - 2.5).abs() < 1e-12);
+/// assert_eq!(a.percentile(50.0), 2.0);
+/// assert_eq!(a.percentile(100.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    sorted: Vec<f64>,
+}
+
+impl Aggregate {
+    /// Builds an aggregate from raw samples. Non-finite samples are
+    /// dropped (a run that produced `NaN` carries no information and
+    /// would poison every downstream comparison).
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|s| s.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Aggregate { sorted }
+    }
+
+    /// Number of (finite) samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when no samples survived.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]` (0 when empty).
+    /// `percentile(50.0)` is the median; out-of-range `p` clamps.
+    ///
+    /// ```
+    /// use netdsl_netsim::stats::Aggregate;
+    /// let a = Aggregate::from_samples((1..=100).map(f64::from));
+    /// assert_eq!(a.percentile(95.0), 95.0);
+    /// assert_eq!(a.percentile(0.0), 1.0);
+    /// assert_eq!(Aggregate::from_samples([]).percentile(50.0), 0.0);
+    /// ```
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.sorted.len() as f64).ceil() as usize).max(1);
+        self.sorted[rank - 1]
+    }
+
+    /// The median — shorthand for `percentile(50.0)`.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
     }
 }
 
@@ -44,6 +204,8 @@ mod tests {
         let s = LinkStats::default();
         assert_eq!(s.loss_ratio(), 0.0);
         assert_eq!(s.corruption_ratio(), 0.0);
+        assert_eq!(s.delivery_ratio(), 0.0);
+        assert_eq!(s.duplication_ratio(), 0.0);
     }
 
     #[test]
@@ -57,5 +219,62 @@ mod tests {
         };
         assert!((s.loss_ratio() - 0.2).abs() < 1e-12);
         assert!((s.corruption_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_component_wise_and_commutative() {
+        let a = LinkStats {
+            sent: 1,
+            delivered: 2,
+            lost: 3,
+            duplicated: 4,
+            corrupted: 5,
+        };
+        let b = LinkStats {
+            sent: 10,
+            delivered: 20,
+            lost: 30,
+            duplicated: 40,
+            corrupted: 50,
+        };
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b).sent, 11);
+        assert_eq!(a.merge(LinkStats::default()), a);
+    }
+
+    #[test]
+    fn aggregate_percentiles_nearest_rank() {
+        let a = Aggregate::from_samples([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(a.percentile(0.0), 10.0);
+        assert_eq!(a.percentile(20.0), 10.0);
+        assert_eq!(a.percentile(50.0), 30.0);
+        assert_eq!(a.percentile(90.0), 50.0);
+        assert_eq!(a.percentile(100.0), 50.0);
+        assert_eq!(a.median(), 30.0);
+    }
+
+    #[test]
+    fn aggregate_drops_non_finite_samples() {
+        let a = Aggregate::from_samples([1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 2.0);
+    }
+
+    #[test]
+    fn empty_aggregate_is_all_zero() {
+        let a = Aggregate::from_samples([]);
+        assert!(a.is_empty());
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 0.0);
+        assert_eq!(a.median(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_order_insensitive() {
+        let a = Aggregate::from_samples([3.0, 1.0, 2.0]);
+        let b = Aggregate::from_samples([1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
     }
 }

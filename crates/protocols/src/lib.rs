@@ -19,7 +19,10 @@
 //!   as the error-handling-LoC comparator (§1: "50% or more of the
 //!   code…"), behaviourally equivalent to [`arq`];
 //! * [`driver`] — the event-loop harness connecting endpoints to the
-//!   simulator.
+//!   simulator;
+//! * [`scenario`] — the [`SuiteDriver`](scenario::SuiteDriver) that
+//!   plugs this whole suite into declarative
+//!   [`netdsl_netsim::campaign`] sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod dv;
 pub mod gbn;
 pub mod handshake;
 pub mod ipv4;
+pub mod scenario;
 pub mod sr;
 pub mod tftp;
 pub mod udp;

@@ -1,0 +1,302 @@
+//! Campaign driver for the pairwise protocol suite.
+//!
+//! [`SuiteDriver`] plugs the protocols of this crate into the
+//! declarative scenario layer of
+//! [`netdsl_netsim::scenario`]: a [`Scenario`] names one of
+//! [`STOP_AND_WAIT`], [`GO_BACK_N`], [`SELECTIVE_REPEAT`] or
+//! [`BASELINE`], and the driver builds the matching [`Duplex`] world,
+//! applies any scheduled [`Fault`]s mid-run, and reports a
+//! protocol-independent [`ScenarioResult`].
+//!
+//! ```
+//! use netdsl_netsim::scenario::{ProtocolSpec, Scenario, ScenarioDriver, TrafficPattern};
+//! use netdsl_netsim::LinkConfig;
+//! use netdsl_protocols::scenario::{SuiteDriver, STOP_AND_WAIT};
+//!
+//! let scenario = Scenario::new(
+//!     ProtocolSpec::new(STOP_AND_WAIT).with_timeout(60),
+//!     LinkConfig::lossy(3, 0.2),
+//! )
+//! .with_traffic(TrafficPattern::messages(10, 16))
+//! .with_seed(7);
+//!
+//! let result = SuiteDriver::new().run(&scenario).unwrap();
+//! assert!(result.success);
+//! assert_eq!(result.messages_delivered, 10);
+//! ```
+
+use netdsl_netsim::scenario::{
+    Fault, FaultDirection, Scenario, ScenarioDriver, ScenarioError, ScenarioResult, TopologySpec,
+};
+use netdsl_netsim::Tick;
+
+use crate::arq::session::{SwReceiver, SwSender};
+use crate::baseline::{CReceiver, CSender};
+use crate::driver::{Duplex, Endpoint};
+use crate::gbn::{GbnReceiver, GbnSender};
+use crate::sr::{SrReceiver, SrSender};
+
+/// Protocol key for the §3.4 typestate stop-and-wait ARQ.
+pub const STOP_AND_WAIT: &str = "stop-and-wait";
+/// Protocol key for Go-Back-N (window from [`ProtocolSpec::window`]).
+///
+/// [`ProtocolSpec::window`]: netdsl_netsim::scenario::ProtocolSpec
+pub const GO_BACK_N: &str = "go-back-n";
+/// Protocol key for Selective Repeat (window from `ProtocolSpec::window`).
+pub const SELECTIVE_REPEAT: &str = "selective-repeat";
+/// Protocol key for the hand-rolled C-style baseline ARQ.
+pub const BASELINE: &str = "baseline";
+
+/// Runs a [`Duplex`] world to completion, applying `faults` (sorted by
+/// activation time) at their scheduled ticks. Returns the tick at which
+/// pumping stopped.
+///
+/// Fault boundaries are approximate by one event: the pump hands over at
+/// the first event *past* the boundary, which is deterministic and
+/// indistinguishable from the fault landing a tick later.
+pub fn pump_with_faults<A: Endpoint, B: Endpoint>(
+    duplex: &mut Duplex<A, B>,
+    faults: &[Fault],
+    deadline: Tick,
+) -> Tick {
+    let ab = duplex.link_ab();
+    let ba = duplex.link_ba();
+    let mut started = false;
+    for fault in faults.iter().filter(|f| f.at < deadline) {
+        if started {
+            duplex.resume(fault.at);
+        } else {
+            duplex.run(fault.at);
+            started = true;
+        }
+        let sim = duplex.sim_mut();
+        match fault.direction {
+            FaultDirection::Forward => sim.reconfigure_link(ab, fault.config.clone()),
+            FaultDirection::Reverse => sim.reconfigure_link(ba, fault.config.clone()),
+            FaultDirection::Both => {
+                sim.reconfigure_link(ab, fault.config.clone());
+                sim.reconfigure_link(ba, fault.config.clone());
+            }
+        }
+    }
+    if started {
+        duplex.resume(deadline)
+    } else {
+        duplex.run(deadline)
+    }
+}
+
+/// [`ScenarioDriver`] over this crate's pairwise protocols
+/// ([`STOP_AND_WAIT`], [`GO_BACK_N`], [`SELECTIVE_REPEAT`],
+/// [`BASELINE`]); duplex topologies only.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SuiteDriver;
+
+impl SuiteDriver {
+    /// A new driver (stateless — every run is self-contained).
+    pub fn new() -> Self {
+        SuiteDriver
+    }
+}
+
+/// Builds the duplex world, pumps it through the scenario's fault
+/// schedule, and folds the outcome into the driver-independent result
+/// shape. `collect` extracts the protocol-specific end state as
+/// `(sender_succeeded, delivered, frames_sent, retransmissions)` —
+/// everything else is identical across the suite, so it lives here
+/// once.
+pub fn drive_duplex<A: Endpoint, B: Endpoint>(
+    scenario: &Scenario,
+    offered: &[Vec<u8>],
+    a: A,
+    b: B,
+    collect: impl FnOnce(&Duplex<A, B>) -> (bool, Vec<Vec<u8>>, u64, u64),
+) -> ScenarioResult {
+    let mut duplex = Duplex::new(scenario.seed, scenario.link.clone(), a, b);
+    let elapsed = pump_with_faults(&mut duplex, &scenario.sorted_faults(), scenario.deadline);
+    let (sender_succeeded, delivered, frames_sent, retransmissions) = collect(&duplex);
+    ScenarioResult {
+        success: sender_succeeded && delivered == offered,
+        elapsed,
+        messages_offered: offered.len() as u64,
+        messages_delivered: delivered.len() as u64,
+        payload_bytes: delivered.iter().map(|m| m.len() as u64).sum(),
+        frames_sent,
+        retransmissions,
+        link: duplex.sim().total_stats(),
+    }
+}
+
+impl ScenarioDriver for SuiteDriver {
+    fn supports(&self, protocol: &str) -> bool {
+        matches!(
+            protocol,
+            STOP_AND_WAIT | GO_BACK_N | SELECTIVE_REPEAT | BASELINE
+        )
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioResult, ScenarioError> {
+        if scenario.topology != TopologySpec::Duplex {
+            return Err(ScenarioError::UnsupportedTopology(format!(
+                "{} runs duplex topologies only, got {:?}",
+                scenario.protocol.name, scenario.topology
+            )));
+        }
+        let spec = &scenario.protocol;
+        let messages = scenario.traffic.generate();
+        let n = messages.len();
+
+        match spec.name.as_str() {
+            STOP_AND_WAIT => Ok(drive_duplex(
+                scenario,
+                &messages,
+                SwSender::new(messages.clone(), spec.timeout, spec.max_retries),
+                SwReceiver::new(n),
+                |d| {
+                    let s = d.a().stats();
+                    (
+                        d.a().succeeded(),
+                        d.b().delivered().to_vec(),
+                        s.frames_sent,
+                        s.retransmissions,
+                    )
+                },
+            )),
+            GO_BACK_N => Ok(drive_duplex(
+                scenario,
+                &messages,
+                GbnSender::new(
+                    messages.clone(),
+                    spec.window,
+                    spec.timeout,
+                    spec.max_retries,
+                ),
+                GbnReceiver::new(n),
+                |d| {
+                    let s = d.a().stats();
+                    (
+                        d.a().succeeded(),
+                        d.b().delivered().to_vec(),
+                        s.frames_sent,
+                        s.retransmissions,
+                    )
+                },
+            )),
+            SELECTIVE_REPEAT => Ok(drive_duplex(
+                scenario,
+                &messages,
+                SrSender::new(
+                    messages.clone(),
+                    spec.window,
+                    spec.timeout,
+                    spec.max_retries,
+                ),
+                SrReceiver::new(n, spec.window),
+                |d| {
+                    let s = d.a().stats();
+                    (
+                        d.a().succeeded(),
+                        d.b().delivered().to_vec(),
+                        s.frames_sent,
+                        s.retransmissions,
+                    )
+                },
+            )),
+            BASELINE => Ok(drive_duplex(
+                scenario,
+                &messages,
+                CSender::new(messages.clone(), spec.timeout, spec.max_retries),
+                CReceiver::new(n),
+                |d| {
+                    // The baseline sender keeps no counters (that is its
+                    // point); recover frame counts from the data-direction
+                    // link: every `sent` there is a data frame, and
+                    // anything beyond one per delivered message was a
+                    // retransmission.
+                    let delivered = d.b().delivered().to_vec();
+                    let frames_sent = d.sim().link_stats(d.link_ab()).sent;
+                    let retransmissions = frames_sent.saturating_sub(delivered.len() as u64);
+                    (d.a().succeeded(), delivered, frames_sent, retransmissions)
+                },
+            )),
+            other => Err(ScenarioError::UnknownProtocol(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdsl_netsim::scenario::{ProtocolSpec, TrafficPattern};
+    use netdsl_netsim::LinkConfig;
+
+    fn base(name: &str) -> Scenario {
+        Scenario::new(
+            ProtocolSpec::new(name).with_window(8).with_timeout(100),
+            LinkConfig::lossy(3, 0.2),
+        )
+        .with_traffic(TrafficPattern::messages(12, 24))
+        .with_seed(11)
+    }
+
+    #[test]
+    fn every_suite_protocol_completes_a_lossy_transfer() {
+        let driver = SuiteDriver::new();
+        for name in [STOP_AND_WAIT, GO_BACK_N, SELECTIVE_REPEAT, BASELINE] {
+            let r = driver.run(&base(name)).unwrap();
+            assert!(r.success, "{name} failed: {r:?}");
+            assert_eq!(r.messages_delivered, 12, "{name}");
+            assert_eq!(r.payload_bytes, 12 * 24, "{name}");
+            assert!(r.frames_sent >= 12, "{name}");
+            assert!(r.link.sent > 0, "{name} records link counters");
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_bit_identically() {
+        let driver = SuiteDriver::new();
+        let r1 = driver.run(&base(STOP_AND_WAIT)).unwrap();
+        let r2 = driver.run(&base(STOP_AND_WAIT)).unwrap();
+        assert_eq!(r1, r2, "bit-identical replay");
+    }
+
+    #[test]
+    fn partition_and_repair_fault_schedule() {
+        let scenario = base(STOP_AND_WAIT)
+            .with_fault(Fault::partition(50))
+            .with_fault(Fault::repair(5_000, 3));
+        let r = SuiteDriver::new().run(&scenario).unwrap();
+        assert!(r.success, "session survives the outage: {r:?}");
+        assert!(r.retransmissions > 0, "outage forces retransmission");
+        assert!(r.elapsed > 5_000, "completion only after repair");
+    }
+
+    #[test]
+    fn unknown_protocol_and_topology_error() {
+        let driver = SuiteDriver::new();
+        assert!(!driver.supports("nonesuch"));
+        assert!(matches!(
+            driver.run(&base("nonesuch")),
+            Err(ScenarioError::UnknownProtocol(_))
+        ));
+        let bad_topo = base(STOP_AND_WAIT).with_topology(TopologySpec::Line { nodes: 3 });
+        assert!(matches!(
+            driver.run(&bad_topo),
+            Err(ScenarioError::UnsupportedTopology(_))
+        ));
+    }
+
+    #[test]
+    fn reverse_only_fault_hits_the_ack_path() {
+        // Kill only the ack path from the start; the sender must
+        // retransmit even though data flows cleanly.
+        let scenario = base(STOP_AND_WAIT).with_fault(Fault {
+            at: 0,
+            direction: FaultDirection::Reverse,
+            config: LinkConfig::lossy(3, 0.5),
+        });
+        let r = SuiteDriver::new().run(&scenario).unwrap();
+        assert!(r.success);
+        assert!(r.retransmissions > 0, "lost acks force retries");
+    }
+}

@@ -79,6 +79,33 @@ pub use netdsl_core as core;
 /// ```
 pub use netdsl_netsim as netsim;
 
+/// Declarative scenario campaigns: labelled sweeps over protocols ×
+/// links × topologies × traffic × seeds, expanded to a grid and run in
+/// parallel with deterministic per-scenario seeding. The tutorial lives
+/// in `docs/SCENARIOS.md`; drivers for the protocol suite are in
+/// [`protocols::scenario`].
+///
+/// ```
+/// use netdsl::campaign::{Campaign, Sweep};
+/// use netdsl::scenario::ProtocolSpec;
+/// use netdsl::netsim::LinkConfig;
+/// use netdsl::protocols::scenario::{SuiteDriver, STOP_AND_WAIT};
+///
+/// let report = Campaign::new("doc", 7)
+///     .protocols(Sweep::single("sw", ProtocolSpec::new(STOP_AND_WAIT)))
+///     .links(Sweep::single("lossy", LinkConfig::lossy(3, 0.2)))
+///     .seeds(Sweep::seeds(2))
+///     .run(&SuiteDriver::new(), 2);
+/// assert_eq!(report.aggregate().succeeded, 2);
+/// ```
+pub use netdsl_netsim::campaign;
+
+/// Scenario descriptions ([`Scenario`](scenario::Scenario),
+/// [`ProtocolSpec`](scenario::ProtocolSpec), faults, traffic patterns)
+/// and the [`ScenarioDriver`](scenario::ScenarioDriver) plug-in trait
+/// that campaign execution dispatches through.
+pub use netdsl_netsim::scenario;
+
 /// Protocols written in the DSL: ARQ (§3.4), GBN, SR, handshake, IPv4,
 /// UDP, TFTP and the hand-rolled baseline.
 ///

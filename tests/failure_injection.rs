@@ -1,10 +1,20 @@
 //! Failure injection: partitions, repairs, asymmetric impairments and
 //! adversarial frames, across the protocol suite.
+//!
+//! Most end-state checks are expressed declaratively through the
+//! scenario layer ([`Scenario`] + [`Fault`] schedules run by
+//! [`SuiteDriver`]); the imperative [`Duplex`] harness remains only
+//! where a test must assert *mid-run* state, which a scenario result
+//! cannot carry.
 
 use netdsl::netsim::{LinkConfig, Simulator};
+use netdsl::protocols::arq;
 use netdsl::protocols::arq::session::{SwReceiver, SwSender};
 use netdsl::protocols::driver::Duplex;
-use netdsl::protocols::{arq, baseline};
+use netdsl::protocols::scenario::{SuiteDriver, BASELINE, STOP_AND_WAIT};
+use netdsl::scenario::{
+    Fault, FaultDirection, ProtocolSpec, Scenario, ScenarioDriver, TrafficPattern,
+};
 
 fn msgs(n: usize) -> Vec<Vec<u8>> {
     (0..n).map(|i| format!("fi-{i}").into_bytes()).collect()
@@ -41,24 +51,25 @@ fn transfer_survives_a_temporary_partition() {
 
 #[test]
 fn asymmetric_loss_only_acks_dropped() {
-    // Data flows cleanly; every impairments falls on the ack path. The
+    // Data flows cleanly; every impairment falls on the ack path. The
     // sender must retransmit, and the receiver must suppress the
-    // resulting duplicates.
-    let mut d = Duplex::new(
-        6,
+    // resulting duplicates. Declarative: a Reverse-direction fault at
+    // tick 0 turns the duplex link asymmetric.
+    let scenario = Scenario::new(
+        ProtocolSpec::new(STOP_AND_WAIT).with_timeout(60),
         LinkConfig::reliable(3),
-        SwSender::new(msgs(8), 60, 200),
-        SwReceiver::new(8),
-    );
-    let ba = d.link_ba();
-    d.sim_mut().reconfigure_link(ba, LinkConfig::lossy(3, 0.5));
-    d.run(10_000_000);
-    assert!(d.a().succeeded());
-    assert_eq!(d.b().delivered(), &msgs(8)[..], "duplicates suppressed");
-    assert!(
-        d.a().stats().retransmissions > 0,
-        "lost acks must force retransmission"
-    );
+    )
+    .with_traffic(TrafficPattern::messages(8, 12))
+    .with_seed(6)
+    .with_fault(Fault {
+        at: 0,
+        direction: FaultDirection::Reverse,
+        config: LinkConfig::lossy(3, 0.5),
+    });
+    let r = SuiteDriver::new().run(&scenario).unwrap();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.messages_delivered, 8, "duplicates suppressed");
+    assert!(r.retransmissions > 0, "lost acks must force retransmission");
 }
 
 #[test]
@@ -96,40 +107,50 @@ fn adversarial_garbage_frames_are_inert() {
 
 #[test]
 fn extreme_jitter_reordering_is_survivable() {
-    let out = arq::session::run_transfer(
-        msgs(15),
+    let scenario = Scenario::new(
+        ProtocolSpec::new(STOP_AND_WAIT)
+            .with_timeout(200)
+            .with_retries(100),
         LinkConfig::reliable(2).with_jitter(40),
-        11,
-        200,
-        100,
-        50_000_000,
-    );
-    assert!(out.success);
-    assert_eq!(out.delivered, msgs(15));
+    )
+    .with_traffic(TrafficPattern::messages(15, 10))
+    .with_seed(11)
+    .with_deadline(50_000_000);
+    let r = SuiteDriver::new().run(&scenario).unwrap();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.messages_delivered, 15);
+}
+
+/// The worst-case channel, applied identically to the DSL ARQ and the
+/// hand-rolled baseline via one scenario shape — the declarative layer
+/// makes the pairing explicit.
+fn worst_case(protocol: &str) -> Scenario {
+    Scenario::new(
+        ProtocolSpec::new(protocol)
+            .with_timeout(250)
+            .with_retries(500),
+        LinkConfig::reliable(4)
+            .with_loss(0.25)
+            .with_corrupt(0.15)
+            .with_duplicate(0.15)
+            .with_jitter(20),
+    )
+    .with_traffic(TrafficPattern::messages(12, 16))
+    .with_seed(17)
 }
 
 #[test]
 fn combined_worst_case_channel() {
-    let cfg = LinkConfig::reliable(4)
-        .with_loss(0.25)
-        .with_corrupt(0.15)
-        .with_duplicate(0.15)
-        .with_jitter(20);
-    let out = arq::session::run_transfer(msgs(12), cfg, 17, 250, 500, 500_000_000);
-    assert!(out.success, "{:?}", out.sender);
-    assert_eq!(out.delivered, msgs(12));
+    let r = SuiteDriver::new().run(&worst_case(STOP_AND_WAIT)).unwrap();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.messages_delivered, 12);
 }
 
 #[test]
 fn baseline_survives_the_same_worst_case() {
-    let cfg = LinkConfig::reliable(4)
-        .with_loss(0.25)
-        .with_corrupt(0.15)
-        .with_duplicate(0.15)
-        .with_jitter(20);
-    let (ok, _, delivered) = baseline::run_transfer(msgs(12), cfg, 17, 250, 500, 500_000_000);
-    assert!(ok);
-    assert_eq!(delivered, msgs(12));
+    let r = SuiteDriver::new().run(&worst_case(BASELINE)).unwrap();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.messages_delivered, 12);
 }
 
 #[test]
