@@ -6,9 +6,12 @@
 //! handshake spec — size of the generated transition-cover suite, its
 //! coverage (always 100% of reachable transitions), and the coverage a
 //! random tester reaches with the *same* event budget (3 seeds).
+//! `BENCH_QUICK=1` caps the sequence-space sizes; the run is serialized
+//! as `bench-results/BENCH_e10_testgen.json`.
 //! Expected shape: generated suite is small and complete; random testing
 //! needs far more events to approach full transition coverage.
 
+use netdsl_bench::report::{self, BenchReport, Metric};
 use netdsl_core::fsm::paper_sender_spec;
 use netdsl_protocols::handshake::handshake_spec;
 use netdsl_verify::testgen::{coverage_of, random_suite, transition_cover};
@@ -16,14 +19,23 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut out = BenchReport::new(
+        "e10_testgen",
+        "generated behavioural suites vs random testing at equal budget",
+    );
     println!("E10: generated behavioural suites vs random testing at equal budget\n");
     println!(
         "{:<22} {:>7} {:>8} {:>10} {:>12} {:>12}",
         "spec", "cases", "events", "coverage", "random(1x)", "random(4x)"
     );
 
+    let sender_sizes: &[u64] = if report::quick() {
+        &[1, 3]
+    } else {
+        &[1, 3, 15]
+    };
     let mut specs = vec![handshake_spec()];
-    for seq in [1u64, 3, 15] {
+    for &seq in sender_sizes {
         specs.push(paper_sender_spec(seq));
     }
 
@@ -45,13 +57,13 @@ fn main() {
         rand_cov_1x /= 3.0;
         rand_cov_4x /= 3.0;
 
+        let label = format!(
+            "{}({})",
+            spec.name(),
+            spec.vars().first().map(|v| v.max + 1).unwrap_or(0)
+        );
         println!(
-            "{:<22} {:>7} {:>8} {:>9.0}% {:>11.0}% {:>11.0}%",
-            format!(
-                "{}({})",
-                spec.name(),
-                spec.vars().first().map(|v| v.max + 1).unwrap_or(0)
-            ),
+            "{label:<22} {:>7} {:>8} {:>9.0}% {:>11.0}% {:>11.0}%",
             suite.len(),
             budget,
             cov * 100.0,
@@ -63,8 +75,29 @@ fn main() {
             "generated suite covers everything"
         );
         assert!(rand_cov_1x <= cov, "random never beats complete coverage");
+
+        let m = |name: &str, unit: &str| Metric::new(name, unit).with_axis("spec", label.clone());
+        out.push(m("cases", "count").with_sample(suite.len() as f64));
+        out.push(m("events", "count").with_sample(budget as f64));
+        out.push(
+            m("coverage", "ratio")
+                .with_axis("tester", "generated")
+                .with_sample(cov),
+        );
+        out.push(
+            m("coverage", "ratio")
+                .with_axis("tester", "random 1x")
+                .with_sample(rand_cov_1x),
+        );
+        out.push(
+            m("coverage", "ratio")
+                .with_axis("tester", "random 4x")
+                .with_sample(rand_cov_4x),
+        );
     }
     println!("\nexpected shape: generated coverage = 100% with a handful of cases;");
     println!("random needs multiples of the budget and still misses rare edges");
     println!("(e.g. the handshake's passive-open timeout path).");
+
+    out.write();
 }

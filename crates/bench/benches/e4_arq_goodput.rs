@@ -11,93 +11,42 @@
 //! window gains shrink as loss grows (retransmission storms).
 //!
 //! Since PR 2 the whole sweep is one declarative [`Campaign`]: protocols
-//! × loss grid × seed replicates, expanded and executed in parallel, and
-//! every cell below is a [`Summary`] of that one report.
+//! × loss grid × seed replicates, expanded and executed in parallel.
+//! Since PR 3 the campaign lives in [`harnesses::e4_campaign`]
+//! (`BENCH_QUICK=1` shrinks the transfers, never the axis grid) and the
+//! run is serialized as `bench-results/BENCH_e4_arq_goodput.json`.
+//!
+//! [`Campaign`]: netdsl_netsim::campaign::Campaign
 
+use netdsl_bench::harnesses::{self, E4_PROTOCOLS};
+use netdsl_bench::report::{self, BenchReport};
 use netdsl_bench::workload;
-use netdsl_netsim::campaign::{Campaign, Sweep};
-use netdsl_netsim::scenario::{ProtocolSpec, TrafficPattern};
-use netdsl_netsim::LinkConfig;
-use netdsl_protocols::scenario::{SuiteDriver, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
+use netdsl_protocols::scenario::SuiteDriver;
 
-const MESSAGES: usize = 60;
-const MSG_SIZE: usize = 64;
-const DELAY: u64 = 10;
-const DEADLINE: u64 = 500_000_000;
-const SEEDS: u64 = 3;
 const THREADS: usize = 4;
 
 fn main() {
-    let protocols = Sweep::grid([
-        (
-            "SW",
-            ProtocolSpec::new(STOP_AND_WAIT)
-                .with_timeout(150)
-                .with_retries(200),
-        ),
-        (
-            "GBN w=4",
-            ProtocolSpec::new(GO_BACK_N)
-                .with_window(4)
-                .with_timeout(150)
-                .with_retries(400),
-        ),
-        (
-            "GBN w=8",
-            ProtocolSpec::new(GO_BACK_N)
-                .with_window(8)
-                .with_timeout(150)
-                .with_retries(400),
-        ),
-        (
-            "SR w=8",
-            ProtocolSpec::new(SELECTIVE_REPEAT)
-                .with_window(8)
-                .with_timeout(150)
-                .with_retries(400),
-        ),
-        (
-            "SR w=16",
-            ProtocolSpec::new(SELECTIVE_REPEAT)
-                .with_window(16)
-                .with_timeout(150)
-                .with_retries(400),
-        ),
-    ]);
-    let links = Sweep::grid(
-        workload::loss_sweep()
-            .into_iter()
-            .map(|p| (format!("{p:.2}"), LinkConfig::lossy(DELAY, p))),
-    );
-    let campaign = Campaign::new("e4-goodput", 0xE4)
-        .protocols(protocols)
-        .links(links)
-        .traffic(Sweep::single(
-            "60x64",
-            TrafficPattern::messages(MESSAGES, MSG_SIZE),
-        ))
-        .seeds(Sweep::seeds(SEEDS))
-        .deadline(DEADLINE);
+    let campaign = harnesses::e4_campaign(report::quick());
+    let scenarios = campaign.scenarios();
+    let messages = scenarios[0].traffic.count;
+    let size = scenarios[0].traffic.size;
 
     println!("E4: goodput (payload bytes / 1000 ticks) vs loss probability");
-    println!(
-        "workload: {MESSAGES} × {MSG_SIZE}B messages, delay {DELAY} ticks, mean of {SEEDS} seeds"
-    );
+    println!("workload: {messages} × {size}B messages, delay 10 ticks, mean of 3 seeds");
     println!(
         "campaign: {} scenarios on {THREADS} threads\n",
-        campaign.scenarios().len()
+        scenarios.len()
     );
 
-    let report = campaign.run(&SuiteDriver::new(), THREADS);
-    let cells = report.group_by(|s| format!("{}|{}", s.labels.link, s.labels.protocol));
+    let run = campaign.run(&SuiteDriver::new(), THREADS);
+    let cells = run.group_by(|s| format!("{}|{}", s.labels.link, s.labels.protocol));
 
-    let proto_labels = ["SW", "GBN w=4", "GBN w=8", "SR w=8", "SR w=16"];
     println!(
         "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "loss", "SW", "GBN w=4", "GBN w=8", "SR w=8", "SR w=16"
+        "loss", E4_PROTOCOLS[0], E4_PROTOCOLS[1], E4_PROTOCOLS[2], E4_PROTOCOLS[3], E4_PROTOCOLS[4]
     );
     for p in workload::loss_sweep() {
-        let row: Vec<f64> = proto_labels
+        let row: Vec<f64> = E4_PROTOCOLS
             .iter()
             .map(|proto| cells[&format!("{p:.2}|{proto}")].goodput.mean())
             .collect();
@@ -107,4 +56,11 @@ fn main() {
         );
     }
     println!("\nexpected shape: columns fall with loss; SR ≥ GBN ≥ SW at equal window.");
+
+    BenchReport::from_campaign(
+        "e4_arq_goodput",
+        "ARQ goodput vs loss: SW / GBN / SR over a lossy duplex link",
+        &run,
+    )
+    .write();
 }

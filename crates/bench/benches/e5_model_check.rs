@@ -5,7 +5,8 @@
 //! machines of realistic size.
 //! Series: states, transitions, wall time and the four verdicts for the
 //! §3.4 sender and receiver across sequence-space sizes, plus the
-//! handshake spec.
+//! handshake spec. `BENCH_QUICK=1` caps the sequence-space sizes; the
+//! run is serialized as `bench-results/BENCH_e5_model_check.json`.
 //! Expected shape: state counts grow linearly in the sequence space
 //! (control states × valuations); every verdict holds; times stay in
 //! milliseconds.
@@ -13,6 +14,7 @@
 use std::time::Instant;
 
 use netdsl_bench::arq_model::ArqProduct;
+use netdsl_bench::report::{self, BenchReport, Metric};
 use netdsl_core::fsm::{paper_receiver_spec, paper_sender_spec};
 use netdsl_protocols::handshake::handshake_spec;
 use netdsl_verify::props::check_spec;
@@ -27,17 +29,29 @@ fn verdict_str(v: &netdsl_verify::Verdict) -> &'static str {
 }
 
 fn main() {
+    let quick = report::quick();
+    let mut out = BenchReport::new(
+        "e5_model_check",
+        "exhaustive verification of executable specs",
+    );
+
     println!("E5: exhaustive verification of executable specs\n");
     println!(
         "{:<26} {:>8} {:>12} {:>9} {:>7} {:>7} {:>9} {:>7}",
         "spec", "states", "transitions", "time(ms)", "sound", "det", "complete", "term"
     );
 
+    let sender_sizes: &[u64] = if quick {
+        &[1, 3, 7, 15]
+    } else {
+        &[1, 3, 7, 15, 63, 255]
+    };
+    let receiver_sizes: &[u64] = if quick { &[15] } else { &[15, 255] };
     let mut specs = Vec::new();
-    for seq_max in [1u64, 3, 7, 15, 63, 255] {
+    for &seq_max in sender_sizes {
         specs.push(paper_sender_spec(seq_max));
     }
-    for seq_max in [15u64, 255] {
+    for &seq_max in receiver_sizes {
         specs.push(paper_receiver_spec(seq_max));
     }
     specs.push(handshake_spec());
@@ -46,13 +60,13 @@ fn main() {
         let start = Instant::now();
         let report = check_spec(spec, Limits::default());
         let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let label = format!(
+            "{}({})",
+            report.spec,
+            spec.vars().first().map(|v| v.max + 1).unwrap_or(0)
+        );
         println!(
-            "{:<26} {:>8} {:>12} {:>9.2} {:>7} {:>7} {:>9} {:>7}",
-            format!(
-                "{}({})",
-                report.spec,
-                spec.vars().first().map(|v| v.max + 1).unwrap_or(0)
-            ),
+            "{label:<26} {:>8} {:>12} {:>9.2} {:>7} {:>7} {:>9} {:>7}",
             report.states,
             report.transitions,
             ms,
@@ -62,13 +76,27 @@ fn main() {
             verdict_str(&report.termination),
         );
         assert!(report.all_hold(), "verification failed for {}", report.spec);
+        let m = |name: &str, unit: &str| {
+            Metric::new(name, unit)
+                .with_axis("spec", label.clone())
+                .with_axis("kind", "component")
+        };
+        out.push(m("states", "count").with_sample(report.states as f64));
+        out.push(m("transitions", "count").with_sample(report.transitions as f64));
+        out.push(m("check_time", "ms").with_sample(ms));
     }
+
     println!("\nsender × lossy-channel × receiver product (composition):");
     println!(
         "{:<26} {:>8} {:>12} {:>9} {:>8} {:>9} {:>7}",
         "product", "states", "transitions", "time(ms)", "safety", "deadlock", "term"
     );
-    for (seq_max, messages) in [(3u64, 2u64), (7, 3), (15, 4), (15, 8), (255, 8)] {
+    let products: &[(u64, u64)] = if quick {
+        &[(3, 2), (7, 3), (15, 4)]
+    } else {
+        &[(3, 2), (7, 3), (15, 4), (15, 8), (255, 8)]
+    };
+    for &(seq_max, messages) in products {
         let sys = ArqProduct::new(seq_max, messages);
         let explorer = Explorer::new();
         let start = Instant::now();
@@ -76,9 +104,9 @@ fn main() {
         let safety = explorer.check_invariant(&sys, |s| sys.safety_invariant(s));
         let term = explorer.always_eventually_terminal(&sys);
         let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let label = format!("arq-product({},{messages})", seq_max + 1);
         println!(
-            "{:<26} {:>8} {:>12} {:>9.2} {:>8} {:>9} {:>7}",
-            format!("arq-product({},{messages})", seq_max + 1),
+            "{label:<26} {:>8} {:>12} {:>9.2} {:>8} {:>9} {:>7}",
             report.states,
             report.transitions,
             ms,
@@ -95,9 +123,19 @@ fn main() {
             },
         );
         assert!(safety.is_none() && report.deadlocks.is_empty() && term == Some(true));
+        let m = |name: &str, unit: &str| {
+            Metric::new(name, unit)
+                .with_axis("spec", label.clone())
+                .with_axis("kind", "product")
+        };
+        out.push(m("states", "count").with_sample(report.states as f64));
+        out.push(m("transitions", "count").with_sample(report.transitions as f64));
+        out.push(m("check_time", "ms").with_sample(ms));
     }
 
     println!("\nexpected shape: states = control-states × seq-space (components) and");
     println!("grow with message budget (product); all verdicts hold; and the");
     println!("*implementation's own interpreter* is what was explored (no separate model).");
+
+    out.write();
 }

@@ -13,6 +13,7 @@
 //! zero, because validation lives in the declarative definition.
 
 use netdsl_bench::loc;
+use netdsl_bench::report::{BenchReport, Metric};
 
 fn main() {
     println!("E6: error/control plumbing as a fraction of shipped protocol lines\n");
@@ -48,4 +49,18 @@ fn main() {
     println!("(errno, malloc, socket setup); safe Rust already absorbs part of that, so");
     println!("the baseline lands around a third — the separation argument is unchanged.");
     assert!(base.error_fraction() > dsl.error_fraction() * 3.0);
+
+    let mut out = BenchReport::new(
+        "e6_error_loc",
+        "error/control plumbing as a fraction of shipped protocol lines",
+    );
+    for (impl_label, r) in [("baseline", &base), ("dsl", &dsl)] {
+        let m = |name: &str, unit: &str| {
+            Metric::new(name, unit).with_axis("implementation", impl_label)
+        };
+        out.push(m("logic_lines", "lines").with_sample(r.logic as f64));
+        out.push(m("error_lines", "lines").with_sample(r.error_control as f64));
+        out.push(m("error_fraction", "ratio").with_sample(r.error_fraction()));
+    }
+    out.write();
 }

@@ -8,8 +8,13 @@
 //! ramp); observed loss and delay respond to the offered rate.
 //! Expected shape: fuzzy ≥ best fixed under dynamics; ties (small
 //! overhead) under perfectly stable conditions.
+//!
+//! `BENCH_QUICK=1` shrinks the traces from 90 to 30 windows (the
+//! capacity shapes scale with the trace length); the run is serialized
+//! as `bench-results/BENCH_e7_fuzzy_adapt.json`.
 
 use netdsl_adapt::fuzzy::MediaAdapter;
+use netdsl_bench::report::{self, BenchReport, Metric};
 
 /// Closed-loop feedback (documented in EXPERIMENTS.md):
 /// loss = base + overload/rate, delay = 0.05 + 0.45·(rate/capacity),
@@ -22,14 +27,25 @@ fn feedback(rate: f64, capacity: f64, base_loss: f64) -> (f64, f64, f64) {
     (loss, delay, delivered - 0.5 * overload)
 }
 
-/// A capacity trace: (name, per-window capacities).
-fn scenarios() -> Vec<(&'static str, Vec<f64>)> {
-    let stable = vec![120.0; 90];
-    let drop: Vec<f64> = (0..90).map(|w| if w < 45 { 180.0 } else { 60.0 }).collect();
-    let oscillating: Vec<f64> = (0..90)
-        .map(|w| if (w / 15) % 2 == 0 { 160.0 } else { 70.0 })
+/// A capacity trace: (name, per-window capacities). The shapes scale
+/// with `n` so quick mode sees the same dynamics, compressed.
+fn scenarios(n: usize) -> Vec<(&'static str, Vec<f64>)> {
+    let stable = vec![120.0; n];
+    let drop: Vec<f64> = (0..n)
+        .map(|w| if w < n / 2 { 180.0 } else { 60.0 })
         .collect();
-    let ramp: Vec<f64> = (0..90).map(|w| 60.0 + (w as f64) * 1.5).collect();
+    let oscillating: Vec<f64> = (0..n)
+        .map(|w| {
+            if (w / (n / 6).max(1)).is_multiple_of(2) {
+                160.0
+            } else {
+                70.0
+            }
+        })
+        .collect();
+    let ramp: Vec<f64> = (0..n)
+        .map(|w| 60.0 + (w as f64) * 135.0 / n as f64)
+        .collect();
     vec![
         ("stable", stable),
         ("step-drop", drop),
@@ -54,12 +70,17 @@ fn run_fixed(trace: &[f64], rate: f64) -> f64 {
 }
 
 fn main() {
-    println!("E7: cumulative utility, fuzzy adaptation vs fixed rates\n");
+    let windows = report::scaled(90, 30);
+    let mut out = BenchReport::new(
+        "e7_fuzzy_adapt",
+        "cumulative utility: fuzzy QoS adaptation vs fixed rates",
+    );
+    println!("E7: cumulative utility, fuzzy adaptation vs fixed rates ({windows} windows)\n");
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "scenario", "fuzzy", "fixed 60", "fixed 100", "fixed 160", "fuzzy vs best"
     );
-    for (name, trace) in scenarios() {
+    for (name, trace) in scenarios(windows) {
         let fuzzy = run_fuzzy(&trace);
         let fixed: Vec<f64> = [60.0, 100.0, 160.0]
             .iter()
@@ -83,7 +104,23 @@ fn main() {
         } else {
             assert!(fuzzy > best * 0.8, "{name}: fuzzy {fuzzy} vs best {best}");
         }
+        let utility = |policy: &str| {
+            Metric::new("utility", "utility")
+                .with_axis("scenario", name)
+                .with_axis("policy", policy)
+        };
+        out.push(utility("fuzzy").with_sample(fuzzy));
+        out.push(utility("fixed 60").with_sample(fixed[0]));
+        out.push(utility("fixed 100").with_sample(fixed[1]));
+        out.push(utility("fixed 160").with_sample(fixed[2]));
+        out.push(
+            Metric::new("fuzzy_vs_best", "ratio")
+                .with_axis("scenario", name)
+                .with_sample(fuzzy / best),
+        );
     }
     println!("\nexpected shape: fuzzy tracks capacity (wins or ties every scenario);");
     println!("any single fixed rate loses badly somewhere (60 on clean, 160 on congested).");
+
+    out.write();
 }

@@ -10,70 +10,44 @@
 //! short → spurious retransmissions; too long → slow loss recovery);
 //! the adaptive timer tracks every RTT with near-minimal overhead.
 //!
-//! Since PR 2 the sweep is one declarative [`Campaign`] over a
-//! [`DriverSet`]: the fixed-timer senders come from the protocol suite,
-//! the adaptive sender from this crate's [`AdaptiveDriver`] — the two
-//! compose without either crate knowing about the other.
+//! The sweep is one declarative [`Campaign`] (built by
+//! [`harnesses::e8_campaign`]; `BENCH_QUICK=1` shrinks the transfers)
+//! over a [`DriverSet`]: the fixed-timer senders come from the protocol
+//! suite, the adaptive sender from this crate's `AdaptiveDriver` — the
+//! two compose without either crate knowing about the other. The run is
+//! serialized as `bench-results/BENCH_e8_timer_tuning.json`.
+//!
+//! [`Campaign`]: netdsl_netsim::campaign::Campaign
+//! [`DriverSet`]: netdsl_netsim::scenario::DriverSet
 
-use netdsl_bench::campaign_drivers::{AdaptiveDriver, ADAPTIVE_SW};
-use netdsl_netsim::campaign::{Campaign, Sweep};
-use netdsl_netsim::scenario::{DriverSet, ProtocolSpec, TrafficPattern};
-use netdsl_netsim::LinkConfig;
-use netdsl_protocols::scenario::{SuiteDriver, STOP_AND_WAIT};
+use netdsl_bench::campaign_drivers::AdaptiveDriver;
+use netdsl_bench::harnesses::{self, E8_DELAYS, E8_LOSSES, E8_PROTOCOLS};
+use netdsl_bench::report::{self, BenchReport};
+use netdsl_netsim::scenario::DriverSet;
+use netdsl_protocols::scenario::SuiteDriver;
 
-const N: usize = 40;
-const SIZE: usize = 32;
-const DEADLINE: u64 = 500_000_000;
 const THREADS: usize = 4;
 
 fn main() {
-    let fixed = |t: u64| {
-        ProtocolSpec::new(STOP_AND_WAIT)
-            .with_timeout(t)
-            .with_retries(400)
-    };
-    let campaign = Campaign::new("e8-timers", 0xE8)
-        .protocols(
-            Sweep::grid([
-                ("fixed 30", fixed(30)),
-                ("fixed 150", fixed(150)),
-                ("fixed 600", fixed(600)),
-            ])
-            .and(
-                "adaptive",
-                ProtocolSpec::new(ADAPTIVE_SW)
-                    .with_timeout(150)
-                    .with_retries(400),
-            ),
-        )
-        .links(Sweep::grid([5u64, 30, 75].into_iter().flat_map(|delay| {
-            [0.0, 0.1].into_iter().map(move |loss| {
-                (
-                    format!("delay {delay}, loss {loss}"),
-                    LinkConfig::lossy(delay, loss),
-                )
-            })
-        })))
-        .traffic(Sweep::single("40x32", TrafficPattern::messages(N, SIZE)))
-        .seeds(Sweep::seeds(1))
-        .deadline(DEADLINE);
+    let campaign = harnesses::e8_campaign(report::quick());
+    let n = campaign.scenarios()[0].traffic.count;
 
     println!("E8: retransmissions per message (and completion ticks) vs timer policy\n");
     println!(
         "{:<22} {:>16} {:>16} {:>16} {:>16}",
-        "delay / loss", "fixed 30", "fixed 150", "fixed 600", "adaptive"
+        "delay / loss", E8_PROTOCOLS[0], E8_PROTOCOLS[1], E8_PROTOCOLS[2], E8_PROTOCOLS[3]
     );
 
     let driver = DriverSet::new()
         .with(SuiteDriver::new())
         .with(AdaptiveDriver::new());
-    let report = campaign.run(&driver, THREADS);
-    let cells = report.group_by(|s| format!("{}|{}", s.labels.link, s.labels.protocol));
+    let run = campaign.run(&driver, THREADS);
+    let cells = run.group_by(|s| format!("{}|{}", s.labels.link, s.labels.protocol));
 
-    for delay in [5u64, 30, 75] {
-        for loss in [0.0, 0.1] {
+    for delay in E8_DELAYS {
+        for loss in E8_LOSSES {
             let link = format!("delay {delay}, loss {loss}");
-            let row: Vec<String> = ["fixed 30", "fixed 150", "fixed 600", "adaptive"]
+            let row: Vec<String> = E8_PROTOCOLS
                 .iter()
                 .map(|proto| {
                     let s = &cells[&format!("{link}|{proto}")];
@@ -81,7 +55,7 @@ fn main() {
                         format!(
                             "{:.2} ({:.0})",
                             s.retransmits.mean(),
-                            s.latency.mean() * N as f64
+                            s.latency.mean() * n as f64
                         )
                     } else {
                         "fail".to_string()
@@ -96,4 +70,11 @@ fn main() {
     }
     println!("\nexpected shape: fixed 30 melts down at delay 30/75 (spurious retx);");
     println!("fixed 600 crawls under loss (slow recovery); adaptive is near-best everywhere.");
+
+    BenchReport::from_campaign(
+        "e8_timer_tuning",
+        "fixed vs adaptive retransmission timers across delay × loss",
+        &run,
+    )
+    .write();
 }

@@ -6,68 +6,47 @@
 //! forwarding behaviour."
 //! Series: delivery ratio vs number of compromised paths (out of 4
 //! disjoint 2-relay paths, compromised relays drop 90% of traffic) for
-//! trust-learning, random, and fixed path selection; 300 messages,
-//! 3 seeds averaged.
+//! trust-learning, random, and fixed path selection; 3 seeds averaged.
 //! Expected shape: trust-learning degrades only when honest paths run
 //! out; random degrades linearly; fixed collapses at the first
 //! compromise (its path is index 0).
 //!
-//! Since PR 2 the sweep is one declarative [`Campaign`]: the policy is
-//! the protocol axis, the compromise level is the topology axis
-//! (`ParallelPaths { compromised, .. }`), and replication is the seed
-//! axis — 45 scenarios from one definition.
+//! The sweep is one declarative [`Campaign`] (built by
+//! [`harnesses::e9_campaign`]; `BENCH_QUICK=1` shrinks the session
+//! length): the policy is the protocol axis, the compromise level is
+//! the topology axis, and replication is the seed axis. The run is
+//! serialized as `bench-results/BENCH_e9_trust_routing.json`.
+//!
+//! [`Campaign`]: netdsl_netsim::campaign::Campaign
 
-use netdsl_bench::campaign_drivers::{RelayDriver, FIXED_PATH, RANDOM_PATH, TRUST_LEARNING};
-use netdsl_netsim::campaign::{Campaign, Sweep};
-use netdsl_netsim::scenario::{ProtocolSpec, TopologySpec, TrafficPattern};
-use netdsl_netsim::LinkConfig;
+use netdsl_bench::campaign_drivers::RelayDriver;
+use netdsl_bench::harnesses::{self, E9_HOPS, E9_PATHS, E9_PROTOCOLS};
+use netdsl_bench::report::{self, BenchReport};
 
-const PATHS: usize = 4;
-const HOPS: usize = 2;
-const ROUNDS: usize = 300;
-const SEEDS: u64 = 3;
 const THREADS: usize = 4;
 
 fn main() {
-    let campaign = Campaign::new("e9-trust", 0xE9)
-        .protocols(Sweep::grid([
-            ("trust", ProtocolSpec::new(TRUST_LEARNING)),
-            ("random", ProtocolSpec::new(RANDOM_PATH)),
-            ("fixed", ProtocolSpec::new(FIXED_PATH)),
-        ]))
-        .links(Sweep::single("relay-net", LinkConfig::reliable(1)))
-        .topologies(Sweep::grid((0..=PATHS).map(|k| {
-            (
-                format!("k={k}"),
-                TopologySpec::ParallelPaths {
-                    paths: PATHS,
-                    hops: HOPS,
-                    compromised: k,
-                },
-            )
-        })))
-        .traffic(Sweep::single(
-            "300 rounds",
-            TrafficPattern::messages(ROUNDS, 8),
-        ))
-        .seeds(Sweep::seeds(SEEDS));
+    let campaign = harnesses::e9_campaign(report::quick());
+    let rounds = campaign.scenarios()[0].traffic.count;
 
-    println!("E9: delivery ratio vs compromised paths ({PATHS} paths, {HOPS} relays each)");
+    println!(
+        "E9: delivery ratio vs compromised paths ({E9_PATHS} paths, {E9_HOPS} relays each, {rounds} rounds)"
+    );
     println!(
         "campaign: {} scenarios on {THREADS} threads\n",
         campaign.scenarios().len()
     );
     println!(
         "{:>13} {:>10} {:>10} {:>10}",
-        "#compromised", "trust", "random", "fixed"
+        "#compromised", E9_PROTOCOLS[0], E9_PROTOCOLS[1], E9_PROTOCOLS[2]
     );
 
-    let report = campaign.run(&RelayDriver::new(), THREADS);
-    let cells = report.group_by(|s| format!("{}|{}", s.labels.topology, s.labels.protocol));
+    let run = campaign.run(&RelayDriver::new(), THREADS);
+    let cells = run.group_by(|s| format!("{}|{}", s.labels.topology, s.labels.protocol));
     let ratio = |k: usize, proto: &str| cells[&format!("k={k}|{proto}")].delivery.mean();
 
     let mut prev_trust = 1.0;
-    for k in 0..=PATHS {
+    for k in 0..=E9_PATHS {
         let trust = ratio(k, "trust");
         let random = ratio(k, "random");
         let fixed = ratio(k, "fixed");
@@ -77,13 +56,20 @@ fn main() {
             random * 100.0,
             fixed * 100.0
         );
-        if (1..PATHS).contains(&k) {
+        if (1..E9_PATHS).contains(&k) {
             assert!(trust > random, "learning beats random at k={k}");
             assert!(trust > fixed, "learning beats fixed at k={k}");
         }
         assert!(trust <= prev_trust + 0.05, "ratio non-increasing in k");
         prev_trust = trust;
     }
-    println!("\nexpected shape: trust stays high until k = {PATHS}; random falls ~linearly;");
+    println!("\nexpected shape: trust stays high until k = {E9_PATHS}; random falls ~linearly;");
     println!("fixed collapses at k = 1 (it always uses path 0, the first compromised).");
+
+    BenchReport::from_campaign(
+        "e9_trust_routing",
+        "delivery ratio vs compromised relay paths per selection policy",
+        &run,
+    )
+    .write();
 }

@@ -1,8 +1,10 @@
 //! # netdsl-bench — shared machinery for the experiment harnesses
 //!
 //! The `benches/` directory of this crate regenerates every experiment
-//! in EXPERIMENTS.md (E1–E10). This library holds the pieces the
-//! harnesses share and that deserve their own unit tests:
+//! (E1–E10 from the paper, plus the E11 engine-throughput bench), each
+//! emitting a `bench-results/BENCH_<id>.json` report. This library
+//! holds the pieces the harnesses share and that deserve their own
+//! unit tests:
 //!
 //! * [`loc`] — the source-line classifier behind experiment E6 (the
 //!   paper's "50% or more of the code will deal with error checking"
@@ -15,6 +17,11 @@
 //! * [`campaign_drivers`] — [`ScenarioDriver`](netdsl_netsim::scenario::ScenarioDriver)
 //!   plug-ins (adaptive timers, trust relaying) that compose the
 //!   `protocols` and `adapt` crates for declarative campaign sweeps;
+//! * [`harnesses`] — the campaign builders behind E4/E8/E9/E11, shared
+//!   with the tests that pin quick-mode ↔ full-mode label parity;
+//! * [`report`] — the [`BenchReport`](report::BenchReport) schema every
+//!   harness serializes to `bench-results/BENCH_<id>.json` (see
+//!   `docs/BENCHMARKS.md`);
 //! * [`workload`] — deterministic message/workload generators.
 
 #![forbid(unsafe_code)]
@@ -23,5 +30,7 @@
 pub mod adaptive_arq;
 pub mod arq_model;
 pub mod campaign_drivers;
+pub mod harnesses;
 pub mod loc;
+pub mod report;
 pub mod workload;

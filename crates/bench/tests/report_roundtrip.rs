@@ -1,0 +1,81 @@
+//! Integration tests for the benchmark-report schema: serialize →
+//! parse → equal across arbitrary contents, and compatibility with the
+//! criterion shim's independently-written JSON sink.
+
+use proptest::prelude::*;
+
+use netdsl_bench::report::{BenchReport, Metric, Mode};
+
+/// The criterion shim writes reports through its own serializer; the
+/// report layer must parse them — this is the contract that lets E1–E3
+/// emit artifacts without depending on `netdsl-bench`.
+#[test]
+fn criterion_shim_artifacts_parse_as_bench_reports() {
+    let dir = std::env::temp_dir().join(format!("netdsl-shim-compat-{}", std::process::id()));
+    std::env::set_var("BENCH_RESULTS_DIR", &dir);
+    let mut c = criterion::Criterion::default();
+    let mut g = c.benchmark_group("compat_group");
+    g.throughput(criterion::Throughput::Bytes(256));
+    g.bench_with_input(
+        criterion::BenchmarkId::new("checksum", 256),
+        &256u64,
+        |b, &n| b.iter(|| (0..n).sum::<u64>()),
+    );
+    g.finish();
+    c.bench_function("standalone", |b| b.iter(|| criterion::black_box(1) + 1));
+    criterion::write_bench_report("shim_compat");
+    std::env::remove_var("BENCH_RESULTS_DIR");
+
+    let path = dir.join("BENCH_shim_compat.json");
+    let text = std::fs::read_to_string(&path).expect("shim wrote the artifact");
+    let report = BenchReport::from_json_str(&text).expect("shim JSON is schema-valid");
+    assert_eq!(report.id, "shim_compat");
+    assert_eq!(report.metrics.len(), 2);
+    let grouped = &report.metrics[0];
+    assert_eq!(grouped.name, "compat_group/checksum/256");
+    assert_eq!(grouped.unit, "ns/iter");
+    assert!(!grouped.samples.is_empty());
+    let t = grouped.throughput.as_ref().expect("throughput recorded");
+    assert_eq!(t.unit, "bytes/s");
+    assert!(t.rate > 0.0);
+    assert_eq!(report.metrics[1].name, "standalone");
+    // And the parse→serialize→parse fixpoint holds on shim output too.
+    let again = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(again, report);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn string_of(chars: Vec<char>) -> String {
+    chars.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// serialize → parse is the identity for arbitrary metric names,
+    /// axis labels (any unicode, exercising string escaping) and finite
+    /// sample values (exercising f64 shortest-round-trip formatting).
+    #[test]
+    fn arbitrary_reports_roundtrip(
+        name in proptest::collection::vec(any::<char>(), 1..12),
+        axis_label in proptest::collection::vec(any::<char>(), 0..10),
+        samples in proptest::collection::vec(-1.0e12f64..1.0e12, 0..24),
+        rate in 0.0f64..1.0e9,
+        quick in any::<bool>(),
+    ) {
+        let report = BenchReport {
+            id: "prop_roundtrip".into(),
+            title: string_of(name.clone()),
+            mode: if quick { Mode::Quick } else { Mode::Full },
+            metrics: vec![
+                Metric::new(string_of(name), "unit/iter")
+                    .with_axis("axis", string_of(axis_label))
+                    .with_samples(samples.iter().copied())
+                    .with_throughput("elements/s", rate),
+                Metric::new("plain", "count").with_samples(samples.iter().map(|s| s.abs())),
+            ],
+        };
+        let parsed = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+        prop_assert_eq!(parsed, report);
+    }
+}

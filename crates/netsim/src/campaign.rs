@@ -270,20 +270,31 @@ impl Campaign {
 
         thread::scope(|scope| {
             for _ in 0..threads.max(1).min(n.max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    // Batch results worker-locally and merge under one
+                    // lock at the end: nothing reads the slots until all
+                    // workers have joined, and per-scenario locking is
+                    // measurable contention on short scenarios (E11).
+                    let mut local: Vec<(usize, Result<ScenarioResult, ScenarioError>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        let scenario = &scenarios[i];
+                        let outcome = if driver.supports(&scenario.protocol.name) {
+                            driver.run(scenario)
+                        } else {
+                            Err(ScenarioError::UnknownProtocol(
+                                scenario.protocol.name.clone(),
+                            ))
+                        };
+                        local.push((i, outcome));
                     }
-                    let scenario = &scenarios[i];
-                    let outcome = if driver.supports(&scenario.protocol.name) {
-                        driver.run(scenario)
-                    } else {
-                        Err(ScenarioError::UnknownProtocol(
-                            scenario.protocol.name.clone(),
-                        ))
-                    };
-                    slots.lock().expect("no poisoned workers")[i] = Some(outcome);
+                    let mut slots = slots.lock().expect("no poisoned workers");
+                    for (i, outcome) in local {
+                        slots[i] = Some(outcome);
+                    }
                 });
             }
         });
@@ -378,14 +389,18 @@ pub struct Summary {
 
 impl Summary {
     fn of<'a>(runs: impl Iterator<Item = &'a ScenarioRun>) -> Summary {
+        let expected = runs.size_hint().0;
         let mut total = 0;
         let mut succeeded = 0;
         let mut failed = 0;
         let mut errors = 0;
-        let mut goodput = Vec::new();
-        let mut latency = Vec::new();
-        let mut retransmits = Vec::new();
-        let mut delivery = Vec::new();
+        // One pre-sized buffer per metric, filled in a single pass —
+        // per-cell summaries over large sweeps are built thousands of
+        // times per campaign report.
+        let mut goodput = Vec::with_capacity(expected);
+        let mut latency = Vec::with_capacity(expected);
+        let mut retransmits = Vec::with_capacity(expected);
+        let mut delivery = Vec::with_capacity(expected);
         for run in runs {
             total += 1;
             match &run.outcome {

@@ -2,21 +2,52 @@
 //!
 //! Provides the harness surface the netdsl benches use — groups,
 //! parameterised benchmark IDs, throughput annotation, `Bencher::iter` —
-//! with a simple measurement loop: warm up briefly, then time batches
-//! until a fixed measurement budget elapses and report the mean per
-//! iteration (plus derived throughput). No statistics, plots, or baseline
-//! files; swapping in real criterion requires no source changes.
+//! with a simple measurement loop: warm up briefly, then time a handful
+//! of batches and report the mean per iteration (plus derived
+//! throughput). No plots or baseline files; swapping in real criterion
+//! requires no source changes.
+//!
+//! Two extensions beyond upstream criterion's surface serve the
+//! workspace's benchmark-report subsystem (see `docs/BENCHMARKS.md`):
+//!
+//! * every measurement is also recorded in a process-wide sink, and the
+//!   `criterion_main!`-generated `main` serializes the collected metrics
+//!   to `bench-results/BENCH_<id>.json` in the shared benchmark-report
+//!   schema (via the serde shim's JSON model);
+//! * setting `BENCH_QUICK=1` shrinks the warm-up and measurement
+//!   budgets so a full `cargo bench` sweep fits in CI smoke time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::{self, Write as _};
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use serde::json::Value;
 
 /// Prevents the optimiser from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// One recorded measurement, queued for the JSON report.
+struct MetricRecord {
+    group: Option<String>,
+    name: String,
+    /// Per-batch mean nanoseconds per iteration.
+    samples: Vec<f64>,
+    throughput: Option<Throughput>,
+}
+
+/// Process-wide sink the `criterion_main!`-generated `main` drains.
+static SINK: Mutex<Vec<MetricRecord>> = Mutex::new(Vec::new());
+
+/// `true` when `BENCH_QUICK` requests the CI-sized measurement budget.
+pub fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Top-level harness handle; one per `criterion_group!` run.
@@ -30,7 +61,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         let name = name.into();
         println!("\n{name}");
-        BenchmarkGroup { throughput: None }
+        BenchmarkGroup {
+            name,
+            throughput: None,
+        }
     }
 
     /// Measures a single standalone function.
@@ -38,7 +72,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, None, &mut f);
+        run_one(None, name, None, &mut f);
         self
     }
 }
@@ -46,6 +80,7 @@ impl Criterion {
 /// A group of measurements sharing a name prefix and throughput setting.
 #[derive(Debug)]
 pub struct BenchmarkGroup {
+    name: String,
     throughput: Option<Throughput>,
 }
 
@@ -66,9 +101,12 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&id.to_string(), self.throughput.clone(), &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            Some(&self.name),
+            &id.to_string(),
+            self.throughput.clone(),
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -77,7 +115,7 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, self.throughput.clone(), &mut f);
+        run_one(Some(&self.name), name, self.throughput.clone(), &mut f);
         self
     }
 
@@ -120,62 +158,88 @@ impl fmt::Display for BenchmarkId {
 /// Handed to the closure; calls back into the timing loop.
 #[derive(Debug)]
 pub struct Bencher {
-    iters_done: u64,
-    elapsed: Duration,
+    /// Mean nanoseconds per iteration of each measured batch.
+    batch_means_ns: Vec<f64>,
 }
 
 impl Bencher {
     /// Times repeated calls of `routine`.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let (warmup, measure, batches) = if quick_mode() {
+            (QUICK_WARMUP, QUICK_MEASURE, 2usize)
+        } else {
+            (WARMUP, MEASURE, 4usize)
+        };
+
         // Warm-up: establish a per-iteration estimate.
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
-        while warmup_start.elapsed() < WARMUP {
+        while warmup_start.elapsed() < warmup {
             black_box(routine());
             warmup_iters += 1;
         }
         let per_iter = warmup_start.elapsed().as_nanos().max(1) as u64 / warmup_iters.max(1);
-        let batch = (MEASURE.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1_000_000);
+        let budget_per_batch = measure.as_nanos() as u64 / batches as u64;
+        let batch = (budget_per_batch / per_iter.max(1)).clamp(1, 1_000_000);
 
-        let start = Instant::now();
-        for _ in 0..batch {
-            black_box(routine());
+        self.batch_means_ns.clear();
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.batch_means_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
         }
-        self.elapsed = start.elapsed();
-        self.iters_done = batch;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.batch_means_ns.is_empty() {
+            0.0
+        } else {
+            self.batch_means_ns.iter().sum::<f64>() / self.batch_means_ns.len() as f64
+        }
     }
 }
 
 const WARMUP: Duration = Duration::from_millis(20);
 const MEASURE: Duration = Duration::from_millis(80);
+const QUICK_WARMUP: Duration = Duration::from_millis(3);
+const QUICK_MEASURE: Duration = Duration::from_millis(10);
 
-fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    group: Option<&str>,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let mut bencher = Bencher {
-        iters_done: 0,
-        elapsed: Duration::ZERO,
+        batch_means_ns: Vec::new(),
     };
     f(&mut bencher);
-    let per_iter_ns = if bencher.iters_done == 0 {
-        0.0
-    } else {
-        bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64
-    };
+    let per_iter_ns = bencher.mean_ns();
     let mut line = String::new();
     write!(line, "  {name:<40} {:>12}/iter", format_ns(per_iter_ns)).expect("write to String");
     if per_iter_ns > 0.0 {
-        match throughput {
+        match &throughput {
             Some(Throughput::Bytes(n)) => {
-                let rate = n as f64 / (per_iter_ns / 1e9) / (1024.0 * 1024.0);
+                let rate = *n as f64 / (per_iter_ns / 1e9) / (1024.0 * 1024.0);
                 write!(line, " {rate:>10.1} MiB/s").expect("write to String");
             }
             Some(Throughput::Elements(n)) => {
-                let rate = n as f64 / (per_iter_ns / 1e9);
+                let rate = *n as f64 / (per_iter_ns / 1e9);
                 write!(line, " {rate:>10.0} elem/s").expect("write to String");
             }
             None => {}
         }
     }
     println!("{line}");
+    SINK.lock().expect("sink lock").push(MetricRecord {
+        group: group.map(str::to_string),
+        name: name.to_string(),
+        samples: bencher.batch_means_ns.clone(),
+        throughput,
+    });
 }
 
 fn format_ns(ns: f64) -> String {
@@ -190,6 +254,113 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// Nearest-rank percentile over ascending-sorted samples — the same
+/// definition as `netdsl-netsim`'s `stats::Aggregate`, so shim-emitted
+/// stats blocks agree with report-layer recomputation.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn stats_value(samples: &[f64]) -> Value {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+    sorted.sort_by(f64::total_cmp);
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    Value::object()
+        .set("count", sorted.len())
+        .set("mean", mean)
+        .set("min", sorted.first().copied().unwrap_or(0.0))
+        .set("max", sorted.last().copied().unwrap_or(0.0))
+        .set("p50", percentile(&sorted, 50.0))
+        .set("p90", percentile(&sorted, 90.0))
+        .set("p99", percentile(&sorted, 99.0))
+}
+
+/// Where `BENCH_<id>.json` artifacts go: `$BENCH_RESULTS_DIR` when set,
+/// else `bench-results/` under the nearest ancestor holding `Cargo.lock`
+/// (cargo runs bench binaries with the *package* directory as cwd).
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("bench-results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("bench-results");
+        }
+    }
+}
+
+/// Serializes every measurement recorded so far to
+/// `bench-results/BENCH_<id>.json` in the shared benchmark-report
+/// schema, draining the sink. Called by the `criterion_main!`-generated
+/// `main`; `id` is the bench target name (`CARGO_CRATE_NAME`).
+///
+/// A write failure panics: a benchmark run whose artifact vanished
+/// silently would defeat the CI gate the artifact exists for.
+pub fn write_bench_report(id: &str) {
+    let records = std::mem::take(&mut *SINK.lock().expect("sink lock"));
+    let metrics: Vec<Value> = records
+        .iter()
+        .map(|r| {
+            let name = match &r.group {
+                Some(group) => format!("{group}/{}", r.name),
+                None => r.name.clone(),
+            };
+            let mean_ns = if r.samples.is_empty() {
+                0.0
+            } else {
+                r.samples.iter().sum::<f64>() / r.samples.len() as f64
+            };
+            let throughput = match &r.throughput {
+                Some(Throughput::Bytes(n)) if mean_ns > 0.0 => Value::object()
+                    .set("unit", "bytes/s")
+                    .set("rate", *n as f64 / (mean_ns / 1e9)),
+                Some(Throughput::Elements(n)) if mean_ns > 0.0 => Value::object()
+                    .set("unit", "elements/s")
+                    .set("rate", *n as f64 / (mean_ns / 1e9)),
+                _ => Value::Null,
+            };
+            Value::object()
+                .set("name", name)
+                .set("unit", "ns/iter")
+                .set("axes", Value::object())
+                .set(
+                    "samples",
+                    Value::Array(r.samples.iter().map(|&s| Value::Number(s)).collect()),
+                )
+                .set("stats", stats_value(&r.samples))
+                .set("throughput", throughput)
+        })
+        .collect();
+    let report = Value::object()
+        .set("schema", "netdsl-bench/1")
+        .set("id", id)
+        .set("title", id)
+        .set("mode", if quick_mode() { "quick" } else { "full" })
+        .set("metrics", Value::Array(metrics));
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create bench-results dir {}: {e}", dir.display()));
+    let path = dir.join(format!("BENCH_{id}.json"));
+    std::fs::write(&path, report.to_string_pretty())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
+}
+
 /// Declares a group runner function, mirroring criterion's macro.
 #[macro_export]
 macro_rules! criterion_group {
@@ -201,12 +372,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the given groups, mirroring criterion's macro.
+/// Declares `main` running the given groups, mirroring criterion's
+/// macro, then writing the collected measurements as a
+/// `BENCH_<bench-name>.json` report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_bench_report(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -225,10 +399,28 @@ mod tests {
         });
         g.finish();
         c.bench_function("standalone", |b| b.iter(|| black_box(21) * 2));
+        // Both runs landed in the sink with at least one sample each.
+        let sink = SINK.lock().unwrap();
+        let ours: Vec<_> = sink
+            .iter()
+            .filter(|r| r.group.as_deref() == Some("shim_smoke") || r.name == "standalone")
+            .collect();
+        assert_eq!(ours.len(), 2);
+        assert!(ours.iter().all(|r| !r.samples.is_empty()));
     }
 
     #[test]
     fn id_formats_function_slash_parameter() {
         assert_eq!(BenchmarkId::new("enc", 1024).to_string(), "enc/1024");
+    }
+
+    #[test]
+    fn stats_block_matches_nearest_rank() {
+        let v = stats_value(&[30.0, 10.0, 20.0]);
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("mean").and_then(Value::as_f64), Some(20.0));
+        assert_eq!(v.get("min").and_then(Value::as_f64), Some(10.0));
+        assert_eq!(v.get("p50").and_then(Value::as_f64), Some(20.0));
+        assert_eq!(v.get("p99").and_then(Value::as_f64), Some(30.0));
     }
 }

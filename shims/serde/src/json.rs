@@ -1,0 +1,665 @@
+//! A minimal JSON data model: the shim's stand-in for `serde_json`.
+//!
+//! [`Value`] is an owned JSON tree with a serializer ([`fmt::Display`] /
+//! [`Value::to_string_pretty`]) and a strict recursive-descent parser
+//! ([`Value::parse`]). Object member order is preserved (insertion
+//! order), so serialize → parse → serialize is the identity on the
+//! text as well as the tree.
+//!
+//! Design constraints inherited from the workspace:
+//!
+//! * numbers are `f64` (like `serde_json`'s default arithmetic view);
+//!   integers above 2⁵³ lose precision and should be carried as strings;
+//! * non-finite numbers serialize as `null` — JSON has no spelling for
+//!   them, and the workspace's statistics layer already filters
+//!   non-finite samples;
+//! * parsing is resource-bounded (nesting depth ≤ 64) so the CI checker
+//!   can be pointed at arbitrary files safely.
+
+use std::fmt;
+
+/// Maximum container nesting the parser accepts.
+const MAX_DEPTH: usize = 64;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; members keep insertion order and may not repeat keys
+    /// (the parser rejects duplicates).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object, ready for [`Value::set`] chaining.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Adds or replaces a member (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object — that is a construction bug,
+    /// not a data condition.
+    #[must_use]
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<Value>) -> Value {
+        let Value::Object(members) = &mut self else {
+            panic!("Value::set on a non-object");
+        };
+        let key = key.into();
+        let value = value.into();
+        match members.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => members.push((key, value)),
+        }
+        self
+    }
+
+    /// Member lookup on objects (`None` for other variants or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, when it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the format the benchmark artifacts are written in.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) if n.is_finite() => {
+                // `f64::Display` is the shortest decimal that round-trips
+                // exactly, and never uses exponent notation — valid JSON.
+                use fmt::Write as _;
+                write!(out, "{n}").expect("write to String");
+            }
+            Value::Number(_) => out.push_str("null"),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_container(out, indent, '[', ']', items.len(), |out, i, inner| {
+                    items[i].write(out, inner);
+                })
+            }
+            Value::Object(members) => {
+                write_container(out, indent, '{', '}', members.len(), |out, i, inner| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if inner.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, inner);
+                })
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (surrounding whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_container(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|i| i + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(depth) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth));
+        }
+        item(out, i, inner);
+    }
+    if let Some(depth) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    /// Compact (single-line) serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Array(items)
+    }
+}
+
+/// A parse failure: byte offset plus a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut members: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(lead) => {
+                    // Consume one UTF-8 scalar. The input arrived as a
+                    // &str, so the encoding is valid and the lead byte
+                    // alone determines the scalar's length — decode
+                    // from exactly that window (O(1) per character; a
+                    // whole-remainder revalidation here would make long
+                    // strings quadratic).
+                    let len = match lead {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let scalar = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                        .expect("input was a &str");
+                    out.push_str(scalar);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        // Surrogate pairs: a high surrogate must be followed by an
+        // escaped low surrogate, together naming one scalar value.
+        if (0xD800..0xDC00).contains(&first) {
+            if self.bytes[self.pos..].first() != Some(&b'\\')
+                || self.bytes[self.pos + 1..].first() != Some(&b'u')
+            {
+                return Err(self.err("high surrogate without a following \\u escape"));
+            }
+            self.pos += 2;
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("high surrogate not followed by a low surrogate"));
+            }
+            let scalar = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            return char::from_u32(scalar).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("lone low surrogate"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code =
+            u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape digits"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        // RFC 8259 grammar, checked explicitly — Rust's `f64::parse`
+        // is laxer (leading `+`, `.5`, `1.`, `inf`) and relying on it
+        // would accept documents real JSON parsers reject.
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII span");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("invalid number `{text}`")))?;
+        if !n.is_finite() {
+            return Err(self.err(format!("number `{text}` overflows f64")));
+        }
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        assert_eq!(&Value::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(&Value::parse(&v.to_string_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Number(0.0),
+            Value::Number(-12.625),
+            Value::Number(1e15),
+            Value::String("he said \"hi\"\n\tπ → ∞".into()),
+            Value::String(String::new()),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn float_display_roundtrips_exactly() {
+        for n in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -0.0] {
+            roundtrip(&Value::Number(n));
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip_preserving_order() {
+        let v = Value::object()
+            .set("zebra", 1.0)
+            .set("alpha", Value::Array(vec![Value::Null, Value::Bool(true)]))
+            .set("nested", Value::object().set("k", "v"));
+        roundtrip(&v);
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["zebra", "alpha", "nested"], "insertion order kept");
+    }
+
+    #[test]
+    fn set_replaces_existing_keys() {
+        let v = Value::object().set("k", 1.0).set("k", 2.0);
+        assert_eq!(v.get("k").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(Value::Number(f64::NAN).to_string(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::object().set("n", 3.0).set("s", "x").set("b", true);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nul",
+            "\"unterminated",
+            "01a",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "-",
+            "1e",
+            "1e+",
+            "[1] trailing",
+            "{\"a\":1,\"a\":2}",
+            "\"\\q\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = Value::parse("\"a\\u0041\\n\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("aA\n😀"));
+    }
+
+    #[test]
+    fn parser_depth_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Value::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Value::parse(" {\n \"a\" : [ 1 , 2 ] \r\n} ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+}

@@ -7,12 +7,19 @@
 //! the traits are markers with no methods, and the derive macros emit
 //! empty impls. Replacing the `serde` entry in `[workspace.dependencies]`
 //! with the real crate requires no source changes.
+//!
+//! The [`json`] module is the shim's stand-in for `serde_json`: an owned
+//! [`Value`](json::Value) tree with a serializer and a strict parser.
+//! The benchmark-report layer (`netdsl-bench::report` and the criterion
+//! shim's JSON sink) serializes through it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
 
 /// Marker for types that can be serialized (shim: no data model).
 pub trait Serialize {}

@@ -50,6 +50,22 @@ pub use netdsl_abnf as abnf;
 /// ```
 pub use netdsl_adapt as adapt;
 
+/// Experiment machinery: the benchmark-report schema every harness
+/// emits ([`bench::report`]), the campaign builders behind the
+/// E-harnesses ([`bench::harnesses`]), and the drivers composing
+/// `protocols` × `adapt`. The artifact format and CI gating are
+/// documented in `docs/BENCHMARKS.md`.
+///
+/// ```
+/// use netdsl::bench::report::{BenchReport, Metric};
+/// let mut r = BenchReport::new("doc", "facade doctest");
+/// r.push(Metric::new("latency", "ms").with_samples([1.0, 2.0, 4.0]));
+/// let back = BenchReport::from_json_str(&r.to_json_string()).unwrap();
+/// assert_eq!(back, r);
+/// assert_eq!(back.metrics[0].aggregate().median(), 2.0);
+/// ```
+pub use netdsl_bench as bench;
+
 /// ASN.1 + DER — the paper's second syntactic baseline.
 ///
 /// ```

@@ -1,9 +1,13 @@
 //! Integration suite for the declarative campaign layer: determinism
 //! under parallelism, the acceptance sweep (3 protocols × 3 links ×
-//! 4 seeds on ≥ 2 threads), and failure injection expressed as data.
+//! 4 seeds on ≥ 2 threads), failure injection expressed as data, and
+//! the `BENCH_QUICK` contract (quick mode shrinks workloads, never the
+//! sweep grid) plus the campaign → benchmark-report bridge.
 
 use proptest::prelude::*;
 
+use netdsl::bench::harnesses;
+use netdsl::bench::report::BenchReport;
 use netdsl::campaign::{Campaign, Sweep};
 use netdsl::netsim::LinkConfig;
 use netdsl::protocols::scenario::{
@@ -119,6 +123,57 @@ proptest! {
         let single = campaign.run(&driver, 1);
         prop_assert_eq!(multi, single);
     }
+}
+
+#[test]
+fn quick_and_full_mode_share_scenario_labels() {
+    // The BENCH_QUICK contract: quick mode shrinks workloads and
+    // measurement budgets, never the sweep grid — every harness
+    // campaign expands to the same scenario names, axis labels and
+    // derived seeds in both modes, so BENCH_*.json artifacts stay
+    // comparable cell-for-cell across modes.
+    for (name, builder) in [
+        ("e4", harnesses::e4_campaign as fn(bool) -> Campaign),
+        ("e8", harnesses::e8_campaign),
+        ("e9", harnesses::e9_campaign),
+        ("e11", harnesses::e11_campaign),
+    ] {
+        let full = builder(false).scenarios();
+        let quick = builder(true).scenarios();
+        assert_eq!(full.len(), quick.len(), "{name}: grid size");
+        for (f, q) in full.iter().zip(&quick) {
+            assert_eq!(f.name, q.name, "{name}: scenario name");
+            assert_eq!(f.labels, q.labels, "{name}: axis labels");
+            assert_eq!(f.seed, q.seed, "{name}: derived seed");
+            assert!(
+                q.traffic.count <= f.traffic.count,
+                "{name}: quick workloads never grow"
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_reports_roundtrip_through_the_bench_schema() {
+    // A campaign run converted to the benchmark-report schema survives
+    // serialize → parse unchanged — what CI's bench-smoke job gates on.
+    let run = acceptance_campaign(11).run(&SuiteDriver::new(), 2);
+    let report = BenchReport::from_campaign("acceptance", "acceptance sweep", &run);
+    assert_eq!(
+        report.metrics.len(),
+        3 * 3 * 5,
+        "3 protocols × 3 links × 5 metric kinds"
+    );
+    assert!(
+        report
+            .metrics
+            .iter()
+            .filter(|m| m.name == "goodput")
+            .all(|m| m.samples.len() == 4),
+        "one goodput sample per seed replicate"
+    );
+    let parsed = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(parsed, report);
 }
 
 #[test]

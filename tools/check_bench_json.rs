@@ -1,0 +1,133 @@
+//! CI gate for benchmark artifacts: validates every
+//! `bench-results/BENCH_*.json` against the shared report schema.
+//!
+//! ```text
+//! cargo run -p netdsl-tools --bin check_bench_json -- \
+//!     [--expect <id>]... [dir]
+//! ```
+//!
+//! Checks, per file: parses as a schema-valid
+//! [`BenchReport`] (which re-derives
+//! the `stats` blocks from the samples — a tampered or truncated
+//! artifact fails), the id matches the file name, the report carries at
+//! least one metric, and at least one metric carries samples. With
+//! `--expect e4_arq_goodput` (repeatable) the named artifact must also
+//! exist — CI passes all eleven harness ids so a bench that stopped
+//! emitting JSON fails the pipeline instead of silently thinning the
+//! trajectory.
+//!
+//! Exit code 0 when everything passes; 1 otherwise, after printing
+//! every problem found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use netdsl_bench::report::BenchReport;
+
+fn main() -> ExitCode {
+    let mut expected: Vec<String> = Vec::new();
+    let mut dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--expect" => match args.next() {
+                Some(id) => expected.push(id),
+                None => {
+                    eprintln!("--expect needs a report id");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: check_bench_json [--expect <id>]... [dir]");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let dir = dir.unwrap_or_else(|| PathBuf::from("bench-results"));
+
+    let mut problems: Vec<String> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+
+    if paths.is_empty() {
+        eprintln!("FAIL: no BENCH_*.json artifacts in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    for path in &paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                problems.push(format!("{name}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let report = match BenchReport::from_json_str(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                problems.push(format!("{name}: {e}"));
+                continue;
+            }
+        };
+        let problems_before = problems.len();
+        if format!("BENCH_{}.json", report.id) != name {
+            problems.push(format!(
+                "{name}: id {:?} does not match file name",
+                report.id
+            ));
+        }
+        if report.metrics.is_empty() {
+            problems.push(format!("{name}: report carries no metrics"));
+        } else if report.metrics.iter().all(|m| m.samples.is_empty()) {
+            problems.push(format!("{name}: every metric is empty of samples"));
+        }
+        if problems.len() == problems_before {
+            let samples: usize = report.metrics.iter().map(|m| m.samples.len()).sum();
+            println!(
+                "ok   {name}: {} mode, {} metrics, {samples} samples",
+                report.mode.as_str(),
+                report.metrics.len()
+            );
+            seen.push(report.id);
+        }
+    }
+
+    for id in &expected {
+        if !seen.contains(id) {
+            problems.push(format!("expected artifact BENCH_{id}.json is missing"));
+        }
+    }
+
+    if problems.is_empty() {
+        println!("all {} artifacts are schema-valid", paths.len());
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("FAIL {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
