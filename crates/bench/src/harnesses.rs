@@ -11,7 +11,7 @@
 //! cell-for-cell with full-depth ones.
 
 use netdsl_netsim::campaign::{Campaign, Sweep};
-use netdsl_netsim::scenario::{ProtocolSpec, TopologySpec, TrafficPattern};
+use netdsl_netsim::scenario::{FramePath, ProtocolSpec, TopologySpec, TrafficPattern};
 use netdsl_netsim::LinkConfig;
 use netdsl_protocols::scenario::{GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
 
@@ -208,6 +208,45 @@ pub fn e11_campaign(quick: bool) -> Campaign {
         .seeds(Sweep::seeds(3))
 }
 
+/// E12 — end-to-end frame-path comparison: the suite protocols with
+/// the codec path fixed per campaign (interpreted vs compiled), over
+/// clean and lossy links. Quick mode shrinks the per-scenario transfer
+/// from 64×256 B to 16×64 B messages; axes (incl. the 4 seed
+/// replicates) are identical across modes and across paths, so the two
+/// campaigns are comparable cell-for-cell.
+pub fn e12_campaign(quick: bool, path: FramePath) -> Campaign {
+    let messages = pick(quick, 64, 16);
+    let size = pick(quick, 256, 64);
+    Campaign::new(format!("e12-{}", path.as_str()), 0xE12)
+        .protocols(Sweep::grid([
+            (
+                "gbn8",
+                ProtocolSpec::new(GO_BACK_N)
+                    .with_window(8)
+                    .with_timeout(120)
+                    .with_retries(400)
+                    .with_frame_path(path),
+            ),
+            (
+                "sr8",
+                ProtocolSpec::new(SELECTIVE_REPEAT)
+                    .with_window(8)
+                    .with_timeout(120)
+                    .with_retries(400)
+                    .with_frame_path(path),
+            ),
+        ]))
+        .links(Sweep::grid([
+            ("clean", LinkConfig::reliable(2)),
+            ("lossy", LinkConfig::lossy(2, 0.1)),
+        ]))
+        .traffic(Sweep::single(
+            "bulk",
+            TrafficPattern::messages(messages, size),
+        ))
+        .seeds(Sweep::seeds(4))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +259,10 @@ mod tests {
             ("e8", e8_campaign),
             ("e9", e9_campaign),
             ("e11", e11_campaign),
+            ("e12-interpreted", |q| {
+                e12_campaign(q, FramePath::Interpreted)
+            }),
+            ("e12-compiled", |q| e12_campaign(q, FramePath::Compiled)),
         ] {
             let full = builder(false).scenarios();
             let quick = builder(true).scenarios();

@@ -17,6 +17,8 @@
 //! * [`campaign_drivers`] — [`ScenarioDriver`](netdsl_netsim::scenario::ScenarioDriver)
 //!   plug-ins (adaptive timers, trust relaying) that compose the
 //!   `protocols` and `adapt` crates for declarative campaign sweeps;
+//! * [`codec_specs`] — the shared spec set and frame corpora behind
+//!   experiment E12 (compiled vs interpretive codec throughput);
 //! * [`harnesses`] — the campaign builders behind E4/E8/E9/E11, shared
 //!   with the tests that pin quick-mode ↔ full-mode label parity;
 //! * [`report`] — the [`BenchReport`](report::BenchReport) schema every
@@ -30,6 +32,7 @@
 pub mod adaptive_arq;
 pub mod arq_model;
 pub mod campaign_drivers;
+pub mod codec_specs;
 pub mod harnesses;
 pub mod loc;
 pub mod report;

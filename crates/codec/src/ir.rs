@@ -1,0 +1,290 @@
+//! The flat codec IR a [`PacketSpec`] lowers to.
+//!
+//! A compiled codec is a straight-line program: one [`Op`] per field, in
+//! wire order, with every name resolved to a dense index at lowering
+//! time. The interpreter in [`exec`](crate::exec) walks the program once
+//! per frame touching only integer registers and a span table — no maps,
+//! no per-field strings, no payload copies.
+//!
+//! Side tables keep the ops word-sized: enumerated value sets live in
+//! [`CompiledCodec`]'s `enum_sets` (sorted, binary-searched) and
+//! coverages in `coverages` ([`CoverageIr`], field indices in wire
+//! order). Ops that can only be validated once the whole frame is
+//! resolved (length fields, checksums) are listed in `deferred`, which
+//! the interpreter replays as its second pass.
+
+use std::fmt::Write as _;
+
+use netdsl_core::packet::PacketSpec;
+use netdsl_wire::checksum::ChecksumKind;
+
+/// Dense index of a field in the compiled field table (wire order).
+pub type FieldIx = u16;
+
+/// One instruction of the flat codec program. Each op both *reads* (on
+/// decode) and *writes* (on encode) exactly one field; the symmetric
+/// interpretation is what keeps the program a single artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A plain unsigned integer of `bits` width.
+    Uint {
+        /// Target field.
+        field: FieldIx,
+        /// Width in bits (1..=64).
+        bits: u8,
+    },
+    /// A constant: emitted on encode, guarded on decode.
+    Const {
+        /// Target field.
+        field: FieldIx,
+        /// Width in bits.
+        bits: u8,
+        /// The required value.
+        value: u64,
+    },
+    /// An enumerated integer; the allowed set is `enum_sets[set]`
+    /// (sorted), guarded on both encode and decode.
+    Enum {
+        /// Target field.
+        field: FieldIx,
+        /// Width in bits.
+        bits: u8,
+        /// Index into the codec's interned enum sets.
+        set: u16,
+    },
+    /// A computed length field over `coverages[cov]`:
+    /// `value = covered_bytes / unit + bias`. Auto-filled on encode,
+    /// deferred-checked on decode.
+    Length {
+        /// Target field.
+        field: FieldIx,
+        /// Width in bits.
+        bits: u8,
+        /// Index into the codec's interned coverages.
+        cov: u16,
+        /// Divisor applied to the covered byte count.
+        unit: u64,
+        /// Constant added after division.
+        bias: i64,
+    },
+    /// A checksum over `coverages[cov]` with the field's own bytes
+    /// zeroed. Patched on encode, deferred-checked on decode.
+    Checksum {
+        /// Target field.
+        field: FieldIx,
+        /// The checksum algorithm (fixes the width).
+        kind: ChecksumKind,
+        /// Index into the codec's interned coverages.
+        cov: u16,
+    },
+    /// A byte run of exactly `len` bytes.
+    BytesFixed {
+        /// Target field.
+        field: FieldIx,
+        /// Required byte length.
+        len: u32,
+    },
+    /// A byte run whose length derives from an earlier integer field:
+    /// `byte_len = value(prefix) * unit + bias`.
+    BytesPrefixed {
+        /// Target field.
+        field: FieldIx,
+        /// The earlier integer field carrying the length.
+        prefix: FieldIx,
+        /// Multiplier applied to the prefix value.
+        unit: i64,
+        /// Constant added after scaling (may be negative).
+        bias: i64,
+        /// `true` when the prefix is itself a computed [`Op::Length`]
+        /// field, in which case encode derives it instead of checking
+        /// the caller's payload length against it.
+        prefix_is_computed: bool,
+    },
+    /// A byte run consuming everything left in the frame (final field).
+    BytesRest {
+        /// Target field.
+        field: FieldIx,
+    },
+}
+
+impl Op {
+    /// The field this op resolves.
+    pub fn field(&self) -> FieldIx {
+        match *self {
+            Op::Uint { field, .. }
+            | Op::Const { field, .. }
+            | Op::Enum { field, .. }
+            | Op::Length { field, .. }
+            | Op::Checksum { field, .. }
+            | Op::BytesFixed { field, .. }
+            | Op::BytesPrefixed { field, .. }
+            | Op::BytesRest { field } => field,
+        }
+    }
+
+    /// Fixed bit width, or `None` for the variable byte runs.
+    pub fn fixed_bits(&self) -> Option<usize> {
+        match *self {
+            Op::Uint { bits, .. }
+            | Op::Const { bits, .. }
+            | Op::Enum { bits, .. }
+            | Op::Length { bits, .. } => Some(usize::from(bits)),
+            Op::Checksum { kind, .. } => Some(kind.width_bits()),
+            Op::BytesFixed { len, .. } => Some(len as usize * 8),
+            Op::BytesPrefixed { .. } | Op::BytesRest { .. } => None,
+        }
+    }
+}
+
+/// A resolved coverage: which bytes of a frame a length or checksum
+/// field measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageIr {
+    /// The whole frame.
+    Whole,
+    /// The merged byte extents of these fields (indices in wire order,
+    /// so their spans are non-decreasing and merge in one pass).
+    Fields(Vec<FieldIx>),
+}
+
+/// A `PacketSpec` lowered to a flat program plus its side tables —
+/// produced by [`lower`](crate::lower::lower), executed by the methods
+/// in [`exec`](crate::exec).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCodec {
+    pub(crate) name: String,
+    pub(crate) field_names: Vec<String>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) enum_sets: Vec<Vec<u64>>,
+    pub(crate) coverages: Vec<CoverageIr>,
+    /// Indices into `ops` whose constraints need the resolved frame
+    /// (length, checksum) — the interpreter's second pass.
+    pub(crate) deferred: Vec<u16>,
+    /// Smallest structurally possible frame, in bytes.
+    pub(crate) min_frame_len: usize,
+    /// The source spec, kept for [`CompiledCodec::spec`] and the
+    /// `PacketValue` bridges.
+    pub(crate) spec: PacketSpec,
+}
+
+impl CompiledCodec {
+    /// The spec name this codec was lowered from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source [`PacketSpec`].
+    pub fn spec(&self) -> &PacketSpec {
+        &self.spec
+    }
+
+    /// Number of fields (and ops) in the program.
+    pub fn field_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Field names, in wire order (indexable by [`FieldIx`]).
+    pub fn field_names(&self) -> &[String] {
+        &self.field_names
+    }
+
+    /// Resolves a field name to its dense index.
+    pub fn field_index(&self, name: &str) -> Option<FieldIx> {
+        self.field_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as FieldIx)
+    }
+
+    /// The flat program, one op per field in wire order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Smallest frame (in bytes) the program can structurally accept.
+    pub fn min_frame_len(&self) -> usize {
+        self.min_frame_len
+    }
+
+    /// Renders the program as a human-readable listing — the IR made
+    /// visible, for docs, debugging and the `codec_pipeline` example.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "codec {:?}: {} ops, min frame {} B, {} deferred check(s)",
+            self.name,
+            self.ops.len(),
+            self.min_frame_len,
+            self.deferred.len()
+        );
+        let name_w = self
+            .field_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        for (i, op) in self.ops.iter().enumerate() {
+            let field = &self.field_names[usize::from(op.field())];
+            let desc = match op {
+                Op::Uint { bits, .. } => format!("uint      bits={bits}"),
+                Op::Const { bits, value, .. } => {
+                    format!("const     bits={bits} value={value:#x}")
+                }
+                Op::Enum { bits, set, .. } => format!(
+                    "enum      bits={bits} allowed={:?}",
+                    self.enum_sets[usize::from(*set)]
+                ),
+                Op::Length {
+                    bits,
+                    cov,
+                    unit,
+                    bias,
+                    ..
+                } => format!(
+                    "length    bits={bits} unit={unit} bias={bias} cover={}",
+                    self.coverage_label(*cov)
+                ),
+                Op::Checksum { kind, cov, .. } => {
+                    format!(
+                        "checksum  kind={kind:?} cover={}",
+                        self.coverage_label(*cov)
+                    )
+                }
+                Op::BytesFixed { len, .. } => format!("bytes     fixed={len}"),
+                Op::BytesPrefixed {
+                    prefix,
+                    unit,
+                    bias,
+                    prefix_is_computed,
+                    ..
+                } => format!(
+                    "bytes     prefixed-by={}{} unit={unit} bias={bias}",
+                    self.field_names[usize::from(*prefix)],
+                    if *prefix_is_computed {
+                        " (computed)"
+                    } else {
+                        ""
+                    }
+                ),
+                Op::BytesRest { .. } => "bytes     rest".to_string(),
+            };
+            let _ = writeln!(out, "  {i:03}  {field:<name_w$}  {desc}");
+        }
+        out
+    }
+
+    fn coverage_label(&self, cov: u16) -> String {
+        match &self.coverages[usize::from(cov)] {
+            CoverageIr::Whole => "whole-frame".to_string(),
+            CoverageIr::Fields(ixs) => {
+                let names: Vec<&str> = ixs
+                    .iter()
+                    .map(|&ix| self.field_names[usize::from(ix)].as_str())
+                    .collect();
+                format!("fields({})", names.join(","))
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Lowering: [`PacketSpec`] → [`CompiledCodec`].
+//!
+//! All name resolution happens here, once, through the *same* routines
+//! the interpretive walker uses ([`PacketSpec::field_index`],
+//! [`PacketSpec::resolve_coverage`]): field names become dense
+//! [`FieldIx`]es, enumerated sets are sorted for binary search, and
+//! coverages become index lists in wire order. The result is a program
+//! the interpreter can execute with zero lookups per frame.
+
+use netdsl_core::packet::{Coverage, FieldKind, Len, PacketSpec};
+use netdsl_core::DslError;
+
+use crate::ir::{CompiledCodec, CoverageIr, FieldIx, Op};
+
+/// Compiles `spec` into a flat codec program.
+///
+/// Any spec produced by [`PacketSpec::builder`] lowers successfully;
+/// the error cases guard structural limits of the IR itself.
+///
+/// # Errors
+///
+/// [`DslError::BadSpec`] when the spec exceeds the IR's field-count
+/// limit (`u16::MAX` fields) — unreachable for realistic headers.
+pub fn lower(spec: &PacketSpec) -> Result<CompiledCodec, DslError> {
+    let bad = |reason: String| DslError::BadSpec {
+        spec: spec.name().to_string(),
+        reason,
+    };
+    if spec.fields().len() > usize::from(FieldIx::MAX) {
+        return Err(bad(format!(
+            "{} fields exceed the codec IR limit of {}",
+            spec.fields().len(),
+            FieldIx::MAX
+        )));
+    }
+
+    let mut ops = Vec::with_capacity(spec.fields().len());
+    let mut enum_sets: Vec<Vec<u64>> = Vec::new();
+    let mut coverages: Vec<CoverageIr> = Vec::new();
+    let mut deferred: Vec<u16> = Vec::new();
+    let mut min_bits = 0usize;
+
+    let intern_coverage = |coverages: &mut Vec<CoverageIr>, c: &Coverage| -> u16 {
+        let ir = match c {
+            Coverage::Whole => CoverageIr::Whole,
+            Coverage::Fields(_) => CoverageIr::Fields(
+                spec.resolve_coverage(c)
+                    .into_iter()
+                    .map(|i| i as FieldIx)
+                    .collect(),
+            ),
+        };
+        match coverages.iter().position(|existing| *existing == ir) {
+            Some(i) => i as u16,
+            None => {
+                coverages.push(ir);
+                (coverages.len() - 1) as u16
+            }
+        }
+    };
+
+    for (i, f) in spec.fields().iter().enumerate() {
+        let field = i as FieldIx;
+        let op = match &f.kind {
+            FieldKind::Uint { bits } => Op::Uint {
+                field,
+                bits: *bits as u8,
+            },
+            FieldKind::Const { bits, value } => Op::Const {
+                field,
+                bits: *bits as u8,
+                value: *value,
+            },
+            FieldKind::Enum { bits, allowed } => {
+                let mut set = allowed.clone();
+                set.sort_unstable();
+                set.dedup();
+                let set_ix = match enum_sets.iter().position(|s| *s == set) {
+                    Some(ix) => ix as u16,
+                    None => {
+                        enum_sets.push(set);
+                        (enum_sets.len() - 1) as u16
+                    }
+                };
+                Op::Enum {
+                    field,
+                    bits: *bits as u8,
+                    set: set_ix,
+                }
+            }
+            FieldKind::Length {
+                bits,
+                coverage,
+                unit,
+                bias,
+            } => {
+                deferred.push(ops.len() as u16);
+                Op::Length {
+                    field,
+                    bits: *bits as u8,
+                    cov: intern_coverage(&mut coverages, coverage),
+                    unit: *unit,
+                    bias: *bias,
+                }
+            }
+            FieldKind::Checksum { kind, coverage } => {
+                deferred.push(ops.len() as u16);
+                Op::Checksum {
+                    field,
+                    kind: *kind,
+                    cov: intern_coverage(&mut coverages, coverage),
+                }
+            }
+            FieldKind::Bytes { len } => match len {
+                Len::Fixed(n) => Op::BytesFixed {
+                    field,
+                    len: *n as u32,
+                },
+                Len::Prefixed {
+                    field: prefix_name,
+                    unit,
+                    bias,
+                } => {
+                    let prefix_ix = spec.field_index(prefix_name).ok_or_else(|| {
+                        bad(format!(
+                            "`{}` length prefix `{prefix_name}` does not resolve",
+                            f.name
+                        ))
+                    })?;
+                    let prefix_is_computed =
+                        matches!(spec.fields()[prefix_ix].kind, FieldKind::Length { .. });
+                    Op::BytesPrefixed {
+                        field,
+                        prefix: prefix_ix as FieldIx,
+                        unit: *unit,
+                        bias: *bias,
+                        prefix_is_computed,
+                    }
+                }
+                Len::Rest => Op::BytesRest { field },
+            },
+        };
+        min_bits += op.fixed_bits().unwrap_or(0);
+        ops.push(op);
+    }
+
+    Ok(CompiledCodec {
+        name: spec.name().to_string(),
+        field_names: spec.fields().iter().map(|f| f.name.clone()).collect(),
+        ops,
+        enum_sets,
+        coverages,
+        deferred,
+        min_frame_len: min_bits.div_ceil(8),
+        spec: spec.clone(),
+    })
+}

@@ -191,6 +191,7 @@ pub struct PacketValue {
 
 impl PacketValue {
     /// Creates an empty value set.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -251,6 +252,14 @@ impl PacketValue {
 pub struct PacketSpecBuilder {
     name: String,
     fields: Vec<FieldDef>,
+}
+
+impl Default for PacketSpecBuilder {
+    /// An empty builder for a spec named `"unnamed"` (prefer
+    /// [`PacketSpec::builder`], which names the spec up front).
+    fn default() -> Self {
+        PacketSpec::builder("unnamed")
+    }
 }
 
 impl PacketSpecBuilder {
@@ -526,6 +535,7 @@ pub struct PacketSpec {
 
 impl PacketSpec {
     /// Starts building a spec with the given name.
+    #[must_use]
     pub fn builder(name: &str) -> PacketSpecBuilder {
         PacketSpecBuilder {
             name: name.to_string(),
@@ -548,8 +558,29 @@ impl PacketSpec {
         PacketValue::new()
     }
 
-    fn field_index(&self, name: &str) -> Option<usize> {
+    /// Index of the field named `name` in [`PacketSpec::fields`] order.
+    ///
+    /// Public because it is the field-resolution routine shared by the
+    /// interpretive walker below and the `netdsl-codec` lowering pass
+    /// (which turns names into flat indices once, at compile time).
+    pub fn field_index(&self, name: &str) -> Option<usize> {
         self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Resolves a [`Coverage`] to the indices of the fields it names, in
+    /// wire order ([`Coverage::Whole`] resolves to every field). Names
+    /// that do not resolve are skipped, mirroring the interpretive
+    /// walker; `build` guarantees they cannot exist in a built spec.
+    pub fn resolve_coverage(&self, coverage: &Coverage) -> Vec<usize> {
+        match coverage {
+            Coverage::Whole => (0..self.fields.len()).collect(),
+            Coverage::Fields(names) => {
+                let mut ixs: Vec<usize> =
+                    names.iter().filter_map(|n| self.field_index(n)).collect();
+                ixs.sort_unstable();
+                ixs
+            }
+        }
     }
 
     /// Computes the byte length the `Bytes` field at `idx` should have,
@@ -793,8 +824,7 @@ impl PacketSpec {
     ///   [`DslError::ChecksumFailed`] when the corresponding constraints
     ///   are violated.
     pub fn decode(&self, frame: &[u8]) -> Result<Checked<PacketValue>, DslError> {
-        let (values, layout) = self.decode_raw(frame)?;
-        self.validate_decoded(&values, &layout, frame)?;
+        let (values, _) = self.walk(frame, true)?;
         Ok(Checked::assert_valid(values))
     }
 
@@ -809,7 +839,7 @@ impl PacketSpec {
     ///
     /// [`DslError::Wire`] if the frame is structurally truncated.
     pub fn decode_unchecked(&self, frame: &[u8]) -> Result<PacketValue, DslError> {
-        Ok(self.decode_raw(frame)?.0)
+        Ok(self.walk(frame, false)?.0)
     }
 
     /// Runs only the validation phase over an already-decoded value/frame
@@ -819,11 +849,18 @@ impl PacketSpec {
     ///
     /// As for [`PacketSpec::decode`].
     pub fn verify_frame(&self, frame: &[u8]) -> Result<(), DslError> {
-        let (values, layout) = self.decode_raw(frame)?;
-        self.validate_decoded(&values, &layout, frame)
+        self.walk(frame, true).map(|_| ())
     }
 
-    fn decode_raw(&self, frame: &[u8]) -> Result<(PacketValue, Layout), DslError> {
+    /// The single interpretive frame walker behind [`PacketSpec::decode`],
+    /// [`PacketSpec::decode_unchecked`] and [`PacketSpec::verify_frame`]:
+    /// one structural pass resolving every field against the frame, then
+    /// (when `validate` is set) one constraint pass over the resolved
+    /// layout, in field order. The `netdsl-codec` lowering pass mirrors
+    /// exactly this resolution via [`PacketSpec::field_index`] /
+    /// [`PacketSpec::resolve_coverage`], which is what makes the compiled
+    /// and interpretive paths verdict-equivalent.
+    fn walk(&self, frame: &[u8], validate: bool) -> Result<(PacketValue, Layout), DslError> {
         let mut reader = BitReader::new(frame);
         let mut values = PacketValue::new();
         let mut layout = Layout::default();
@@ -858,15 +895,10 @@ impl PacketSpec {
                 actual: frame.len(),
             }));
         }
-        Ok((values, layout))
-    }
-
-    fn validate_decoded(
-        &self,
-        values: &PacketValue,
-        layout: &Layout,
-        frame: &[u8],
-    ) -> Result<(), DslError> {
+        if !validate {
+            return Ok((values, layout));
+        }
+        // Constraint pass, in field order, over the resolved layout.
         for (i, f) in self.fields.iter().enumerate() {
             match &f.kind {
                 FieldKind::Const { value, .. } => {
@@ -894,7 +926,7 @@ impl PacketSpec {
                     bias,
                     ..
                 } => {
-                    let covered = self.covered_len(coverage, layout, frame.len()) as u64;
+                    let covered = self.covered_len(coverage, &layout, frame.len()) as u64;
                     let expect = (covered / unit) as i64 + bias;
                     let found = values.uint(&f.name)? as i64;
                     if found != expect {
@@ -906,7 +938,7 @@ impl PacketSpec {
                     }
                 }
                 FieldKind::Checksum { kind, coverage } => {
-                    let input = self.checksum_input(i, coverage, layout, frame);
+                    let input = self.checksum_input(i, coverage, &layout, frame);
                     let computed = kind.compute(&input);
                     let found = values.uint(&f.name)?;
                     if computed != found {
@@ -918,7 +950,7 @@ impl PacketSpec {
                 _ => {}
             }
         }
-        Ok(())
+        Ok((values, layout))
     }
 
     /// Renders the fixed-width prefix of the spec as an RFC-style ASCII
@@ -1266,6 +1298,25 @@ mod tests {
             .length_scaled("l", 8, Coverage::Whole, 0, 0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn field_resolution_helpers_are_public() {
+        let spec = arq_spec();
+        assert_eq!(spec.field_index("seq"), Some(0));
+        assert_eq!(spec.field_index("ghost"), None);
+        assert_eq!(
+            spec.resolve_coverage(&Coverage::Fields(vec!["data".into(), "seq".into()])),
+            vec![0, 2],
+            "names resolve to indices in wire order"
+        );
+        assert_eq!(spec.resolve_coverage(&Coverage::Whole), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_builder_builds_an_unnamed_spec() {
+        let spec = PacketSpecBuilder::default().uint("x", 8).build().unwrap();
+        assert_eq!(spec.name(), "unnamed");
     }
 
     #[test]

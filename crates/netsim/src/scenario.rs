@@ -20,6 +20,33 @@ use crate::link::LinkConfig;
 use crate::stats::LinkStats;
 use crate::Tick;
 
+/// How a driver should encode and decode wire frames.
+///
+/// Plain data at this layer: the scenario layer knows nothing about
+/// codecs, it only carries the selection. Drivers that own a compiled
+/// fast path (`netdsl-protocols`' `SuiteDriver`, backed by
+/// `netdsl-codec`) dispatch on it; the two paths are behaviourally
+/// equivalent (pinned by differential tests), so campaigns can put the
+/// frame path on an axis and measure pure codec cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FramePath {
+    /// The tree-walking `PacketSpec::encode`/`decode` interpreter.
+    #[default]
+    Interpreted,
+    /// The compiled flat-IR codec engine (zero-copy decode).
+    Compiled,
+}
+
+impl FramePath {
+    /// Canonical axis label (`"interpreted"` / `"compiled"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FramePath::Interpreted => "interpreted",
+            FramePath::Compiled => "compiled",
+        }
+    }
+}
+
 /// Which protocol a driver should run, plus its tuning knobs.
 ///
 /// The `name` is a driver-defined key (e.g. `netdsl-protocols`'
@@ -37,18 +64,28 @@ pub struct ProtocolSpec {
     pub timeout: Tick,
     /// Retry budget per message before the sender gives up.
     pub max_retries: u32,
+    /// Which frame codec path endpoints should use.
+    pub frame_path: FramePath,
 }
 
 impl ProtocolSpec {
     /// A spec for `name` with default tuning (window 1, timeout 150,
-    /// 200 retries).
+    /// 200 retries, interpreted frame path).
     pub fn new(name: impl Into<String>) -> Self {
         ProtocolSpec {
             name: name.into(),
             window: 1,
             timeout: 150,
             max_retries: 200,
+            frame_path: FramePath::default(),
         }
+    }
+
+    /// Selects the frame codec path (builder style).
+    #[must_use]
+    pub fn with_frame_path(mut self, frame_path: FramePath) -> Self {
+        self.frame_path = frame_path;
+        self
     }
 
     /// Sets the window size (builder style).

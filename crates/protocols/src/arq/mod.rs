@@ -25,7 +25,10 @@ pub mod typestate;
 
 use netdsl_core::packet::{Coverage, Len, PacketSpec, Value};
 use netdsl_core::DslError;
+use netdsl_netsim::scenario::FramePath;
 use netdsl_wire::checksum::ChecksumKind;
+
+use crate::codec::arq_codec;
 
 /// Frame kind discriminator: a data packet.
 pub const KIND_DATA: u64 = 1;
@@ -76,26 +79,46 @@ pub enum ArqFrame {
 }
 
 impl ArqFrame {
-    /// Encodes to wire bytes (checksum filled in by the spec).
+    /// Encodes to wire bytes (checksum filled in by the spec), via the
+    /// interpretive path — see [`ArqFrame::encode_via`] to select.
     pub fn encode(&self) -> Vec<u8> {
-        let spec = arq_spec();
-        let mut v = spec.value();
-        match self {
-            ArqFrame::Data { seq, payload } => {
-                v.set("kind", Value::Uint(KIND_DATA));
-                v.set("seq", Value::Uint(u64::from(*seq)));
-                v.set("payload", Value::Bytes(payload.clone()));
-            }
-            ArqFrame::Ack { seq } => {
-                v.set("kind", Value::Uint(KIND_ACK));
-                v.set("seq", Value::Uint(u64::from(*seq)));
-                v.set("payload", Value::Bytes(Vec::new()));
-            }
-        }
-        spec.encode(&v).expect("well-typed frame always encodes")
+        self.encode_via(FramePath::Interpreted)
     }
 
-    /// Decodes and validates wire bytes.
+    /// Encodes to wire bytes through the selected frame path. Both
+    /// paths produce byte-identical frames; the compiled one runs the
+    /// cached `netdsl-codec` program instead of re-walking the spec.
+    pub fn encode_via(&self, path: FramePath) -> Vec<u8> {
+        match path {
+            FramePath::Interpreted => {
+                let spec = arq_spec();
+                let mut v = spec.value();
+                match self {
+                    ArqFrame::Data { seq, payload } => {
+                        v.set("kind", Value::Uint(KIND_DATA));
+                        v.set("seq", Value::Uint(u64::from(*seq)));
+                        v.set("payload", Value::Bytes(payload.clone()));
+                    }
+                    ArqFrame::Ack { seq } => {
+                        v.set("kind", Value::Uint(KIND_ACK));
+                        v.set("seq", Value::Uint(u64::from(*seq)));
+                        v.set("payload", Value::Bytes(Vec::new()));
+                    }
+                }
+                spec.encode(&v).expect("well-typed frame always encodes")
+            }
+            FramePath::Compiled => {
+                let (kind, seq, payload): (u64, u64, &[u8]) = match self {
+                    ArqFrame::Data { seq, payload } => (KIND_DATA, u64::from(*seq), payload),
+                    ArqFrame::Ack { seq } => (KIND_ACK, u64::from(*seq), &[]),
+                };
+                crate::codec::compiled_encode(arq_codec(), kind, seq, payload)
+            }
+        }
+    }
+
+    /// Decodes and validates wire bytes via the interpretive path — see
+    /// [`ArqFrame::decode_via`] to select.
     ///
     /// # Errors
     ///
@@ -104,19 +127,50 @@ impl ArqFrame {
     /// * [`DslError::InvalidEnumValue`] for unknown frame kinds;
     /// * [`DslError::WrongKind`] is impossible (kinds checked here).
     pub fn decode(frame: &[u8]) -> Result<ArqFrame, DslError> {
-        let spec = arq_spec();
-        let checked = spec.decode(frame)?;
-        let seq = checked.uint("seq")? as u8;
-        match checked.uint("kind")? {
-            KIND_DATA => Ok(ArqFrame::Data {
-                seq,
-                payload: checked.bytes("payload")?.to_vec(),
-            }),
-            KIND_ACK => Ok(ArqFrame::Ack { seq }),
-            other => Err(DslError::Wire(netdsl_wire::WireError::InvalidValue {
-                field: "kind",
-                value: other,
-            })),
+        ArqFrame::decode_via(FramePath::Interpreted, frame)
+    }
+
+    /// Decodes and validates wire bytes through the selected frame
+    /// path. Accept/reject verdicts agree between the paths; the
+    /// compiled one decodes zero-copy into a thread-local scratch view
+    /// and copies only the payload out.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ArqFrame::decode`].
+    pub fn decode_via(path: FramePath, frame: &[u8]) -> Result<ArqFrame, DslError> {
+        match path {
+            FramePath::Interpreted => {
+                let spec = arq_spec();
+                let checked = spec.decode(frame)?;
+                let seq = checked.uint("seq")? as u8;
+                match checked.uint("kind")? {
+                    KIND_DATA => Ok(ArqFrame::Data {
+                        seq,
+                        payload: checked.bytes("payload")?.to_vec(),
+                    }),
+                    KIND_ACK => Ok(ArqFrame::Ack { seq }),
+                    other => Err(DslError::Wire(netdsl_wire::WireError::InvalidValue {
+                        field: "kind",
+                        value: other,
+                    })),
+                }
+            }
+            FramePath::Compiled => {
+                let (kind, seq, payload) = crate::codec::compiled_decode(arq_codec(), frame)?;
+                let seq = seq as u8;
+                match kind {
+                    KIND_DATA => Ok(ArqFrame::Data {
+                        seq,
+                        payload: payload.to_vec(),
+                    }),
+                    KIND_ACK => Ok(ArqFrame::Ack { seq }),
+                    other => Err(DslError::Wire(netdsl_wire::WireError::InvalidValue {
+                        field: "kind",
+                        value: other,
+                    })),
+                }
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //! and dynamic event sources — every state *change* still goes through a
 //! typed transition.
 
+use netdsl_netsim::scenario::FramePath;
 use netdsl_netsim::TimerToken;
 
 use crate::driver::{Endpoint, Io};
@@ -47,6 +48,7 @@ pub struct SwSender {
     max_retries: u32,
     attempt: u64,
     stats: SenderStats,
+    path: FramePath,
 }
 
 impl SwSender {
@@ -61,7 +63,15 @@ impl SwSender {
             max_retries,
             attempt: 0,
             stats: SenderStats::default(),
+            path: FramePath::default(),
         }
+    }
+
+    /// Selects the frame codec path (builder style).
+    #[must_use]
+    pub fn with_frame_path(mut self, path: FramePath) -> Self {
+        self.path = path;
+        self
     }
 
     /// Statistics accumulated so far.
@@ -103,7 +113,7 @@ impl SwSender {
             seq,
             payload: payload.clone(),
         }
-        .encode();
+        .encode_via(self.path);
         let waiting = machine.step(Send { payload });
         self.stats.frames_sent += 1;
         self.attempt += 1;
@@ -128,7 +138,7 @@ impl Endpoint for SwSender {
             unreachable!("checked above");
         };
         let awaited = machine.data().seq;
-        match ValidAck::validate(frame, awaited) {
+        match ValidAck::validate_via(self.path, frame, awaited) {
             Some(ack) => {
                 io.cancel_timer(self.attempt);
                 let ready = machine.step(Ok_ { ack });
@@ -185,6 +195,7 @@ pub struct SwReceiver {
     acks_sent: u64,
     rejected: u64,
     expect_total: usize,
+    path: FramePath,
 }
 
 impl SwReceiver {
@@ -195,6 +206,13 @@ impl SwReceiver {
             expect_total,
             ..SwReceiver::default()
         }
+    }
+
+    /// Selects the frame codec path (builder style).
+    #[must_use]
+    pub fn with_frame_path(mut self, path: FramePath) -> Self {
+        self.path = path;
+        self
     }
 
     /// Payloads delivered to the application, in order.
@@ -217,18 +235,18 @@ impl Endpoint for SwReceiver {
     fn start(&mut self, _io: &mut Io<'_>) {}
 
     fn on_frame(&mut self, frame: &[u8], io: &mut Io<'_>) {
-        match ArqFrame::decode(frame) {
+        match ArqFrame::decode_via(self.path, frame) {
             Ok(ArqFrame::Data { seq, payload }) => {
                 if seq == self.expected {
                     // In-order: deliver exactly once, ack, advance.
                     self.delivered.push(payload);
-                    io.send(ArqFrame::Ack { seq }.encode());
+                    io.send(ArqFrame::Ack { seq }.encode_via(self.path));
                     self.acks_sent += 1;
                     self.expected = self.expected.wrapping_add(1);
                 } else if seq == self.expected.wrapping_sub(1) {
                     // Duplicate of the last delivered packet (its ack was
                     // lost): re-ack but do not re-deliver.
-                    io.send(ArqFrame::Ack { seq }.encode());
+                    io.send(ArqFrame::Ack { seq }.encode_via(self.path));
                     self.acks_sent += 1;
                     self.rejected += 1;
                 } else {

@@ -87,7 +87,21 @@ impl ValidAck {
     /// Returns `None` for corrupt frames, data frames, or acks of any
     /// other sequence number.
     pub fn validate(frame: &[u8], expected: u8) -> Option<ValidAck> {
-        match ArqFrame::decode(frame) {
+        ValidAck::validate_via(
+            netdsl_netsim::scenario::FramePath::Interpreted,
+            frame,
+            expected,
+        )
+    }
+
+    /// As [`ValidAck::validate`], decoding through the selected frame
+    /// path (the witness discipline is identical either way).
+    pub fn validate_via(
+        path: netdsl_netsim::scenario::FramePath,
+        frame: &[u8],
+        expected: u8,
+    ) -> Option<ValidAck> {
+        match ArqFrame::decode_via(path, frame) {
             Ok(ArqFrame::Ack { seq }) if seq == expected => Some(ValidAck { seq }),
             _ => None,
         }

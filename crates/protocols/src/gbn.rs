@@ -11,6 +11,7 @@
 //! (the protocol's defining trade-off, visible in experiment E4 against
 //! Selective Repeat). Acks are cumulative.
 
+use netdsl_netsim::scenario::FramePath;
 use netdsl_netsim::{LinkConfig, TimerToken};
 
 use crate::driver::{Duplex, Endpoint, Io};
@@ -31,6 +32,7 @@ pub struct GbnSender {
     retries: u32,
     stats: WindowStats,
     failed: bool,
+    path: FramePath,
 }
 
 impl GbnSender {
@@ -53,7 +55,15 @@ impl GbnSender {
             retries: 0,
             stats: WindowStats::default(),
             failed: false,
+            path: FramePath::default(),
         }
+    }
+
+    /// Selects the frame codec path (builder style).
+    #[must_use]
+    pub fn with_frame_path(mut self, path: FramePath) -> Self {
+        self.path = path;
+        self
     }
 
     /// Statistics so far.
@@ -76,7 +86,7 @@ impl GbnSender {
             seq,
             payload: self.messages[seq as usize].clone(),
         }
-        .encode();
+        .encode_via(self.path);
         io.send(frame);
         self.stats.frames_sent += 1;
     }
@@ -105,7 +115,7 @@ impl Endpoint for GbnSender {
     }
 
     fn on_frame(&mut self, frame: &[u8], io: &mut Io<'_>) {
-        let Ok(WindowFrame::Ack { seq }) = WindowFrame::decode(frame) else {
+        let Ok(WindowFrame::Ack { seq }) = WindowFrame::decode_via(self.path, frame) else {
             return; // corrupt or not an ack: ignore
         };
         // Cumulative: everything ≤ seq is acknowledged.
@@ -152,6 +162,7 @@ pub struct GbnReceiver {
     delivered: Vec<Vec<u8>>,
     expect_total: usize,
     out_of_order: u64,
+    path: FramePath,
 }
 
 impl GbnReceiver {
@@ -161,6 +172,13 @@ impl GbnReceiver {
             expect_total,
             ..GbnReceiver::default()
         }
+    }
+
+    /// Selects the frame codec path (builder style).
+    #[must_use]
+    pub fn with_frame_path(mut self, path: FramePath) -> Self {
+        self.path = path;
+        self
     }
 
     /// Payloads delivered in order.
@@ -178,13 +196,14 @@ impl Endpoint for GbnReceiver {
     fn start(&mut self, _io: &mut Io<'_>) {}
 
     fn on_frame(&mut self, frame: &[u8], io: &mut Io<'_>) {
-        let Ok(WindowFrame::Data { seq, payload }) = WindowFrame::decode(frame) else {
+        let Ok(WindowFrame::Data { seq, payload }) = WindowFrame::decode_via(self.path, frame)
+        else {
             return; // corrupt frames never reach protocol logic
         };
         if seq == self.expected {
             self.delivered.push(payload);
             self.expected += 1;
-            io.send(WindowFrame::Ack { seq }.encode());
+            io.send(WindowFrame::Ack { seq }.encode_via(self.path));
         } else {
             self.out_of_order += 1;
             // Re-ack the last in-order packet so the sender advances.
@@ -193,7 +212,7 @@ impl Endpoint for GbnReceiver {
                     WindowFrame::Ack {
                         seq: self.expected - 1,
                     }
-                    .encode(),
+                    .encode_via(self.path),
                 );
             }
         }

@@ -29,6 +29,7 @@
 
 pub mod arq;
 pub mod baseline;
+pub mod codec;
 pub mod driver;
 pub mod dv;
 pub mod gbn;

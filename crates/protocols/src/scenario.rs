@@ -150,8 +150,9 @@ impl ScenarioDriver for SuiteDriver {
             STOP_AND_WAIT => Ok(drive_duplex(
                 scenario,
                 &messages,
-                SwSender::new(messages.clone(), spec.timeout, spec.max_retries),
-                SwReceiver::new(n),
+                SwSender::new(messages.clone(), spec.timeout, spec.max_retries)
+                    .with_frame_path(spec.frame_path),
+                SwReceiver::new(n).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
                     (
@@ -170,8 +171,9 @@ impl ScenarioDriver for SuiteDriver {
                     spec.window,
                     spec.timeout,
                     spec.max_retries,
-                ),
-                GbnReceiver::new(n),
+                )
+                .with_frame_path(spec.frame_path),
+                GbnReceiver::new(n).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
                     (
@@ -190,8 +192,9 @@ impl ScenarioDriver for SuiteDriver {
                     spec.window,
                     spec.timeout,
                     spec.max_retries,
-                ),
-                SrReceiver::new(n, spec.window),
+                )
+                .with_frame_path(spec.frame_path),
+                SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
                     (
@@ -284,6 +287,27 @@ mod tests {
             driver.run(&bad_topo),
             Err(ScenarioError::UnsupportedTopology(_))
         ));
+    }
+
+    #[test]
+    fn compiled_frame_path_replays_interpreted_runs_exactly() {
+        use netdsl_netsim::scenario::FramePath;
+        // Same seed + same semantics ⇒ the whole simulation transcript
+        // (and therefore the result) is identical — the strongest
+        // end-to-end statement of codec equivalence.
+        let driver = SuiteDriver::new();
+        for name in [STOP_AND_WAIT, GO_BACK_N, SELECTIVE_REPEAT] {
+            let interpreted = base(name);
+            let mut compiled = base(name);
+            compiled.protocol = compiled
+                .protocol
+                .clone()
+                .with_frame_path(FramePath::Compiled);
+            let ri = driver.run(&interpreted).unwrap();
+            let rc = driver.run(&compiled).unwrap();
+            assert_eq!(ri, rc, "{name}: frame paths diverge");
+            assert!(rc.success, "{name}");
+        }
     }
 
     #[test]

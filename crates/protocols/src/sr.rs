@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use netdsl_netsim::scenario::FramePath;
 use netdsl_netsim::{LinkConfig, TimerToken};
 
 use crate::driver::{Duplex, Endpoint, Io};
@@ -28,6 +29,7 @@ pub struct SrSender {
     outstanding: BTreeMap<u32, u32>,
     stats: WindowStats,
     failed: bool,
+    path: FramePath,
 }
 
 impl SrSender {
@@ -49,7 +51,15 @@ impl SrSender {
             outstanding: BTreeMap::new(),
             stats: WindowStats::default(),
             failed: false,
+            path: FramePath::default(),
         }
+    }
+
+    /// Selects the frame codec path (builder style).
+    #[must_use]
+    pub fn with_frame_path(mut self, path: FramePath) -> Self {
+        self.path = path;
+        self
     }
 
     /// Statistics so far.
@@ -72,7 +82,7 @@ impl SrSender {
             seq,
             payload: self.messages[seq as usize].clone(),
         }
-        .encode();
+        .encode_via(self.path);
         io.send(frame);
         self.stats.frames_sent += 1;
         // Per-packet timer: token is the sequence number itself.
@@ -95,7 +105,7 @@ impl Endpoint for SrSender {
     }
 
     fn on_frame(&mut self, frame: &[u8], io: &mut Io<'_>) {
-        let Ok(WindowFrame::Ack { seq }) = WindowFrame::decode(frame) else {
+        let Ok(WindowFrame::Ack { seq }) = WindowFrame::decode_via(self.path, frame) else {
             return;
         };
         if self.outstanding.remove(&seq).is_some() {
@@ -138,6 +148,7 @@ pub struct SrReceiver {
     delivered: Vec<Vec<u8>>,
     expect_total: usize,
     buffered_count: u64,
+    path: FramePath,
 }
 
 impl SrReceiver {
@@ -149,6 +160,13 @@ impl SrReceiver {
             expect_total,
             ..SrReceiver::default()
         }
+    }
+
+    /// Selects the frame codec path (builder style).
+    #[must_use]
+    pub fn with_frame_path(mut self, path: FramePath) -> Self {
+        self.path = path;
+        self
     }
 
     /// Payloads delivered in order.
@@ -167,7 +185,8 @@ impl Endpoint for SrReceiver {
     fn start(&mut self, _io: &mut Io<'_>) {}
 
     fn on_frame(&mut self, frame: &[u8], io: &mut Io<'_>) {
-        let Ok(WindowFrame::Data { seq, payload }) = WindowFrame::decode(frame) else {
+        let Ok(WindowFrame::Data { seq, payload }) = WindowFrame::decode_via(self.path, frame)
+        else {
             return;
         };
         if seq >= self.expected && seq < self.expected + self.window {
@@ -175,7 +194,7 @@ impl Endpoint for SrReceiver {
                 self.buffered_count += 1;
             }
             self.buffer.insert(seq, payload);
-            io.send(WindowFrame::Ack { seq }.encode());
+            io.send(WindowFrame::Ack { seq }.encode_via(self.path));
             // Deliver the contiguous prefix.
             while let Some(p) = self.buffer.remove(&self.expected) {
                 self.delivered.push(p);
@@ -183,7 +202,7 @@ impl Endpoint for SrReceiver {
             }
         } else if seq < self.expected {
             // Already delivered: the ack must have been lost; re-ack.
-            io.send(WindowFrame::Ack { seq }.encode());
+            io.send(WindowFrame::Ack { seq }.encode_via(self.path));
         }
         // Beyond the window: drop silently (sender cannot legally be there).
     }

@@ -7,7 +7,10 @@
 
 use netdsl_core::packet::{Coverage, Len, PacketSpec, Value};
 use netdsl_core::DslError;
+use netdsl_netsim::scenario::FramePath;
 use netdsl_wire::checksum::ChecksumKind;
+
+use crate::codec::window_codec;
 
 /// Frame kind: payload-carrying.
 pub const KIND_DATA: u64 = 1;
@@ -48,44 +51,92 @@ pub enum WindowFrame {
 }
 
 impl WindowFrame {
-    /// Encodes to wire bytes.
+    /// Encodes to wire bytes via the interpretive path — see
+    /// [`WindowFrame::encode_via`] to select.
     pub fn encode(&self) -> Vec<u8> {
-        let spec = window_spec();
-        let mut v = spec.value();
-        match self {
-            WindowFrame::Data { seq, payload } => {
-                v.set("kind", Value::Uint(KIND_DATA));
-                v.set("seq", Value::Uint(u64::from(*seq)));
-                v.set("payload", Value::Bytes(payload.clone()));
-            }
-            WindowFrame::Ack { seq } => {
-                v.set("kind", Value::Uint(KIND_ACK));
-                v.set("seq", Value::Uint(u64::from(*seq)));
-                v.set("payload", Value::Bytes(Vec::new()));
-            }
-        }
-        spec.encode(&v).expect("well-typed frame always encodes")
+        self.encode_via(FramePath::Interpreted)
     }
 
-    /// Decodes and validates wire bytes.
+    /// Encodes to wire bytes through the selected frame path (the two
+    /// paths are byte-identical).
+    pub fn encode_via(&self, path: FramePath) -> Vec<u8> {
+        match path {
+            FramePath::Interpreted => {
+                let spec = window_spec();
+                let mut v = spec.value();
+                match self {
+                    WindowFrame::Data { seq, payload } => {
+                        v.set("kind", Value::Uint(KIND_DATA));
+                        v.set("seq", Value::Uint(u64::from(*seq)));
+                        v.set("payload", Value::Bytes(payload.clone()));
+                    }
+                    WindowFrame::Ack { seq } => {
+                        v.set("kind", Value::Uint(KIND_ACK));
+                        v.set("seq", Value::Uint(u64::from(*seq)));
+                        v.set("payload", Value::Bytes(Vec::new()));
+                    }
+                }
+                spec.encode(&v).expect("well-typed frame always encodes")
+            }
+            FramePath::Compiled => {
+                let (kind, seq, payload): (u64, u64, &[u8]) = match self {
+                    WindowFrame::Data { seq, payload } => (KIND_DATA, u64::from(*seq), payload),
+                    WindowFrame::Ack { seq } => (KIND_ACK, u64::from(*seq), &[]),
+                };
+                crate::codec::compiled_encode(window_codec(), kind, seq, payload)
+            }
+        }
+    }
+
+    /// Decodes and validates wire bytes via the interpretive path — see
+    /// [`WindowFrame::decode_via`] to select.
     ///
     /// # Errors
     ///
     /// Checksum failures, truncation, unknown kinds.
     pub fn decode(frame: &[u8]) -> Result<WindowFrame, DslError> {
-        let spec = window_spec();
-        let checked = spec.decode(frame)?;
-        let seq = checked.uint("seq")? as u32;
-        match checked.uint("kind")? {
-            KIND_DATA => Ok(WindowFrame::Data {
-                seq,
-                payload: checked.bytes("payload")?.to_vec(),
-            }),
-            KIND_ACK => Ok(WindowFrame::Ack { seq }),
-            other => Err(DslError::Wire(netdsl_wire::WireError::InvalidValue {
-                field: "kind",
-                value: other,
-            })),
+        WindowFrame::decode_via(FramePath::Interpreted, frame)
+    }
+
+    /// Decodes and validates wire bytes through the selected frame path
+    /// (verdict-equivalent; the compiled path decodes zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// As for [`WindowFrame::decode`].
+    pub fn decode_via(path: FramePath, frame: &[u8]) -> Result<WindowFrame, DslError> {
+        match path {
+            FramePath::Interpreted => {
+                let spec = window_spec();
+                let checked = spec.decode(frame)?;
+                let seq = checked.uint("seq")? as u32;
+                match checked.uint("kind")? {
+                    KIND_DATA => Ok(WindowFrame::Data {
+                        seq,
+                        payload: checked.bytes("payload")?.to_vec(),
+                    }),
+                    KIND_ACK => Ok(WindowFrame::Ack { seq }),
+                    other => Err(DslError::Wire(netdsl_wire::WireError::InvalidValue {
+                        field: "kind",
+                        value: other,
+                    })),
+                }
+            }
+            FramePath::Compiled => {
+                let (kind, seq, payload) = crate::codec::compiled_decode(window_codec(), frame)?;
+                let seq = seq as u32;
+                match kind {
+                    KIND_DATA => Ok(WindowFrame::Data {
+                        seq,
+                        payload: payload.to_vec(),
+                    }),
+                    KIND_ACK => Ok(WindowFrame::Ack { seq }),
+                    other => Err(DslError::Wire(netdsl_wire::WireError::InvalidValue {
+                        field: "kind",
+                        value: other,
+                    })),
+                }
+            }
         }
     }
 }

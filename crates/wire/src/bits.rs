@@ -193,6 +193,19 @@ impl BitWriter {
         }
     }
 
+    /// Creates a writer that reuses `buf`'s allocation, clearing any
+    /// contents first. Pairs with [`BitWriter::into_bytes`] so repeated
+    /// encoders (the compiled codec's `encode_into`) can cycle one
+    /// buffer through encode → consume → encode with no reallocation
+    /// once the buffer has grown to the working frame size.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            bytes: buf,
+            partial_bits: 0,
+        }
+    }
+
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
         if self.partial_bits == 0 {
@@ -391,6 +404,20 @@ mod tests {
         w.align_to_byte();
         w.write_bytes(&[0xAA]).unwrap();
         assert_eq!(w.into_bytes(), vec![0b1000_0000, 0xAA]);
+    }
+
+    #[test]
+    fn from_vec_reuses_allocation_and_clears() {
+        let mut buf = vec![0xAA; 64];
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        buf.truncate(64);
+        let mut w = BitWriter::from_vec(buf);
+        w.write_bits(0x12, 8).unwrap();
+        let out = w.into_bytes();
+        assert_eq!(out, vec![0x12], "old contents discarded");
+        assert_eq!(out.capacity(), cap, "allocation reused");
+        assert_eq!(out.as_ptr(), ptr, "no reallocation");
     }
 
     #[test]

@@ -55,6 +55,161 @@ impl ChecksumKind {
     }
 }
 
+/// Incremental state for any [`ChecksumKind`], fed byte runs in order.
+///
+/// Produces exactly the value [`ChecksumKind::compute`] yields over the
+/// concatenation of everything fed to [`ChecksumEngine::update`] /
+/// [`ChecksumEngine::update_zeros`] — including the word-pairing
+/// algorithms ([`ChecksumKind::Internet`], [`ChecksumKind::Fletcher32`]),
+/// which carry an odd pending byte across run boundaries. This is what
+/// lets the compiled codec engine checksum a frame's covered ranges
+/// (with the checksum field's own bytes zeroed) without assembling an
+/// intermediate buffer.
+///
+/// ```
+/// use netdsl_wire::checksum::{ChecksumEngine, ChecksumKind};
+/// let kind = ChecksumKind::Crc32Ieee;
+/// let mut e = ChecksumEngine::new(kind);
+/// e.update(b"123");
+/// e.update(b"456789");
+/// assert_eq!(e.finish(), kind.compute(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChecksumEngine {
+    kind: ChecksumKind,
+    /// Accumulators `a`/`b` (meaning depends on the algorithm).
+    a: u32,
+    b: u32,
+    /// High byte of an incomplete 16-bit word, for word-paired sums.
+    pending: Option<u8>,
+}
+
+impl ChecksumEngine {
+    /// Fresh state for `kind` (equivalent to having fed no bytes).
+    pub fn new(kind: ChecksumKind) -> Self {
+        let (a, b) = match kind {
+            ChecksumKind::Adler32 => (1, 0),
+            ChecksumKind::Crc16Ccitt => (0xFFFF, 0),
+            ChecksumKind::Crc32Ieee => (0xFFFF_FFFF, 0),
+            _ => (0, 0),
+        };
+        ChecksumEngine {
+            kind,
+            a,
+            b,
+            pending: None,
+        }
+    }
+
+    /// Feeds one byte run.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.push(byte);
+        }
+    }
+
+    /// Feeds `n` zero bytes (the codec engine's "own field zeroed" rule)
+    /// without materialising a zero buffer.
+    pub fn update_zeros(&mut self, n: usize) {
+        for _ in 0..n {
+            self.push(0);
+        }
+    }
+
+    fn push(&mut self, byte: u8) {
+        match self.kind {
+            ChecksumKind::Arq => {
+                let mut sum = self.a + u32::from(byte);
+                sum = (sum & 0xFF) + (sum >> 8);
+                self.a = sum;
+            }
+            ChecksumKind::Internet => match self.pending.take() {
+                Some(hi) => {
+                    self.a += u32::from(u16::from_be_bytes([hi, byte]));
+                    // Early end-around-carry fold so arbitrarily long
+                    // streams cannot overflow the accumulator; folding
+                    // early leaves the final folded sum unchanged.
+                    if self.a >= 0xFFFF_0000 {
+                        self.a = (self.a & 0xFFFF) + (self.a >> 16);
+                    }
+                }
+                None => self.pending = Some(byte),
+            },
+            ChecksumKind::Fletcher16 => {
+                self.a = (self.a + u32::from(byte)) % 255;
+                self.b = (self.b + self.a) % 255;
+            }
+            ChecksumKind::Fletcher32 => match self.pending.take() {
+                Some(hi) => {
+                    let w = u32::from(u16::from_be_bytes([hi, byte]));
+                    self.a = (self.a + w) % 65535;
+                    self.b = (self.b + self.a) % 65535;
+                }
+                None => self.pending = Some(byte),
+            },
+            ChecksumKind::Adler32 => {
+                const MOD: u32 = 65521;
+                self.a = (self.a + u32::from(byte)) % MOD;
+                self.b = (self.b + self.a) % MOD;
+            }
+            ChecksumKind::Crc16Ccitt => {
+                let mut crc = self.a as u16;
+                crc ^= u16::from(byte) << 8;
+                for _ in 0..8 {
+                    crc = if crc & 0x8000 != 0 {
+                        (crc << 1) ^ 0x1021
+                    } else {
+                        crc << 1
+                    };
+                }
+                self.a = u32::from(crc);
+            }
+            ChecksumKind::Crc32Ieee => {
+                // Reuse the table-driven step from `crc32_ieee`.
+                self.a = crc32_table()[usize::from((self.a as u8) ^ byte)] ^ (self.a >> 8);
+            }
+        }
+    }
+
+    /// Finalises (padding any odd trailing byte with zero, as the
+    /// one-shot functions do) and returns the checksum widened to `u64`.
+    pub fn finish(mut self) -> u64 {
+        if let Some(hi) = self.pending.take() {
+            // Word-paired sums zero-pad the dangling byte.
+            match self.kind {
+                ChecksumKind::Internet => {
+                    self.a += u32::from(u16::from_be_bytes([hi, 0]));
+                }
+                ChecksumKind::Fletcher32 => {
+                    let w = u32::from(u16::from_be_bytes([hi, 0]));
+                    self.a = (self.a + w) % 65535;
+                    self.b = (self.b + self.a) % 65535;
+                }
+                _ => unreachable!("only word-paired kinds buffer a byte"),
+            }
+        }
+        match self.kind {
+            ChecksumKind::Arq => {
+                let mut sum = self.a;
+                sum = (sum & 0xFF) + (sum >> 8);
+                u64::from(!(sum as u8))
+            }
+            ChecksumKind::Internet => {
+                let mut sum = self.a;
+                while sum >> 16 != 0 {
+                    sum = (sum & 0xFFFF) + (sum >> 16);
+                }
+                u64::from(!(sum as u16))
+            }
+            ChecksumKind::Fletcher16 => u64::from(((self.b as u16) << 8) | self.a as u16),
+            ChecksumKind::Fletcher32 => u64::from((self.b << 16) | self.a),
+            ChecksumKind::Adler32 => u64::from((self.b << 16) | self.a),
+            ChecksumKind::Crc16Ccitt => u64::from(self.a as u16),
+            ChecksumKind::Crc32Ieee => u64::from(!self.a),
+        }
+    }
+}
+
 /// The paper's ARQ checksum: `check seq data`, a single byte combining the
 /// sequence number and payload.
 ///
@@ -160,11 +315,11 @@ pub fn crc16_ccitt(data: &[u8]) -> u16 {
     crc
 }
 
-/// CRC-32 (IEEE 802.3): reflected polynomial 0xEDB88320, init and final
-/// XOR 0xFFFFFFFF. Table-driven, table built at first use.
-pub fn crc32_ieee(data: &[u8]) -> u32 {
+/// The reflected CRC-32 lookup table, built at first use (shared by the
+/// one-shot [`crc32_ieee`] and the streaming [`ChecksumEngine`]).
+fn crc32_table() -> &'static [u32; 256] {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
+    TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
@@ -178,7 +333,13 @@ pub fn crc32_ieee(data: &[u8]) -> u32 {
             *entry = c;
         }
         t
-    });
+    })
+}
+
+/// CRC-32 (IEEE 802.3): reflected polynomial 0xEDB88320, init and final
+/// XOR 0xFFFFFFFF. Table-driven, table built at first use.
+pub fn crc32_ieee(data: &[u8]) -> u32 {
+    let table = crc32_table();
     let mut crc: u32 = 0xFFFF_FFFF;
     for &byte in data {
         crc = table[usize::from((crc as u8) ^ byte)] ^ (crc >> 8);
@@ -285,7 +446,64 @@ mod tests {
         }
     }
 
+    const ALL_KINDS: [ChecksumKind; 7] = [
+        ChecksumKind::Arq,
+        ChecksumKind::Internet,
+        ChecksumKind::Fletcher16,
+        ChecksumKind::Fletcher32,
+        ChecksumKind::Adler32,
+        ChecksumKind::Crc16Ccitt,
+        ChecksumKind::Crc32Ieee,
+    ];
+
+    #[test]
+    fn engine_matches_one_shot_on_empty_input() {
+        for kind in ALL_KINDS {
+            assert_eq!(
+                ChecksumEngine::new(kind).finish(),
+                kind.compute(b""),
+                "{kind:?} empty"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_update_zeros_equals_feeding_zero_bytes() {
+        for kind in ALL_KINDS {
+            let mut by_run = ChecksumEngine::new(kind);
+            by_run.update(b"ab");
+            by_run.update_zeros(3);
+            by_run.update(b"c");
+            assert_eq!(
+                by_run.finish(),
+                kind.compute(b"ab\0\0\0c"),
+                "{kind:?} zeros"
+            );
+        }
+    }
+
     proptest! {
+        /// Streaming over arbitrary run boundaries equals the one-shot
+        /// computation over the concatenation — the law the compiled
+        /// codec's allocation-free checksum path rests on.
+        #[test]
+        fn engine_matches_one_shot_across_splits(
+            data in proptest::collection::vec(any::<u8>(), 0..96),
+            cut_a in 0usize..96,
+            cut_b in 0usize..96,
+        ) {
+            let cut_a = cut_a % (data.len() + 1);
+            let cut_b = cut_b % (data.len() + 1);
+            let (lo, hi) = (cut_a.min(cut_b), cut_a.max(cut_b));
+            for kind in ALL_KINDS {
+                let mut e = ChecksumEngine::new(kind);
+                e.update(&data[..lo]);
+                e.update(&data[lo..hi]);
+                e.update(&data[hi..]);
+                prop_assert_eq!(e.finish(), kind.compute(&data), "{:?}", kind);
+            }
+        }
+
         /// Single-bit flips are always detected by every algorithm.
         #[test]
         fn single_bit_flip_detected(

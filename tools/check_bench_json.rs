@@ -3,18 +3,25 @@
 //!
 //! ```text
 //! cargo run -p netdsl-tools --bin check_bench_json -- \
-//!     [--expect <id>]... [dir]
+//!     [--expect <id>]... [--expect-benches <benches-dir>]... [dir]
 //! ```
 //!
 //! Checks, per file: parses as a schema-valid
 //! [`BenchReport`] (which re-derives
 //! the `stats` blocks from the samples — a tampered or truncated
 //! artifact fails), the id matches the file name, the report carries at
-//! least one metric, and at least one metric carries samples. With
-//! `--expect e4_arq_goodput` (repeatable) the named artifact must also
-//! exist — CI passes all eleven harness ids so a bench that stopped
-//! emitting JSON fails the pipeline instead of silently thinning the
-//! trajectory.
+//! least one metric, and at least one metric carries samples.
+//!
+//! Expectations come in two forms. `--expect e4_arq_goodput`
+//! (repeatable) names one required artifact id. `--expect-benches
+//! crates/bench/benches` **discovers** the expected ids from the bench
+//! target sources themselves — every `*.rs` file stem in the directory
+//! becomes a required id — so adding a harness (E12, E13, …)
+//! automatically extends the CI gate with no hardcoded list to forget;
+//! a bench that stops emitting JSON fails the pipeline instead of
+//! silently thinning the trajectory. Corollary: every `*.rs` file in
+//! the benches directory is treated as a harness; bench-support helper
+//! modules belong in the crate's `src/`, not alongside the targets.
 //!
 //! Exit code 0 when everything passes; 1 otherwise, after printing
 //! every problem found.
@@ -23,6 +30,23 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use netdsl_bench::report::BenchReport;
+
+/// Expected ids discovered from a benches directory: one per `*.rs`
+/// file stem.
+fn bench_stems(dir: &PathBuf) -> Result<Vec<String>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut stems: Vec<String> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .filter_map(|p| p.file_stem().and_then(|s| s.to_str()).map(String::from))
+        .collect();
+    stems.sort();
+    if stems.is_empty() {
+        return Err(format!("no *.rs bench targets in {}", dir.display()));
+    }
+    Ok(stems)
+}
 
 fn main() -> ExitCode {
     let mut expected: Vec<String> = Vec::new();
@@ -37,8 +61,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--expect-benches" => match args.next() {
+                Some(benches) => match bench_stems(&PathBuf::from(&benches)) {
+                    Ok(stems) => {
+                        println!(
+                            "discovered {} expected ids from {benches}: {}",
+                            stems.len(),
+                            stems.join(", ")
+                        );
+                        expected.extend(stems);
+                    }
+                    Err(e) => {
+                        eprintln!("FAIL: --expect-benches {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--expect-benches needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: check_bench_json [--expect <id>]... [dir]");
+                println!(
+                    "usage: check_bench_json [--expect <id>]... [--expect-benches <dir>]... [dir]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if dir.is_none() && !other.starts_with('-') => {
