@@ -65,6 +65,12 @@ impl AdaptiveSwSender {
         &self.rto
     }
 
+    /// The messages this sender offers (what a completed transfer must
+    /// have delivered).
+    pub fn messages(&self) -> &[Vec<u8>] {
+        &self.messages
+    }
+
     fn launch(&mut self, io: &mut Io<'_>, retransmit: bool) {
         if self.next_msg >= self.messages.len() {
             return;
@@ -161,7 +167,6 @@ pub fn run_adaptive_transfer(
     deadline: u64,
 ) -> AdaptiveOutcome {
     let n = messages.len();
-    let expected = messages.clone();
     let mut duplex = Duplex::new(
         seed,
         config,
@@ -170,7 +175,7 @@ pub fn run_adaptive_transfer(
     );
     let elapsed = duplex.run(deadline);
     AdaptiveOutcome {
-        success: duplex.a().succeeded() && duplex.b().delivered() == expected,
+        success: duplex.a().succeeded() && duplex.b().delivered() == duplex.a().messages(),
         elapsed,
         stats: duplex.a().stats(),
     }

@@ -75,22 +75,18 @@ impl ScenarioDriver for AdaptiveDriver {
         let n = messages.len();
         Ok(drive_duplex(
             scenario,
-            &messages,
             AdaptiveSwSender::new(
-                messages.clone(),
+                messages,
                 scenario.protocol.timeout,
                 scenario.protocol.max_retries,
             ),
             SwReceiver::new(n),
             |d| {
                 let s = d.a().stats();
-                (
-                    d.a().succeeded(),
-                    d.b().delivered().to_vec(),
-                    s.frames_sent,
-                    s.retransmissions,
-                )
+                (d.a().succeeded(), s.frames_sent, s.retransmissions)
             },
+            AdaptiveSwSender::messages,
+            SwReceiver::delivered,
         ))
     }
 }

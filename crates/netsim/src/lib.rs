@@ -10,7 +10,12 @@
 //!   duplication, reordering (delay jitter) and propagation delay;
 //! * **protocol-agnostic** — endpoints exchange raw byte frames and timer
 //!   events through a mailbox interface, so the DSL runtime, the baseline
-//!   sockets-style code, and the adaptation layers all run on it unchanged.
+//!   sockets-style code, and the adaptation layers all run on it unchanged;
+//! * **allocation-free in steady state** — frame payloads live in a
+//!   refcounted [`arena`], events schedule on a hierarchical
+//!   timer wheel, and both structures recycle across simulator lifetimes
+//!   (see `docs/SIMCORE.md`; the pre-arena engine survives as
+//!   [`SimCore::Legacy`] for measurement and as an ordering oracle).
 //!
 //! On top of the engine sit the declarative experiment layers: a
 //! [`scenario`] describes one run (protocol × topology × link × traffic ×
@@ -43,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod campaign;
 pub mod link;
 pub mod scenario;
@@ -50,13 +56,15 @@ pub mod sim;
 pub mod stats;
 pub mod topology;
 pub mod trace;
+mod wheel;
 
+pub use arena::{ArenaStats, PayloadArena, PayloadRef};
 pub use campaign::{Campaign, CampaignReport, Summary, Sweep};
 pub use link::LinkConfig;
 pub use scenario::{
     Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioResult, TopologySpec, TrafficPattern,
 };
-pub use sim::{Event, LinkId, NodeId, Simulator, TimerToken};
+pub use sim::{Event, EventRef, LinkId, NodeId, SimCore, Simulator, TimerToken};
 pub use stats::{Aggregate, LinkStats};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEntry};

@@ -17,6 +17,7 @@
 use std::fmt;
 
 use crate::link::LinkConfig;
+use crate::sim::SimCore;
 use crate::stats::LinkStats;
 use crate::Tick;
 
@@ -66,11 +67,16 @@ pub struct ProtocolSpec {
     pub max_retries: u32,
     /// Which frame codec path endpoints should use.
     pub frame_path: FramePath,
+    /// Which engine core the driver should run the simulation on. The
+    /// cores are behaviourally identical (bit-identical transcripts);
+    /// like [`frame_path`](ProtocolSpec::frame_path), this exists so
+    /// campaigns can put pure engine cost on an axis (experiment E13).
+    pub sim_core: SimCore,
 }
 
 impl ProtocolSpec {
     /// A spec for `name` with default tuning (window 1, timeout 150,
-    /// 200 retries, interpreted frame path).
+    /// 200 retries, interpreted frame path, pooled engine core).
     pub fn new(name: impl Into<String>) -> Self {
         ProtocolSpec {
             name: name.into(),
@@ -78,6 +84,7 @@ impl ProtocolSpec {
             timeout: 150,
             max_retries: 200,
             frame_path: FramePath::default(),
+            sim_core: SimCore::default(),
         }
     }
 
@@ -85,6 +92,13 @@ impl ProtocolSpec {
     #[must_use]
     pub fn with_frame_path(mut self, frame_path: FramePath) -> Self {
         self.frame_path = frame_path;
+        self
+    }
+
+    /// Selects the engine core (builder style).
+    #[must_use]
+    pub fn with_sim_core(mut self, sim_core: SimCore) -> Self {
+        self.sim_core = sim_core;
         self
     }
 

@@ -1,5 +1,25 @@
 //! The discrete-event engine.
+//!
+//! Since the zero-allocation core landed (see `docs/SIMCORE.md`) the
+//! engine has two cooperating layers on its hot path:
+//!
+//! * frame payloads live in a [`PayloadArena`] — handles move through
+//!   the event queue, duplication bumps a refcount, and freed slots
+//!   (plus the arena itself, recycled thread-locally across simulator
+//!   lifetimes) are reused, so a warm campaign worker allocates nothing
+//!   per frame;
+//! * events are scheduled by a hierarchical timer wheel (the private
+//!   `wheel` module) instead of a binary heap, preserving the exact
+//!   `(at, seq)` pop order (property-tested against the heap, which is
+//!   retained as [`SimCore::Legacy`] — the measurement baseline of
+//!   experiment E13 and the ordering oracle of the wheel tests).
+//!
+//! The original `Vec<u8>`-owning API ([`Simulator::send`],
+//! [`Simulator::step`]) still works and is what one-off tests use; the
+//! handle API ([`Simulator::send_ref`], [`Simulator::step_ref`]) is the
+//! allocation-free path the protocol pump drives.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -7,9 +27,11 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+use crate::arena::{PayloadArena, PayloadRef};
 use crate::link::LinkConfig;
 use crate::stats::LinkStats;
 use crate::trace::{Trace, TraceEntry};
+use crate::wheel::TimerWheel;
 use crate::Tick;
 
 /// Identifies a node in the simulation.
@@ -37,7 +59,37 @@ impl LinkId {
 /// Opaque caller-chosen identifier carried by timer events.
 pub type TimerToken = u64;
 
-/// Something delivered to a node by the simulator.
+/// Which engine internals a simulator runs on.
+///
+/// The two cores are **behaviourally identical** — same RNG draw
+/// sequence, same event order, bit-identical transcripts (pinned by
+/// `tests/wheel_oracle.rs` and the campaign determinism tests) — they
+/// differ only in cost. Campaigns can therefore put the core on an
+/// axis (`ProtocolSpec::with_sim_core`) and measure pure engine
+/// overhead, which is exactly what experiment E13 does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimCore {
+    /// Payload arena + timer wheel; zero allocation in steady state.
+    #[default]
+    Pooled,
+    /// The pre-arena core: binary-heap scheduler, owned `Vec<u8>`
+    /// frame buffers allocated and dropped per hop. Kept as the E13
+    /// measurement baseline and the wheel's ordering oracle.
+    Legacy,
+}
+
+impl SimCore {
+    /// Canonical axis label (`"pooled"` / `"legacy"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimCore::Pooled => "pooled",
+            SimCore::Legacy => "legacy",
+        }
+    }
+}
+
+/// Something delivered to a node by the simulator, with the frame
+/// payload owned (see [`EventRef`] for the zero-copy form).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// A frame arrived at `node` over `link`.
@@ -67,6 +119,32 @@ impl Event {
     }
 }
 
+/// Something delivered to a node, with the frame payload still in the
+/// arena — the allocation-free counterpart of [`Event`] returned by
+/// [`Simulator::step_ref`]. Read frame bytes with
+/// [`Simulator::payload`] or take them with
+/// [`Simulator::detach_payload`]; every handle must be consumed
+/// (`detach_payload` / `release_payload`) before the slot can recycle.
+#[derive(Debug)]
+pub enum EventRef {
+    /// A frame arrived at `node` over `link`.
+    Frame {
+        /// Destination node.
+        node: NodeId,
+        /// Link the frame travelled over.
+        link: LinkId,
+        /// Handle to the frame contents in the simulator's arena.
+        payload: PayloadRef,
+    },
+    /// A timer fired at `node`.
+    Timer {
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The token the caller supplied.
+        token: TimerToken,
+    },
+}
+
 #[derive(Debug)]
 struct Link {
     from: NodeId,
@@ -80,7 +158,7 @@ enum Pending {
     Frame {
         link: LinkId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: PayloadRef,
     },
     Timer {
         node: NodeId,
@@ -92,14 +170,65 @@ enum Pending {
 /// comparison; `seq` is a monotone insertion counter, so it is unique
 /// per entry and the trailing `what` field never actually participates
 /// in a comparison — the ordering is total and ties at equal `at`
-/// resolve by insertion order (there is a property test for this in
-/// `tests/heap_order.rs`).
+/// resolve by insertion order (property-tested in
+/// `tests/heap_order.rs`, and the timer wheel reproduces it exactly).
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct Scheduled {
     at: Tick,
     seq: u64,
     what: Pending,
 }
+
+/// The event queue behind one simulator: the wheel (pooled core) or
+/// the original binary heap (legacy core / oracle).
+#[derive(Debug)]
+enum Queue {
+    Wheel(TimerWheel<Pending>),
+    Heap(BinaryHeap<Reverse<Scheduled>>),
+}
+
+impl Queue {
+    fn push(&mut self, at: Tick, seq: u64, what: Pending) {
+        match self {
+            Queue::Wheel(w) => w.push(at, seq, what),
+            Queue::Heap(h) => h.push(Reverse(Scheduled { at, seq, what })),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Tick, Pending)> {
+        match self {
+            Queue::Wheel(w) => w.pop().map(|(at, _, what)| (at, what)),
+            Queue::Heap(h) => h.pop().map(|Reverse(s)| (s.at, s.what)),
+        }
+    }
+
+    fn peek_at(&self) -> Option<Tick> {
+        match self {
+            Queue::Wheel(w) => w.peek_at(),
+            Queue::Heap(h) => h.peek().map(|Reverse(s)| s.at),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Queue::Wheel(w) => w.is_empty(),
+            Queue::Heap(h) => h.is_empty(),
+        }
+    }
+}
+
+thread_local! {
+    /// Warm `(arena, wheel)` pairs recycled across pooled simulators on
+    /// this thread — how a campaign worker runs thousands of scenarios
+    /// without re-growing either structure. Capacities persist; all
+    /// contents are reset between owners.
+    static CORE_POOL: RefCell<Vec<(PayloadArena, TimerWheel<Pending>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Warm cores retained per thread (campaign workers hold one simulator
+/// at a time; a few extra cover nested helper simulations).
+const CORE_POOL_CAP: usize = 8;
 
 /// A deterministic discrete-event network simulator.
 ///
@@ -108,7 +237,9 @@ struct Scheduled {
 pub struct Simulator {
     time: Tick,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: Queue,
+    arena: PayloadArena,
+    core: SimCore,
     nodes: usize,
     links: Vec<Link>,
     rng: ChaCha12Rng,
@@ -117,21 +248,48 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates a simulator whose randomness is fully determined by `seed`.
+    /// Creates a simulator whose randomness is fully determined by
+    /// `seed`, on the default [`SimCore::Pooled`] core.
     pub fn new(seed: u64) -> Self {
+        Simulator::with_core(seed, SimCore::default())
+    }
+
+    /// Creates a simulator on an explicit engine core. The pooled core
+    /// draws its arena and wheel from a thread-local recycling pool
+    /// (returned, reset, on drop); the legacy core allocates fresh so
+    /// baseline measurements stay honest.
+    pub fn with_core(seed: u64, core: SimCore) -> Self {
+        let (arena, queue) = match core {
+            SimCore::Pooled => {
+                let (arena, wheel) = CORE_POOL
+                    .with(|pool| pool.borrow_mut().pop())
+                    .unwrap_or_else(|| (PayloadArena::new(), TimerWheel::new()));
+                (arena, Queue::Wheel(wheel))
+            }
+            SimCore::Legacy => (
+                PayloadArena::new(),
+                // Pre-sized as the original engine was: window
+                // protocols keep dozens of frames and timers in flight.
+                Queue::Heap(BinaryHeap::with_capacity(256)),
+            ),
+        };
         Simulator {
             time: 0,
             seq: 0,
-            // Pre-sized: window protocols keep dozens of frames and
-            // timers in flight, and reallocation during a send shows up
-            // directly in campaign throughput (E11).
-            queue: BinaryHeap::with_capacity(256),
+            queue,
+            arena,
+            core,
             nodes: 0,
             links: Vec::new(),
             rng: ChaCha12Rng::seed_from_u64(seed),
             trace: Trace::new(),
             cancelled_timers: Vec::new(),
         }
+    }
+
+    /// Which engine core this simulator runs on.
+    pub fn core(&self) -> SimCore {
+        self.core
     }
 
     /// Current virtual time.
@@ -222,19 +380,92 @@ impl Simulator {
         &self.trace
     }
 
+    /// Replaces the trace with an empty one retaining at most
+    /// `capacity` entries (call during setup; any already-recorded
+    /// history is discarded). See [`crate::trace`] for the ring
+    /// semantics.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    // ------------------------------------------------------------------
+    // Payload arena access
+    // ------------------------------------------------------------------
+
+    /// Copies `bytes` into the payload arena (recycled buffer, no
+    /// steady-state allocation) and returns the handle.
+    pub fn alloc_payload(&mut self, bytes: &[u8]) -> PayloadRef {
+        self.arena.alloc(bytes)
+    }
+
+    /// Hands `fill` an empty recycled buffer to encode a frame into
+    /// and returns the handle — the zero-allocation send path:
+    ///
+    /// ```
+    /// use netdsl_netsim::{LinkConfig, Simulator};
+    /// let mut sim = Simulator::new(0);
+    /// let (a, b) = (sim.add_node(), sim.add_node());
+    /// let ab = sim.add_link(a, b, LinkConfig::reliable(1));
+    /// let frame = sim.alloc_payload_with(|buf| buf.extend_from_slice(b"hi"));
+    /// sim.send_ref(ab, frame);
+    /// ```
+    pub fn alloc_payload_with(&mut self, fill: impl FnOnce(&mut Vec<u8>)) -> PayloadRef {
+        self.arena.alloc_with(fill)
+    }
+
+    /// The bytes behind a payload handle.
+    pub fn payload(&self, h: &PayloadRef) -> &[u8] {
+        self.arena.get(h)
+    }
+
+    /// Consumes a handle, taking the bytes out of the arena (a move
+    /// when it is the last reference). Return the buffer with
+    /// [`Simulator::recycle_payload`] once read to keep the steady
+    /// state allocation-free.
+    pub fn detach_payload(&mut self, h: PayloadRef) -> Vec<u8> {
+        self.arena.detach(h)
+    }
+
+    /// Returns a detached buffer's capacity to the arena.
+    pub fn recycle_payload(&mut self, buf: Vec<u8>) {
+        self.arena.recycle(buf);
+    }
+
+    /// Drops a payload handle without reading it.
+    pub fn release_payload(&mut self, h: PayloadRef) {
+        self.arena.release(h);
+    }
+
+    /// The payload arena (statistics for tests and benchmarks).
+    pub fn arena(&self) -> &PayloadArena {
+        &self.arena
+    }
+
     fn push(&mut self, at: Tick, what: Pending) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, what }));
+        self.queue.push(at, seq, what);
     }
 
-    /// Transmits `payload` over `link`, applying the link's impairments.
+    /// Transmits `payload` over `link`, applying the link's
+    /// impairments. Compatibility wrapper over [`Simulator::send_ref`]:
+    /// adopts the buffer into the arena without copying.
     ///
     /// Returns `true` if at least one copy of the frame was scheduled for
     /// delivery (i.e. the frame was not lost). Protocol code normally
     /// ignores the return value — a real sender cannot observe loss — but
     /// tests and statistics use it.
     pub fn send(&mut self, link: LinkId, payload: Vec<u8>) -> bool {
+        let h = self.arena.insert(payload);
+        self.send_ref(link, h)
+    }
+
+    /// Transmits the payload behind `h` over `link`, applying the
+    /// link's impairments — the allocation-free send path. The handle
+    /// is always consumed (released immediately on loss).
+    ///
+    /// Returns `true` if at least one copy was scheduled for delivery.
+    pub fn send_ref(&mut self, link: LinkId, payload: PayloadRef) -> bool {
         let (loss, duplicate, corrupt, delay, jitter, to) = {
             let l = &self.links[link.0];
             (
@@ -250,7 +481,7 @@ impl Simulator {
         self.trace.record(TraceEntry::Sent {
             at: self.time,
             link,
-            bytes: payload.len(),
+            bytes: self.arena.get(&payload).len(),
         });
 
         if self.rng.random_bool(loss) {
@@ -259,15 +490,18 @@ impl Simulator {
                 at: self.time,
                 link,
             });
+            self.arena.release(payload);
             return false;
         }
 
-        // The caller already handed us an owned buffer: move it into the
-        // delivery instead of cloning per copy. Only a duplicated frame
-        // pays for a second allocation (E11 measures this path).
+        // A duplicated frame shares the sender's bytes: the second
+        // delivery is a refcount bump, not a clone (the pre-arena
+        // engine cloned here). The copy is scheduled first, exactly as
+        // the original engine did, so RNG draw order and event seq
+        // assignment — and therefore whole transcripts — are unchanged.
         if self.rng.random_bool(duplicate) {
             self.links[link.0].stats.duplicated += 1;
-            let copy = payload.clone();
+            let copy = self.arena.retain(&payload);
             self.schedule_delivery(link, to, corrupt, delay, jitter, copy);
         }
         self.schedule_delivery(link, to, corrupt, delay, jitter, payload);
@@ -283,12 +517,17 @@ impl Simulator {
         corrupt: f64,
         delay: Tick,
         jitter: Tick,
-        mut frame: Vec<u8>,
+        frame: PayloadRef,
     ) {
-        if !frame.is_empty() && self.rng.random_bool(corrupt) {
-            let byte = self.rng.random_range(0..frame.len());
+        let len = self.arena.get(&frame).len();
+        let mut frame = frame;
+        if len > 0 && self.rng.random_bool(corrupt) {
+            let byte = self.rng.random_range(0..len);
             let bit = self.rng.random_range(0..8u8);
-            frame[byte] ^= 1 << bit;
+            // Copy-on-write: corrupting one duplicate must not touch
+            // the other copy's bytes.
+            frame = self.arena.make_unique(frame);
+            self.arena.get_mut(&frame)[byte] ^= 1 << bit;
             self.links[link.0].stats.corrupted += 1;
             self.trace.record(TraceEntry::Corrupted {
                 at: self.time,
@@ -325,10 +564,11 @@ impl Simulator {
         self.cancelled_timers.push((node, token));
     }
 
-    /// Advances to the next event and returns it, or `None` when the
-    /// simulation has quiesced (no frames in flight, no timers pending).
-    pub fn step(&mut self) -> Option<Event> {
-        while let Some(Reverse(Scheduled { at, what, .. })) = self.queue.pop() {
+    /// Advances to the next event and returns it with the frame payload
+    /// still in the arena — the allocation-free pump path. Returns
+    /// `None` when the simulation has quiesced.
+    pub fn step_ref(&mut self) -> Option<EventRef> {
+        while let Some((at, what)) = self.queue.pop() {
             debug_assert!(at >= self.time, "time never runs backwards");
             self.time = at;
             match what {
@@ -337,9 +577,9 @@ impl Simulator {
                     self.trace.record(TraceEntry::Delivered {
                         at,
                         link,
-                        bytes: payload.len(),
+                        bytes: self.arena.get(&payload).len(),
                     });
-                    return Some(Event::Frame {
+                    return Some(EventRef::Frame {
                         node: to,
                         link,
                         payload,
@@ -354,11 +594,37 @@ impl Simulator {
                         self.cancelled_timers.swap_remove(idx);
                         continue;
                     }
-                    return Some(Event::Timer { node, token });
+                    return Some(EventRef::Timer { node, token });
                 }
             }
         }
         None
+    }
+
+    /// Advances to the next event and returns it with an owned payload,
+    /// or `None` when the simulation has quiesced (no frames in flight,
+    /// no timers pending). Compatibility wrapper over
+    /// [`Simulator::step_ref`] — the payload buffer is moved out of the
+    /// arena, not copied, so the cost matches the pre-arena engine.
+    pub fn step(&mut self) -> Option<Event> {
+        Some(match self.step_ref()? {
+            EventRef::Frame {
+                node,
+                link,
+                payload,
+            } => Event::Frame {
+                node,
+                link,
+                payload: self.arena.detach(payload),
+            },
+            EventRef::Timer { node, token } => Event::Timer { node, token },
+        })
+    }
+
+    /// The tick of the next queued event, if any (cancelled timers
+    /// still count until popped).
+    pub fn peek_at(&self) -> Option<Tick> {
+        self.queue.peek_at()
     }
 
     /// Runs until quiescent or until `deadline` ticks, delivering every
@@ -369,9 +635,9 @@ impl Simulator {
     {
         let mut n = 0;
         loop {
-            match self.queue.peek() {
+            match self.peek_at() {
                 None => break,
-                Some(Reverse(s)) if s.at > deadline => break,
+                Some(at) if at > deadline => break,
                 Some(_) => {}
             }
             let Some(ev) = self.step() else { break };
@@ -384,6 +650,28 @@ impl Simulator {
     /// `true` when no events remain queued.
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty()
+    }
+}
+
+impl Drop for Simulator {
+    fn drop(&mut self) {
+        if self.core != SimCore::Pooled {
+            return;
+        }
+        let arena = std::mem::take(&mut self.arena);
+        let queue = std::mem::replace(&mut self.queue, Queue::Heap(BinaryHeap::new()));
+        let Queue::Wheel(wheel) = queue else {
+            return;
+        };
+        CORE_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < CORE_POOL_CAP {
+                let (mut arena, mut wheel) = (arena, wheel);
+                arena.reset();
+                wheel.reset();
+                pool.push((arena, wheel));
+            }
+        });
     }
 }
 
@@ -422,6 +710,7 @@ mod tests {
         assert!(sim.step().is_none());
         assert_eq!(sim.link_stats(ab).lost, 1);
         assert_eq!(sim.link_stats(ab).delivered, 0);
+        assert_eq!(sim.arena().live(), 0, "lost frame's slot was released");
     }
 
     #[test]
@@ -452,6 +741,26 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_share_one_arena_slot() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(1).with_duplicate(1.0));
+        let h = sim.alloc_payload(&[5; 64]);
+        sim.send_ref(ab, h);
+        assert_eq!(sim.arena().live(), 1, "duplicate is a refcount, not a slot");
+        let (e1, e2) = (sim.step().unwrap(), sim.step().unwrap());
+        match (e1, e2) {
+            (Event::Frame { payload: p1, .. }, Event::Frame { payload: p2, .. }) => {
+                assert_eq!(p1, p2);
+                assert_eq!(p1, vec![5; 64]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(sim.arena().live(), 0);
+    }
+
+    #[test]
     fn corruption_flips_exactly_one_bit() {
         let mut sim = Simulator::new(3);
         let a = sim.add_node();
@@ -470,6 +779,36 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupting_one_duplicate_leaves_the_other_intact() {
+        // Duplication + certain corruption: each copy is corrupted
+        // independently (copy-on-write in the arena), so the two
+        // deliveries must differ from each other in exactly the ways
+        // two independent single-bit flips can.
+        let mut sim = Simulator::new(11);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(
+            a,
+            b,
+            LinkConfig::reliable(1)
+                .with_duplicate(1.0)
+                .with_corrupt(1.0),
+        );
+        let original = vec![0u8; 16];
+        sim.send(ab, original.clone());
+        let mut frames = Vec::new();
+        while let Some(Event::Frame { payload, .. }) = sim.step() {
+            frames.push(payload);
+        }
+        assert_eq!(frames.len(), 2);
+        for f in &frames {
+            let flips: u32 = f.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(flips, 1, "each copy has exactly one flipped bit");
+        }
+        assert_eq!(sim.link_stats(ab).corrupted, 2);
     }
 
     #[test]
@@ -531,6 +870,31 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100), "different seeds should differ");
+    }
+
+    #[test]
+    fn cores_replay_each_other_bit_identically() {
+        // The engine-core determinism contract: same seed ⇒ identical
+        // transcript whichever scheduler/buffer strategy runs it.
+        let run = |core: SimCore| {
+            let mut sim = Simulator::with_core(42, core);
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let ab = sim.add_link(a, b, LinkConfig::harsh(5));
+            let mut log = Vec::new();
+            for i in 0..200u8 {
+                sim.send(ab, vec![i; 8]);
+            }
+            sim.set_timer(a, 1000, 7);
+            while let Some(ev) = sim.step() {
+                match ev {
+                    Event::Frame { payload, .. } => log.push((sim.now(), payload)),
+                    Event::Timer { token, .. } => log.push((sim.now(), vec![token as u8])),
+                }
+            }
+            log
+        };
+        assert_eq!(run(SimCore::Pooled), run(SimCore::Legacy));
     }
 
     #[test]
@@ -600,5 +964,60 @@ mod tests {
         let ab = sim.add_link(a, b, LinkConfig::reliable(1));
         sim.reconfigure_link(ab, LinkConfig::lossy(1, 1.0));
         assert!(!sim.send(ab, vec![1]));
+    }
+
+    #[test]
+    fn send_ref_round_trip_reuses_slots() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(1));
+        for i in 0..100u8 {
+            let h = sim.alloc_payload_with(|buf| buf.extend_from_slice(&[i; 32]));
+            sim.send_ref(ab, h);
+            let Some(EventRef::Frame { payload, .. }) = sim.step_ref() else {
+                panic!("expected a frame");
+            };
+            assert_eq!(sim.payload(&payload), &[i; 32][..]);
+            let buf = sim.detach_payload(payload);
+            sim.recycle_payload(buf);
+        }
+        let stats = sim.arena().stats();
+        assert!(
+            stats.slots_created <= 2,
+            "steady state reuses slots: {stats:?}"
+        );
+        assert_eq!(stats.payloads, 100);
+    }
+
+    #[test]
+    fn pooled_cores_recycle_across_simulators() {
+        // Warm a simulator on this thread, drop it, and check the next
+        // one starts from recycled structures (same slot count, no new
+        // slab growth for the same workload).
+        let work = |sim: &mut Simulator| {
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let ab = sim.add_link(a, b, LinkConfig::reliable(1));
+            for _ in 0..32 {
+                sim.send(ab, vec![7; 128]);
+            }
+            while sim.step().is_some() {}
+        };
+        let mut first = Simulator::new(1);
+        work(&mut first);
+        let warm = first.arena().stats();
+        drop(first);
+        let mut second = Simulator::new(1);
+        work(&mut second);
+        let stats = second.arena().stats();
+        assert!(
+            stats.payloads > warm.payloads,
+            "second simulator inherited the recycled arena"
+        );
+        assert_eq!(
+            stats.slots_created, warm.slots_created,
+            "warm arena served the same workload without slab growth"
+        );
     }
 }

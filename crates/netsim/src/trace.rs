@@ -1,7 +1,20 @@
 //! Event trace: a replayable record of what the network did.
+//!
+//! The trace is a bounded ring: it retains the most recent
+//! [`Trace::capacity`] entries (default [`DEFAULT_CAPACITY`]) while the
+//! byte/entry totals are running counters that always cover the whole
+//! run. The bound keeps long campaign scenarios from accumulating
+//! unbounded history — and once the ring is warm, recording is
+//! allocation-free, which the zero-allocation frame-path test
+//! (`tests/alloc_zero.rs`) relies on.
 
 use crate::sim::LinkId;
 use crate::Tick;
+
+/// Default number of entries a trace retains (65 536 — far beyond any
+/// single test's horizon; campaigns care about the totals, not the
+/// ring).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
 /// One recorded network-level event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,58 +53,93 @@ pub enum TraceEntry {
     },
 }
 
-/// Append-only record of [`TraceEntry`] values.
-#[derive(Debug, Clone, Default)]
+/// Bounded ring of [`TraceEntry`] values plus whole-run totals.
+#[derive(Debug, Clone)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
+    /// Index of the oldest retained entry once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+    recorded: u64,
+    bytes_sent: u64,
+    bytes_delivered: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// An empty trace with the default retention bound.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends an entry.
+    /// An empty trace retaining at most `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            head: 0,
+            capacity: capacity.max(1),
+            recorded: 0,
+            bytes_sent: 0,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an entry, evicting the oldest once the ring is full.
     pub fn record(&mut self, entry: TraceEntry) {
-        self.entries.push(entry);
+        match entry {
+            TraceEntry::Sent { bytes, .. } => self.bytes_sent += bytes as u64,
+            TraceEntry::Delivered { bytes, .. } => self.bytes_delivered += bytes as u64,
+            _ => {}
+        }
+        self.recorded += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+        }
     }
 
-    /// Iterates over recorded entries in order.
+    /// Iterates over the retained entries, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
-        self.entries.iter()
+        self.entries[self.head..]
+            .iter()
+            .chain(self.entries[..self.head].iter())
     }
 
-    /// Number of entries recorded.
+    /// Number of entries currently retained (≤ [`Trace::capacity`]).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Entries recorded over the whole run, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.recorded == 0
     }
 
-    /// Total bytes handed to links (offered load).
+    /// Total bytes handed to links over the whole run (offered load).
     pub fn bytes_sent(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| match e {
-                TraceEntry::Sent { bytes, .. } => *bytes as u64,
-                _ => 0,
-            })
-            .sum()
+        self.bytes_sent
     }
 
-    /// Total bytes delivered to receivers.
+    /// Total bytes delivered to receivers over the whole run.
     pub fn bytes_delivered(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| match e {
-                TraceEntry::Delivered { bytes, .. } => *bytes as u64,
-                _ => 0,
-            })
-            .sum()
+        self.bytes_delivered
     }
 }
 
@@ -118,7 +166,31 @@ mod tests {
             link: LinkId(0),
         });
         assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 3);
         assert_eq!(t.bytes_sent(), 10);
         assert_eq!(t.bytes_delivered(), 10);
+    }
+
+    #[test]
+    fn ring_retains_the_most_recent_entries() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5 {
+            t.record(TraceEntry::Sent {
+                at: i,
+                link: LinkId(0),
+                bytes: 1,
+            });
+        }
+        assert_eq!(t.len(), 3, "bounded retention");
+        assert_eq!(t.recorded(), 5, "totals cover everything");
+        assert_eq!(t.bytes_sent(), 5);
+        let ats: Vec<Tick> = t
+            .iter()
+            .map(|e| match e {
+                TraceEntry::Sent { at, .. } => *at,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ats, vec![2, 3, 4], "oldest first, newest kept");
     }
 }

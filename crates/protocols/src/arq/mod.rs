@@ -26,9 +26,11 @@ pub mod typestate;
 use netdsl_core::packet::{Coverage, Len, PacketSpec, Value};
 use netdsl_core::DslError;
 use netdsl_netsim::scenario::FramePath;
+use netdsl_netsim::SimCore;
 use netdsl_wire::checksum::ChecksumKind;
 
 use crate::codec::arq_codec;
+use crate::driver::Io;
 
 /// Frame kind discriminator: a data packet.
 pub const KIND_DATA: u64 = 1;
@@ -117,6 +119,45 @@ impl ArqFrame {
         }
     }
 
+    /// Encodes a data frame for a **borrowed** payload into `out`
+    /// (cleared first) — the pooled transmit path; see
+    /// [`crate::window::WindowFrame::encode_data_into`] for the
+    /// windowed twin.
+    pub fn encode_data_into(path: FramePath, seq: u8, payload: &[u8], out: &mut Vec<u8>) {
+        match path {
+            FramePath::Interpreted => {
+                let frame = ArqFrame::Data {
+                    seq,
+                    payload: payload.to_vec(),
+                }
+                .encode_via(path);
+                out.clear();
+                out.extend_from_slice(&frame);
+            }
+            FramePath::Compiled => crate::codec::compiled_encode_into(
+                arq_codec(),
+                KIND_DATA,
+                u64::from(seq),
+                payload,
+                out,
+            ),
+        }
+    }
+
+    /// Encodes an ack frame into `out` (cleared first).
+    pub fn encode_ack_into(path: FramePath, seq: u8, out: &mut Vec<u8>) {
+        match path {
+            FramePath::Interpreted => {
+                let frame = ArqFrame::Ack { seq }.encode_via(path);
+                out.clear();
+                out.extend_from_slice(&frame);
+            }
+            FramePath::Compiled => {
+                crate::codec::compiled_encode_into(arq_codec(), KIND_ACK, u64::from(seq), &[], out)
+            }
+        }
+    }
+
     /// Decodes and validates wire bytes via the interpretive path — see
     /// [`ArqFrame::decode_via`] to select.
     ///
@@ -172,6 +213,30 @@ impl ArqFrame {
                 }
             }
         }
+    }
+}
+
+/// Transmits an ARQ data frame, honouring the engine core (pooled:
+/// encode into an arena buffer with the payload borrowed; legacy: the
+/// pre-arena owned-`Vec` path, kept as the E13 baseline).
+pub(crate) fn send_data(io: &mut Io<'_>, path: FramePath, seq: u8, payload: &[u8]) {
+    match io.core() {
+        SimCore::Pooled => io.send_with(|buf| ArqFrame::encode_data_into(path, seq, payload, buf)),
+        SimCore::Legacy => io.send(
+            ArqFrame::Data {
+                seq,
+                payload: payload.to_vec(),
+            }
+            .encode_via(path),
+        ),
+    }
+}
+
+/// Transmits an ARQ ack frame, honouring the engine core.
+pub(crate) fn send_ack(io: &mut Io<'_>, path: FramePath, seq: u8) {
+    match io.core() {
+        SimCore::Pooled => io.send_with(|buf| ArqFrame::encode_ack_into(path, seq, buf)),
+        SimCore::Legacy => io.send(ArqFrame::Ack { seq }.encode_via(path)),
     }
 }
 

@@ -13,7 +13,7 @@ use netdsl_netsim::TimerToken;
 use crate::driver::{Endpoint, Io};
 
 use super::typestate::{new_sender, Finish, Ok_, Retry, Send, Sender, Timeout, ValidAck};
-use super::{typestate, ArqFrame};
+use super::{send_ack, send_data, typestate, ArqFrame};
 
 /// Retransmission statistics for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -79,6 +79,12 @@ impl SwSender {
         self.stats
     }
 
+    /// The messages this sender offers (what a completed transfer must
+    /// have delivered).
+    pub fn messages(&self) -> &[Vec<u8>] {
+        &self.messages
+    }
+
     /// `true` if every message was acknowledged.
     pub fn succeeded(&self) -> bool {
         matches!(self.st, St::Done(_))
@@ -107,17 +113,17 @@ impl SwSender {
             self.st = St::Done(machine.step(Finish));
             return;
         }
-        let payload = self.messages[self.next_msg].clone();
         let seq = machine.data().seq;
-        let frame = ArqFrame::Data {
-            seq,
-            payload: payload.clone(),
-        }
-        .encode_via(self.path);
-        let waiting = machine.step(Send { payload });
+        // The wire frame borrows the payload from the message store
+        // (pooled core: encoded straight into an arena buffer, no
+        // clone); the typestate machine still takes its own copy — the
+        // paper's SEND transition owns the in-flight payload.
+        send_data(io, self.path, seq, &self.messages[self.next_msg]);
+        let waiting = machine.step(Send {
+            payload: self.messages[self.next_msg].clone(),
+        });
         self.stats.frames_sent += 1;
         self.attempt += 1;
-        io.send(frame);
         io.set_timer(self.timeout, self.attempt);
         self.st = St::Wait(waiting);
     }
@@ -220,6 +226,11 @@ impl SwReceiver {
         &self.delivered
     }
 
+    /// Takes the delivered payloads out without copying.
+    pub fn into_delivered(self) -> Vec<Vec<u8>> {
+        self.delivered
+    }
+
     /// Frames rejected (corrupt, duplicate, or out of order).
     pub fn rejected(&self) -> u64 {
         self.rejected
@@ -240,13 +251,13 @@ impl Endpoint for SwReceiver {
                 if seq == self.expected {
                     // In-order: deliver exactly once, ack, advance.
                     self.delivered.push(payload);
-                    io.send(ArqFrame::Ack { seq }.encode_via(self.path));
+                    send_ack(io, self.path, seq);
                     self.acks_sent += 1;
                     self.expected = self.expected.wrapping_add(1);
                 } else if seq == self.expected.wrapping_sub(1) {
                     // Duplicate of the last delivered packet (its ack was
                     // lost): re-ack but do not re-deliver.
-                    io.send(ArqFrame::Ack { seq }.encode_via(self.path));
+                    send_ack(io, self.path, seq);
                     self.acks_sent += 1;
                     self.rejected += 1;
                 } else {
@@ -296,7 +307,6 @@ pub fn run_transfer(
     deadline: u64,
 ) -> TransferOutcome {
     let n = messages.len();
-    let expected = messages.clone();
     let mut duplex = crate::driver::Duplex::new(
         seed,
         config,
@@ -304,12 +314,16 @@ pub fn run_transfer(
         SwReceiver::new(n),
     );
     let elapsed = duplex.run(deadline);
-    let delivered = duplex.b().delivered().to_vec();
+    // Compare by slice against the sender's own message store and move
+    // the delivered payloads out — no full-transfer copies.
+    let success = duplex.a().succeeded() && duplex.b().delivered() == duplex.a().messages();
+    let sender = duplex.a().stats();
+    let (_, receiver, _) = duplex.into_parts();
     TransferOutcome {
-        success: duplex.a().succeeded() && delivered == expected,
+        success,
         elapsed,
-        sender: duplex.a().stats(),
-        delivered,
+        sender,
+        delivered: receiver.into_delivered(),
     }
 }
 

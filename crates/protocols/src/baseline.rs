@@ -144,6 +144,12 @@ impl CSender {
         self.state == ST_DONE
     }
 
+    /// The messages this sender offers (what a completed transfer must
+    /// have delivered).
+    pub fn messages(&self) -> &[Vec<u8>] {
+        &self.messages
+    }
+
     fn xmit(&mut self, io: &mut Io<'_>) -> i32 {
         if self.state != ST_READY {
             return E_STATE;
@@ -250,6 +256,11 @@ impl CReceiver {
     pub fn delivered(&self) -> &[Vec<u8>] {
         &self.delivered
     }
+
+    /// Takes the delivered payloads out without copying.
+    pub fn into_delivered(self) -> Vec<Vec<u8>> {
+        self.delivered
+    }
 }
 
 impl Endpoint for CReceiver {
@@ -294,7 +305,6 @@ pub fn run_transfer(
     deadline: u64,
 ) -> (bool, u64, Vec<Vec<u8>>) {
     let n = messages.len();
-    let expected = messages.clone();
     let mut duplex = Duplex::new(
         seed,
         config,
@@ -302,12 +312,11 @@ pub fn run_transfer(
         CReceiver::new(n),
     );
     let elapsed = duplex.run(deadline);
-    let delivered = duplex.b().delivered().to_vec();
-    (
-        duplex.a().succeeded() && delivered == expected,
-        elapsed,
-        delivered,
-    )
+    // Compare by slice and move the delivered payloads out — no
+    // full-transfer copies (the C style stays inside the endpoints).
+    let success = duplex.a().succeeded() && duplex.b().delivered() == duplex.a().messages();
+    let (_, receiver, _) = duplex.into_parts();
+    (success, elapsed, receiver.into_delivered())
 }
 
 #[cfg(test)]

@@ -88,6 +88,22 @@ pub(crate) fn with_scratch_view<R>(f: impl FnOnce(&mut FieldView) -> R) -> R {
 /// `WindowFrame::encode_via`, so the compiled-path protocol (indexed
 /// values, program execution) lives in exactly one place.
 pub(crate) fn compiled_encode(suite: &SuiteCodec, kind: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    compiled_encode_into(suite, kind, seq, payload, &mut out);
+    out
+}
+
+/// Compiled encode of one suite frame into a caller-reused buffer
+/// (cleared first) — the body behind the pooled transmit path, where
+/// `out` is an arena buffer and the only remaining per-frame
+/// allocation is the codec's small indexed-values table.
+pub(crate) fn compiled_encode_into(
+    suite: &SuiteCodec,
+    kind: u64,
+    seq: u64,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
     let mut values = suite.codec().values();
     values
         .set_uint(suite.kind, kind)
@@ -95,8 +111,8 @@ pub(crate) fn compiled_encode(suite: &SuiteCodec, kind: u64, seq: u64, payload: 
         .set_bytes(suite.payload, payload);
     suite
         .codec()
-        .encode(&values)
-        .expect("well-typed frame always encodes")
+        .encode_into(&values, out)
+        .expect("well-typed frame always encodes");
 }
 
 /// Compiled zero-copy decode of one suite frame, returning

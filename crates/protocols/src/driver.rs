@@ -7,7 +7,7 @@
 //! simulation — the standard harness for every pairwise protocol in this
 //! crate.
 
-use netdsl_netsim::{Event, LinkConfig, LinkId, NodeId, Simulator, Tick, TimerToken};
+use netdsl_netsim::{EventRef, LinkConfig, LinkId, NodeId, SimCore, Simulator, Tick, TimerToken};
 
 /// I/O capabilities handed to an endpoint during a callback.
 #[derive(Debug)]
@@ -21,6 +21,21 @@ impl Io<'_> {
     /// Transmits a frame on this endpoint's outgoing link.
     pub fn send(&mut self, frame: Vec<u8>) {
         self.sim.send(self.out_link, frame);
+    }
+
+    /// Transmits a frame encoded by `fill` directly into a pooled
+    /// arena buffer — the allocation-free send path. Endpoints that
+    /// honour the engine core (see [`Io::core`]) use this on
+    /// [`SimCore::Pooled`] and fall back to [`Io::send`] on
+    /// [`SimCore::Legacy`].
+    pub fn send_with(&mut self, fill: impl FnOnce(&mut Vec<u8>)) {
+        let frame = self.sim.alloc_payload_with(fill);
+        self.sim.send_ref(self.out_link, frame);
+    }
+
+    /// Which engine core the underlying simulator runs on.
+    pub fn core(&self) -> SimCore {
+        self.sim.core()
     }
 
     /// Arms a timer that will fire `delay` ticks from now with `token`.
@@ -69,9 +84,17 @@ pub struct Duplex<A, B> {
 }
 
 impl<A: Endpoint, B: Endpoint> Duplex<A, B> {
-    /// Builds the two-node world with symmetric link configuration.
+    /// Builds the two-node world with symmetric link configuration on
+    /// the default (pooled) engine core.
     pub fn new(seed: u64, config: LinkConfig, a: A, b: B) -> Self {
-        let mut sim = Simulator::new(seed);
+        Duplex::with_core(seed, config, SimCore::default(), a, b)
+    }
+
+    /// Builds the two-node world on an explicit engine core (the two
+    /// cores replay each other bit-identically; `Legacy` is the E13
+    /// measurement baseline).
+    pub fn with_core(seed: u64, config: LinkConfig, core: SimCore, a: A, b: B) -> Self {
+        let mut sim = Simulator::with_core(seed, core);
         let node_a = sim.add_node();
         let node_b = sim.add_node();
         let (link_ab, link_ba) = sim.add_duplex(node_a, node_b, config);
@@ -129,34 +152,54 @@ impl<A: Endpoint, B: Endpoint> Duplex<A, B> {
         &mut self.sim
     }
 
+    /// Tears the world down into its endpoints (and simulator), so
+    /// callers can move results (e.g. a receiver's delivered payloads)
+    /// out instead of copying them.
+    pub fn into_parts(self) -> (A, B, Simulator) {
+        (self.a, self.b, self.sim)
+    }
+
     /// Continues pumping without re-running `start` (for staged runs
     /// around a mid-session reconfiguration). Semantics otherwise match
     /// [`Duplex::run`].
     pub fn resume(&mut self, deadline: Tick) -> Tick {
+        // Frames are pumped through the handle path: the payload buffer
+        // is detached from the arena (a move, not a copy), handed to
+        // the endpoint by reference, and recycled afterwards — zero
+        // allocation in steady state on the pooled core. The legacy
+        // core drops the buffer instead, reproducing the pre-arena
+        // engine's per-frame free.
+        let recycle = self.sim.core() == SimCore::Pooled;
         while !(self.a.done() && self.b.done()) {
             if self.sim.now() > deadline {
                 break;
             }
-            let Some(event) = self.sim.step() else { break };
+            let Some(event) = self.sim.step_ref() else {
+                break;
+            };
             match event {
-                Event::Frame { node, payload, .. } => {
+                EventRef::Frame { node, payload, .. } => {
+                    let frame = self.sim.detach_payload(payload);
                     if node == self.node_a {
                         let mut io = Io {
                             sim: &mut self.sim,
                             node: self.node_a,
                             out_link: self.link_ab,
                         };
-                        self.a.on_frame(&payload, &mut io);
+                        self.a.on_frame(&frame, &mut io);
                     } else {
                         let mut io = Io {
                             sim: &mut self.sim,
                             node: self.node_b,
                             out_link: self.link_ba,
                         };
-                        self.b.on_frame(&payload, &mut io);
+                        self.b.on_frame(&frame, &mut io);
+                    }
+                    if recycle {
+                        self.sim.recycle_payload(frame);
                     }
                 }
-                Event::Timer { node, token } => {
+                EventRef::Timer { node, token } => {
                     if node == self.node_a {
                         let mut io = Io {
                             sim: &mut self.sim,

@@ -15,7 +15,7 @@ use netdsl_netsim::scenario::FramePath;
 use netdsl_netsim::{LinkConfig, TimerToken};
 
 use crate::driver::{Duplex, Endpoint, Io};
-use crate::window::{WindowFrame, WindowOutcome, WindowStats};
+use crate::window::{send_ack, send_data, WindowFrame, WindowOutcome, WindowStats};
 
 /// Go-Back-N sending endpoint.
 #[derive(Debug)]
@@ -71,6 +71,12 @@ impl GbnSender {
         self.stats
     }
 
+    /// The messages this sender offers (what a completed transfer must
+    /// have delivered).
+    pub fn messages(&self) -> &[Vec<u8>] {
+        &self.messages
+    }
+
     /// `true` once every message is acknowledged.
     pub fn succeeded(&self) -> bool {
         !self.failed && self.base as usize >= self.messages.len()
@@ -82,12 +88,9 @@ impl GbnSender {
     }
 
     fn transmit(&mut self, seq: u32, io: &mut Io<'_>) {
-        let frame = WindowFrame::Data {
-            seq,
-            payload: self.messages[seq as usize].clone(),
-        }
-        .encode_via(self.path);
-        io.send(frame);
+        // The payload is borrowed straight from the message store — a
+        // retransmission costs no clone (pooled core).
+        send_data(io, self.path, seq, &self.messages[seq as usize]);
         self.stats.frames_sent += 1;
     }
 
@@ -186,6 +189,11 @@ impl GbnReceiver {
         &self.delivered
     }
 
+    /// Takes the delivered payloads out without copying.
+    pub fn into_delivered(self) -> Vec<Vec<u8>> {
+        self.delivered
+    }
+
     /// Frames discarded as out of order (GBN's inefficiency, measured).
     pub fn out_of_order(&self) -> u64 {
         self.out_of_order
@@ -203,17 +211,12 @@ impl Endpoint for GbnReceiver {
         if seq == self.expected {
             self.delivered.push(payload);
             self.expected += 1;
-            io.send(WindowFrame::Ack { seq }.encode_via(self.path));
+            send_ack(io, self.path, seq);
         } else {
             self.out_of_order += 1;
             // Re-ack the last in-order packet so the sender advances.
             if self.expected > 0 {
-                io.send(
-                    WindowFrame::Ack {
-                        seq: self.expected - 1,
-                    }
-                    .encode_via(self.path),
-                );
+                send_ack(io, self.path, self.expected - 1);
             }
         }
     }
@@ -238,7 +241,6 @@ pub fn run_transfer(
     deadline: u64,
 ) -> WindowOutcome {
     let n = messages.len();
-    let expected = messages.clone();
     let mut duplex = Duplex::new(
         seed,
         config,
@@ -246,12 +248,16 @@ pub fn run_transfer(
         GbnReceiver::new(n),
     );
     let elapsed = duplex.run(deadline);
-    let delivered = duplex.b().delivered().to_vec();
+    // Compare by slice against the sender's own message store and move
+    // the delivered payloads out — no full-transfer copies.
+    let success = duplex.a().succeeded() && duplex.b().delivered() == duplex.a().messages();
+    let stats = duplex.a().stats();
+    let (_, receiver, _) = duplex.into_parts();
     WindowOutcome {
-        success: duplex.a().succeeded() && delivered == expected,
+        success,
         elapsed,
-        stats: duplex.a().stats(),
-        delivered,
+        stats,
+        delivered: receiver.into_delivered(),
     }
 }
 

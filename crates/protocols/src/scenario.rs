@@ -99,22 +99,55 @@ impl SuiteDriver {
     }
 }
 
-/// Builds the duplex world, pumps it through the scenario's fault
-/// schedule, and folds the outcome into the driver-independent result
-/// shape. `collect` extracts the protocol-specific end state as
-/// `(sender_succeeded, delivered, frames_sent, retransmissions)` —
-/// everything else is identical across the suite, so it lives here
-/// once.
+/// Builds the duplex world (on the scenario's engine core), pumps it
+/// through the fault schedule, and folds the outcome into the
+/// driver-independent result shape. `stats_of` extracts
+/// `(sender_succeeded, frames_sent, retransmissions)`; `offered_of` /
+/// `delivered_of` borrow the offered and delivered message slices from
+/// the endpoints, so the result is computed without copying a single
+/// transfer (the pre-arena driver cloned both sides per scenario).
 pub fn drive_duplex<A: Endpoint, B: Endpoint>(
     scenario: &Scenario,
-    offered: &[Vec<u8>],
     a: A,
     b: B,
-    collect: impl FnOnce(&Duplex<A, B>) -> (bool, Vec<Vec<u8>>, u64, u64),
+    stats_of: impl FnOnce(&Duplex<A, B>) -> (bool, u64, u64),
+    offered_of: impl Fn(&A) -> &[Vec<u8>],
+    delivered_of: impl Fn(&B) -> &[Vec<u8>],
 ) -> ScenarioResult {
-    let mut duplex = Duplex::new(scenario.seed, scenario.link.clone(), a, b);
+    let mut duplex = Duplex::with_core(
+        scenario.seed,
+        scenario.link.clone(),
+        scenario.protocol.sim_core,
+        a,
+        b,
+    );
+    // A legacy-core scenario is a measurement baseline: it reconstructs
+    // the whole pre-simcore hot path, including the byte-at-a-time
+    // checksum engine the optimised one is property-tested against.
+    // Checksum values are identical either way, so results never
+    // depend on the mode.
+    let legacy = scenario.protocol.sim_core == netdsl_netsim::SimCore::Legacy;
+    let restore_fast_path = legacy && !netdsl_wire::checksum::set_reference_mode(true);
     let elapsed = pump_with_faults(&mut duplex, &scenario.sorted_faults(), scenario.deadline);
-    let (sender_succeeded, delivered, frames_sent, retransmissions) = collect(&duplex);
+    if restore_fast_path {
+        netdsl_wire::checksum::set_reference_mode(false);
+    }
+    let (sender_succeeded, frames_sent, retransmissions) = stats_of(&duplex);
+    // The legacy core is the measurement baseline for the whole
+    // pre-simcore path, which cloned the offered and delivered message
+    // lists once per scenario; reproduce those copies so E13 compares
+    // like against like. The pooled path compares borrowed slices.
+    let legacy_copies = match scenario.protocol.sim_core {
+        netdsl_netsim::SimCore::Legacy => Some((
+            offered_of(duplex.a()).to_vec(),
+            delivered_of(duplex.b()).to_vec(),
+        )),
+        netdsl_netsim::SimCore::Pooled => None,
+    };
+    let (offered, delivered) = match &legacy_copies {
+        Some((offered, delivered)) => (&offered[..], &delivered[..]),
+        None => (offered_of(duplex.a()), delivered_of(duplex.b())),
+    };
     ScenarioResult {
         success: sender_succeeded && delivered == offered,
         elapsed,
@@ -143,72 +176,52 @@ impl ScenarioDriver for SuiteDriver {
             )));
         }
         let spec = &scenario.protocol;
+        // Generated once and moved into the sender, which serves as the
+        // offered-message store for the result comparison — no
+        // per-scenario clone of the whole transfer.
         let messages = scenario.traffic.generate();
         let n = messages.len();
 
         match spec.name.as_str() {
             STOP_AND_WAIT => Ok(drive_duplex(
                 scenario,
-                &messages,
-                SwSender::new(messages.clone(), spec.timeout, spec.max_retries)
+                SwSender::new(messages, spec.timeout, spec.max_retries)
                     .with_frame_path(spec.frame_path),
                 SwReceiver::new(n).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
-                    (
-                        d.a().succeeded(),
-                        d.b().delivered().to_vec(),
-                        s.frames_sent,
-                        s.retransmissions,
-                    )
+                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
                 },
+                SwSender::messages,
+                SwReceiver::delivered,
             )),
             GO_BACK_N => Ok(drive_duplex(
                 scenario,
-                &messages,
-                GbnSender::new(
-                    messages.clone(),
-                    spec.window,
-                    spec.timeout,
-                    spec.max_retries,
-                )
-                .with_frame_path(spec.frame_path),
+                GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                    .with_frame_path(spec.frame_path),
                 GbnReceiver::new(n).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
-                    (
-                        d.a().succeeded(),
-                        d.b().delivered().to_vec(),
-                        s.frames_sent,
-                        s.retransmissions,
-                    )
+                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
                 },
+                GbnSender::messages,
+                GbnReceiver::delivered,
             )),
             SELECTIVE_REPEAT => Ok(drive_duplex(
                 scenario,
-                &messages,
-                SrSender::new(
-                    messages.clone(),
-                    spec.window,
-                    spec.timeout,
-                    spec.max_retries,
-                )
-                .with_frame_path(spec.frame_path),
+                SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                    .with_frame_path(spec.frame_path),
                 SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
-                    (
-                        d.a().succeeded(),
-                        d.b().delivered().to_vec(),
-                        s.frames_sent,
-                        s.retransmissions,
-                    )
+                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
                 },
+                SrSender::messages,
+                SrReceiver::delivered,
             )),
             BASELINE => Ok(drive_duplex(
                 scenario,
-                &messages,
-                CSender::new(messages.clone(), spec.timeout, spec.max_retries),
+                CSender::new(messages, spec.timeout, spec.max_retries),
                 CReceiver::new(n),
                 |d| {
                     // The baseline sender keeps no counters (that is its
@@ -216,11 +229,13 @@ impl ScenarioDriver for SuiteDriver {
                     // link: every `sent` there is a data frame, and
                     // anything beyond one per delivered message was a
                     // retransmission.
-                    let delivered = d.b().delivered().to_vec();
                     let frames_sent = d.sim().link_stats(d.link_ab()).sent;
-                    let retransmissions = frames_sent.saturating_sub(delivered.len() as u64);
-                    (d.a().succeeded(), delivered, frames_sent, retransmissions)
+                    let retransmissions =
+                        frames_sent.saturating_sub(d.b().delivered().len() as u64);
+                    (d.a().succeeded(), frames_sent, retransmissions)
                 },
+                CSender::messages,
+                CReceiver::delivered,
             )),
             other => Err(ScenarioError::UnknownProtocol(other.to_string())),
         }

@@ -12,7 +12,7 @@ use netdsl_netsim::scenario::FramePath;
 use netdsl_netsim::{LinkConfig, TimerToken};
 
 use crate::driver::{Duplex, Endpoint, Io};
-use crate::window::{WindowFrame, WindowOutcome, WindowStats};
+use crate::window::{send_ack, send_data, WindowFrame, WindowOutcome, WindowStats};
 
 /// Selective Repeat sending endpoint.
 #[derive(Debug)]
@@ -67,6 +67,12 @@ impl SrSender {
         self.stats
     }
 
+    /// The messages this sender offers (what a completed transfer must
+    /// have delivered).
+    pub fn messages(&self) -> &[Vec<u8>] {
+        &self.messages
+    }
+
     /// `true` once every message is acknowledged.
     pub fn succeeded(&self) -> bool {
         !self.failed && self.base as usize >= self.messages.len()
@@ -78,12 +84,9 @@ impl SrSender {
     }
 
     fn transmit(&mut self, seq: u32, io: &mut Io<'_>) {
-        let frame = WindowFrame::Data {
-            seq,
-            payload: self.messages[seq as usize].clone(),
-        }
-        .encode_via(self.path);
-        io.send(frame);
+        // The payload is borrowed straight from the message store — a
+        // retransmission costs no clone (pooled core).
+        send_data(io, self.path, seq, &self.messages[seq as usize]);
         self.stats.frames_sent += 1;
         // Per-packet timer: token is the sequence number itself.
         io.set_timer(self.timeout, u64::from(seq));
@@ -174,6 +177,11 @@ impl SrReceiver {
         &self.delivered
     }
 
+    /// Takes the delivered payloads out without copying.
+    pub fn into_delivered(self) -> Vec<Vec<u8>> {
+        self.delivered
+    }
+
     /// Frames accepted out of order (buffered rather than discarded —
     /// the efficiency SR buys over GBN).
     pub fn buffered_count(&self) -> u64 {
@@ -194,7 +202,7 @@ impl Endpoint for SrReceiver {
                 self.buffered_count += 1;
             }
             self.buffer.insert(seq, payload);
-            io.send(WindowFrame::Ack { seq }.encode_via(self.path));
+            send_ack(io, self.path, seq);
             // Deliver the contiguous prefix.
             while let Some(p) = self.buffer.remove(&self.expected) {
                 self.delivered.push(p);
@@ -202,7 +210,7 @@ impl Endpoint for SrReceiver {
             }
         } else if seq < self.expected {
             // Already delivered: the ack must have been lost; re-ack.
-            io.send(WindowFrame::Ack { seq }.encode_via(self.path));
+            send_ack(io, self.path, seq);
         }
         // Beyond the window: drop silently (sender cannot legally be there).
     }
@@ -225,7 +233,6 @@ pub fn run_transfer(
     deadline: u64,
 ) -> WindowOutcome {
     let n = messages.len();
-    let expected = messages.clone();
     let mut duplex = Duplex::new(
         seed,
         config,
@@ -233,12 +240,16 @@ pub fn run_transfer(
         SrReceiver::new(n, window),
     );
     let elapsed = duplex.run(deadline);
-    let delivered = duplex.b().delivered().to_vec();
+    // Compare by slice against the sender's own message store and move
+    // the delivered payloads out — no full-transfer copies.
+    let success = duplex.a().succeeded() && duplex.b().delivered() == duplex.a().messages();
+    let stats = duplex.a().stats();
+    let (_, receiver, _) = duplex.into_parts();
     WindowOutcome {
-        success: duplex.a().succeeded() && delivered == expected,
+        success,
         elapsed,
-        stats: duplex.a().stats(),
-        delivered,
+        stats,
+        delivered: receiver.into_delivered(),
     }
 }
 

@@ -8,9 +8,11 @@
 use netdsl_core::packet::{Coverage, Len, PacketSpec, Value};
 use netdsl_core::DslError;
 use netdsl_netsim::scenario::FramePath;
+use netdsl_netsim::SimCore;
 use netdsl_wire::checksum::ChecksumKind;
 
 use crate::codec::window_codec;
+use crate::driver::Io;
 
 /// Frame kind: payload-carrying.
 pub const KIND_DATA: u64 = 1;
@@ -88,6 +90,53 @@ impl WindowFrame {
         }
     }
 
+    /// Encodes a data frame for a **borrowed** payload into `out`
+    /// (cleared first) — the pooled transmit path: no payload clone,
+    /// and on the compiled path the frame is written straight into the
+    /// caller's (arena) buffer.
+    pub fn encode_data_into(path: FramePath, seq: u32, payload: &[u8], out: &mut Vec<u8>) {
+        match path {
+            FramePath::Interpreted => {
+                // The interpretive encoder builds an owned tree; reuse
+                // it and copy out (the interpreted path is the slow
+                // reference by design).
+                let frame = WindowFrame::Data {
+                    seq,
+                    payload: payload.to_vec(),
+                }
+                .encode_via(path);
+                out.clear();
+                out.extend_from_slice(&frame);
+            }
+            FramePath::Compiled => crate::codec::compiled_encode_into(
+                window_codec(),
+                KIND_DATA,
+                u64::from(seq),
+                payload,
+                out,
+            ),
+        }
+    }
+
+    /// Encodes an ack frame into `out` (cleared first); see
+    /// [`WindowFrame::encode_data_into`].
+    pub fn encode_ack_into(path: FramePath, seq: u32, out: &mut Vec<u8>) {
+        match path {
+            FramePath::Interpreted => {
+                let frame = WindowFrame::Ack { seq }.encode_via(path);
+                out.clear();
+                out.extend_from_slice(&frame);
+            }
+            FramePath::Compiled => crate::codec::compiled_encode_into(
+                window_codec(),
+                KIND_ACK,
+                u64::from(seq),
+                &[],
+                out,
+            ),
+        }
+    }
+
     /// Decodes and validates wire bytes via the interpretive path — see
     /// [`WindowFrame::decode_via`] to select.
     ///
@@ -138,6 +187,36 @@ impl WindowFrame {
                 }
             }
         }
+    }
+}
+
+/// Transmits a data frame for `payload`, honouring the engine core:
+/// on [`SimCore::Pooled`] the frame is encoded straight into a pooled
+/// arena buffer with the payload borrowed (no clone); on
+/// [`SimCore::Legacy`] it reproduces the pre-arena transmit exactly —
+/// payload clone into the frame value, fresh `Vec` per encode — which
+/// is what experiment E13 measures against.
+pub(crate) fn send_data(io: &mut Io<'_>, path: FramePath, seq: u32, payload: &[u8]) {
+    match io.core() {
+        SimCore::Pooled => {
+            io.send_with(|buf| WindowFrame::encode_data_into(path, seq, payload, buf))
+        }
+        SimCore::Legacy => io.send(
+            WindowFrame::Data {
+                seq,
+                payload: payload.to_vec(),
+            }
+            .encode_via(path),
+        ),
+    }
+}
+
+/// Transmits an ack frame, honouring the engine core (see
+/// [`send_data`]).
+pub(crate) fn send_ack(io: &mut Io<'_>, path: FramePath, seq: u32) {
+    match io.core() {
+        SimCore::Pooled => io.send_with(|buf| WindowFrame::encode_ack_into(path, seq, buf)),
+        SimCore::Legacy => io.send(WindowFrame::Ack { seq }.encode_via(path)),
     }
 }
 

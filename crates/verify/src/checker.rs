@@ -6,7 +6,7 @@
 //! exhaustively explored, checked against invariants, and queried for
 //! reachability, with counter-example traces extracted on failure.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 
@@ -78,6 +78,12 @@ pub struct Explorer {
     limits: Limits,
 }
 
+/// Upper bound on the pre-sized capacity of exploration sets: the
+/// `max_states` bound is a safety limit (default one million) while
+/// typical runs visit far fewer states, so the hint is clamped rather
+/// than allocating the worst case up front.
+const PRESIZE_CAP: usize = 4096;
+
 impl Explorer {
     /// An explorer with default limits.
     pub fn new() -> Self {
@@ -89,13 +95,22 @@ impl Explorer {
         Explorer { limits }
     }
 
+    /// Seeds a breadth-first exploration: visited set and frontier
+    /// queue pre-sized from the `max_states` hint, with `init` already
+    /// visited and enqueued — the shared preamble of every exploration
+    /// entry point below.
+    fn bfs_seed<S: Clone + Eq + Hash>(&self, init: S) -> (HashSet<S>, VecDeque<S>) {
+        let hint = self.limits.max_states.min(PRESIZE_CAP);
+        let mut seen = HashSet::with_capacity(hint);
+        let mut frontier = VecDeque::with_capacity(hint / 4);
+        seen.insert(init.clone());
+        frontier.push_back(init);
+        (seen, frontier)
+    }
+
     /// Breadth-first exhaustive exploration.
     pub fn explore<Y: System>(&self, sys: &Y) -> ExplorationReport<Y::State> {
-        let mut seen = std::collections::HashSet::new();
-        let mut queue = VecDeque::new();
-        let init = sys.initial();
-        seen.insert(init.clone());
-        queue.push_back(init);
+        let (mut seen, mut queue) = self.bfs_seed(sys.initial());
         let mut transitions = 0usize;
         let mut deadlocks = Vec::new();
         let mut truncated = false;
@@ -139,10 +154,7 @@ impl Explorer {
             });
         }
         let mut parents: BTreeMap<Y::State, (Y::State, Y::Label)> = BTreeMap::new();
-        let mut seen = std::collections::HashSet::new();
-        let mut queue = VecDeque::new();
-        seen.insert(init.clone());
-        queue.push_back(init.clone());
+        let (mut seen, mut queue) = self.bfs_seed(init.clone());
         while let Some(s) = queue.pop_front() {
             for (label, next) in sys.successors(&s) {
                 if seen.contains(&next) {
@@ -176,12 +188,8 @@ impl Explorer {
     /// item 4) generalised. Returns `None` if exploration truncated.
     pub fn always_eventually_terminal<Y: System>(&self, sys: &Y) -> Option<bool> {
         // Forward pass: collect reachable states and edges.
-        let mut seen = std::collections::HashSet::new();
         let mut edges: BTreeMap<Y::State, Vec<Y::State>> = BTreeMap::new();
-        let mut queue = VecDeque::new();
-        let init = sys.initial();
-        seen.insert(init.clone());
-        queue.push_back(init);
+        let (mut seen, mut queue) = self.bfs_seed(sys.initial());
         let mut terminals = Vec::new();
         while let Some(s) = queue.pop_front() {
             if sys.is_terminal(&s) {
@@ -210,7 +218,7 @@ impl Explorer {
                 rev.entry(to.clone()).or_default().push(from.clone());
             }
         }
-        let mut can_reach = std::collections::HashSet::new();
+        let mut can_reach = HashSet::with_capacity(seen.len());
         let mut queue: VecDeque<Y::State> = terminals.into_iter().collect();
         for t in &queue {
             can_reach.insert(t.clone());

@@ -84,6 +84,31 @@ pub struct ChecksumEngine {
     pending: Option<u8>,
 }
 
+thread_local! {
+    /// When set, [`ChecksumEngine`] runs its byte-at-a-time reference
+    /// implementation instead of the sliced/table-driven fast path.
+    static REFERENCE_MODE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Switches this thread's [`ChecksumEngine`]s between the optimised
+/// path and the byte-at-a-time reference implementation (the engine as
+/// originally written). Returns the previous setting so callers can
+/// restore it.
+///
+/// The two paths produce **identical values** (property-tested); the
+/// reference exists as the oracle those tests pin the fast path
+/// against, and as the measurement baseline: `SimCore::Legacy`
+/// simulations run it so that experiment E13 compares the current
+/// frame hot path against the genuine pre-optimisation one.
+pub fn set_reference_mode(on: bool) -> bool {
+    REFERENCE_MODE.with(|m| m.replace(on))
+}
+
+/// `true` while this thread's engines run the reference path.
+pub fn reference_mode() -> bool {
+    REFERENCE_MODE.with(|m| m.get())
+}
+
 impl ChecksumEngine {
     /// Fresh state for `kind` (equivalent to having fed no bytes).
     pub fn new(kind: ChecksumKind) -> Self {
@@ -102,21 +127,203 @@ impl ChecksumEngine {
     }
 
     /// Feeds one byte run.
+    ///
+    /// The dispatch on [`ChecksumKind`] is hoisted out of the byte loop
+    /// and the additive algorithms defer their modular reductions to
+    /// block boundaries (a standard Fletcher/Adler optimisation that
+    /// leaves every result bit-identical — residue arithmetic commutes
+    /// with deferred folding); the CRCs run table-driven. Checksumming
+    /// is the single largest per-frame cost in a protocol simulation,
+    /// so this loop is what campaign throughput (E11/E13) mostly buys.
     pub fn update(&mut self, data: &[u8]) {
-        for &byte in data {
-            self.push(byte);
+        if reference_mode() {
+            for &byte in data {
+                self.push_reference(byte);
+            }
+            return;
+        }
+        match self.kind {
+            ChecksumKind::Arq => {
+                // Ones'-complement byte sum: accumulate raw in u32 and
+                // fold once per block instead of once per byte.
+                let mut sum = self.a;
+                for block in data.chunks(1 << 16) {
+                    sum += block.iter().map(|&b| u32::from(b)).sum::<u32>();
+                    while sum > 0xFF {
+                        sum = (sum & 0xFF) + (sum >> 8);
+                    }
+                }
+                self.a = sum;
+            }
+            ChecksumKind::Internet => {
+                let mut data = data;
+                if let Some(hi) = self.pending.take() {
+                    if let [first, rest @ ..] = data {
+                        self.a += u32::from(u16::from_be_bytes([hi, *first]));
+                        // Fold here as the reference path does: a long
+                        // stream of single-byte updates never reaches
+                        // the block loop's fold below, and an unfolded
+                        // accumulator would eventually overflow.
+                        if self.a >= 0xFFFF_0000 {
+                            self.a = (self.a & 0xFFFF) + (self.a >> 16);
+                        }
+                        data = rest;
+                    } else {
+                        self.pending = Some(hi);
+                        return;
+                    }
+                }
+                // ≤ 32768 words per block keeps the u32 accumulator from
+                // overflowing; folding early leaves the final folded sum
+                // unchanged (end-around-carry is associative).
+                for block in data.chunks(1 << 16) {
+                    let mut words = block.chunks_exact(2);
+                    for w in &mut words {
+                        self.a += u32::from(u16::from_be_bytes([w[0], w[1]]));
+                    }
+                    self.a = (self.a & 0xFFFF) + (self.a >> 16);
+                    if let [last] = words.remainder() {
+                        self.pending = Some(*last);
+                    }
+                }
+            }
+            ChecksumKind::Fletcher16 => {
+                // Block-deferred modulo: with a, b < 255 on entry, 2048
+                // bytes grow b by at most 255·2048² ≪ 2³², so one pair
+                // of reductions per block suffices.
+                for block in data.chunks(2048) {
+                    for &byte in block {
+                        self.a += u32::from(byte);
+                        self.b += self.a;
+                    }
+                    self.a %= 255;
+                    self.b %= 255;
+                }
+            }
+            ChecksumKind::Fletcher32 => {
+                let mut data = data;
+                if let Some(hi) = self.pending.take() {
+                    if let [first, rest @ ..] = data {
+                        let w = u32::from(u16::from_be_bytes([hi, *first]));
+                        self.a = (self.a + w) % 65535;
+                        self.b = (self.b + self.a) % 65535;
+                        data = rest;
+                    } else {
+                        self.pending = Some(hi);
+                        return;
+                    }
+                }
+                // 128 words per block bounds b below u32 overflow.
+                for block in data.chunks(256) {
+                    let mut words = block.chunks_exact(2);
+                    for w in &mut words {
+                        self.a += u32::from(u16::from_be_bytes([w[0], w[1]]));
+                        self.b += self.a;
+                    }
+                    self.a %= 65535;
+                    self.b %= 65535;
+                    if let [last] = words.remainder() {
+                        self.pending = Some(*last);
+                    }
+                }
+            }
+            ChecksumKind::Adler32 => {
+                const MOD: u32 = 65521;
+                // zlib's NMAX: the longest run that cannot overflow u32
+                // between reductions.
+                for block in data.chunks(5552) {
+                    for &byte in block {
+                        self.a += u32::from(byte);
+                        self.b += self.a;
+                    }
+                    self.a %= MOD;
+                    self.b %= MOD;
+                }
+            }
+            ChecksumKind::Crc16Ccitt => {
+                self.a = u32::from(crc16_update(self.a as u16, data));
+            }
+            ChecksumKind::Crc32Ieee => {
+                let table = crc32_table();
+                for &byte in data {
+                    self.a = table[usize::from((self.a as u8) ^ byte)] ^ (self.a >> 8);
+                }
+            }
         }
     }
 
     /// Feeds `n` zero bytes (the codec engine's "own field zeroed" rule)
-    /// without materialising a zero buffer.
+    /// without materialising a zero buffer. The additive algorithms use
+    /// their closed forms (zero bytes leave `a` fixed and advance `b`
+    /// by `n·a`); the CRCs stream a static zero block.
     pub fn update_zeros(&mut self, n: usize) {
-        for _ in 0..n {
-            self.push(0);
+        if n == 0 {
+            return;
+        }
+        if reference_mode() {
+            for _ in 0..n {
+                self.push_reference(0);
+            }
+            return;
+        }
+        match self.kind {
+            ChecksumKind::Arq => {}
+            ChecksumKind::Internet => {
+                // Only the pairing alignment matters: a dangling high
+                // byte pairs with the first zero, zero words add
+                // nothing, and an odd leftover zero becomes pending.
+                let mut n = n;
+                if let Some(hi) = self.pending.take() {
+                    self.a += u32::from(u16::from_be_bytes([hi, 0]));
+                    if self.a >= 0xFFFF_0000 {
+                        self.a = (self.a & 0xFFFF) + (self.a >> 16);
+                    }
+                    n -= 1;
+                }
+                if n % 2 == 1 {
+                    self.pending = Some(0);
+                }
+            }
+            ChecksumKind::Fletcher16 => {
+                self.b = (self.b + (n as u32 % 255) * self.a) % 255;
+            }
+            ChecksumKind::Fletcher32 => {
+                let mut n = n;
+                if let Some(hi) = self.pending.take() {
+                    let w = u32::from(u16::from_be_bytes([hi, 0]));
+                    self.a = (self.a + w) % 65535;
+                    self.b = (self.b + self.a) % 65535;
+                    n -= 1;
+                }
+                let words = (n / 2) as u64;
+                self.b = ((u64::from(self.b) + words % 65535 * u64::from(self.a)) % 65535) as u32;
+                if n % 2 == 1 {
+                    self.pending = Some(0);
+                }
+            }
+            ChecksumKind::Adler32 => {
+                const MOD: u64 = 65521;
+                self.b = ((u64::from(self.b) + n as u64 % MOD * u64::from(self.a)) % MOD) as u32;
+            }
+            ChecksumKind::Crc16Ccitt | ChecksumKind::Crc32Ieee => {
+                const ZEROS: [u8; 256] = [0; 256];
+                let mut left = n;
+                while left > 0 {
+                    let take = left.min(ZEROS.len());
+                    self.update(&ZEROS[..take]);
+                    left -= take;
+                }
+            }
         }
     }
 
-    fn push(&mut self, byte: u8) {
+    /// One byte through the reference (pre-optimisation) path: a match
+    /// on the kind per byte, bitwise CRCs, per-byte modular reductions
+    /// — the engine exactly as originally written. Kept as the oracle
+    /// for the fast path's equivalence proptests and as the
+    /// `SimCore::Legacy` measurement baseline (see
+    /// [`set_reference_mode`]).
+    fn push_reference(&mut self, byte: u8) {
         match self.kind {
             ChecksumKind::Arq => {
                 let mut sum = self.a + u32::from(byte);
@@ -126,9 +333,6 @@ impl ChecksumEngine {
             ChecksumKind::Internet => match self.pending.take() {
                 Some(hi) => {
                     self.a += u32::from(u16::from_be_bytes([hi, byte]));
-                    // Early end-around-carry fold so arbitrarily long
-                    // streams cannot overflow the accumulator; folding
-                    // early leaves the final folded sum unchanged.
                     if self.a >= 0xFFFF_0000 {
                         self.a = (self.a & 0xFFFF) + (self.a >> 16);
                     }
@@ -165,7 +369,6 @@ impl ChecksumEngine {
                 self.a = u32::from(crc);
             }
             ChecksumKind::Crc32Ieee => {
-                // Reuse the table-driven step from `crc32_ieee`.
                 self.a = crc32_table()[usize::from((self.a as u8) ^ byte)] ^ (self.a >> 8);
             }
         }
@@ -218,13 +421,17 @@ impl ChecksumEngine {
 /// byte reorderings with carry effects are detected while staying cheap
 /// enough for the worked example.
 pub fn arq_check(seq: u8, data: &[u8]) -> u8 {
-    let mut sum: u16 = u16::from(seq);
-    for &b in data {
-        sum += u16::from(b);
-        // Fold the carry back in (ones'-complement addition).
-        sum = (sum & 0xFF) + (sum >> 8);
+    // Deferred end-around-carry: sum raw (bounded per block), fold at
+    // block boundaries — identical to folding per byte, because the
+    // ones'-complement fold preserves the residue and its canonical
+    // nonzero representative.
+    let mut sum: u32 = u32::from(seq);
+    for block in data.chunks(1 << 16) {
+        sum += block.iter().map(|&b| u32::from(b)).sum::<u32>();
+        while sum > 0xFF {
+            sum = (sum & 0xFF) + (sum >> 8);
+        }
     }
-    sum = (sum & 0xFF) + (sum >> 8);
     !(sum as u8)
 }
 
@@ -250,6 +457,12 @@ pub fn ones_complement_sum(data: &[u8]) -> u16 {
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
         sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        // Early end-around-carry fold: inputs beyond ~128 KiB would
+        // otherwise overflow the accumulator; folding early leaves the
+        // final folded sum unchanged.
+        if sum >= 0xFFFF_0000 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
     }
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
@@ -298,9 +511,71 @@ pub fn adler32(data: &[u8]) -> u32 {
     (b << 16) | a
 }
 
+/// The CRC-16/CCITT slicing tables (non-reflected, polynomial 0x1021),
+/// built at first use — shared by the one-shot [`crc16_ccitt`] and the
+/// streaming [`ChecksumEngine`]. `TABLES[k][v]` is the raw (zero-state)
+/// CRC of byte `v` followed by `k` zero bytes, which is what lets eight
+/// input bytes be processed per iteration: by linearity over GF(2) the
+/// running state folds into the first two bytes and the rest index
+/// independent tables (classic slicing-by-N). CRC-16 runs over every
+/// sliding-window frame, so this loop is a first-order term in campaign
+/// throughput (E11/E13); the bitwise reference
+/// ([`crc16_ccitt_bitwise`]) is kept and proptest-pinned equal.
+fn crc16_tables() -> &'static [[u16; 256]; 8] {
+    static TABLES: std::sync::OnceLock<[[u16; 256]; 8]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u16; 256]; 8];
+        for (v, entry) in t[0].iter_mut().enumerate() {
+            let mut crc = (v as u16) << 8;
+            for _ in 0..8 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ 0x1021
+                } else {
+                    crc << 1
+                };
+            }
+            *entry = crc;
+        }
+        for k in 1..8 {
+            let (done, rest) = t.split_at_mut(k);
+            for (v, entry) in rest[0].iter_mut().enumerate() {
+                let prev = done[k - 1][v];
+                *entry = (prev << 8) ^ done[0][usize::from((prev >> 8) as u8)];
+            }
+        }
+        t
+    })
+}
+
+/// One slicing step over up to 8 bytes plus the byte-at-a-time tail.
+fn crc16_update(mut crc: u16, data: &[u8]) -> u16 {
+    let t = crc16_tables();
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        crc = t[7][usize::from(c[0] ^ (crc >> 8) as u8)]
+            ^ t[6][usize::from(c[1] ^ (crc & 0xFF) as u8)]
+            ^ t[5][usize::from(c[2])]
+            ^ t[4][usize::from(c[3])]
+            ^ t[3][usize::from(c[4])]
+            ^ t[2][usize::from(c[5])]
+            ^ t[1][usize::from(c[6])]
+            ^ t[0][usize::from(c[7])];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc << 8) ^ t[0][usize::from((crc >> 8) as u8 ^ byte)];
+    }
+    crc
+}
+
 /// CRC-16/CCITT-FALSE: polynomial 0x1021, initial value 0xFFFF, no
-/// reflection, no final XOR.
+/// reflection, no final XOR. Table-driven (slicing-by-8).
 pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    crc16_update(0xFFFF, data)
+}
+
+/// Bit-by-bit CRC-16/CCITT-FALSE reference implementation, kept as the
+/// oracle the table-driven [`crc16_ccitt`] is property-tested against.
+pub fn crc16_ccitt_bitwise(data: &[u8]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for &byte in data {
         crc ^= u16::from(byte) << 8;
@@ -457,6 +732,24 @@ mod tests {
     ];
 
     #[test]
+    fn internet_engine_survives_long_single_byte_streams() {
+        // Regression: every odd-aligned single-byte update merges the
+        // pending byte outside the block loop, so the fold must happen
+        // at the merge — 200k bytes of 0xFF would otherwise overflow
+        // the accumulator (debug panic / silent wrap in release).
+        let n = 200_001;
+        let mut e = ChecksumEngine::new(ChecksumKind::Internet);
+        for _ in 0..n {
+            e.update(&[0xFF]);
+        }
+        assert_eq!(
+            e.finish(),
+            ChecksumKind::Internet.compute(&vec![0xFF; n]),
+            "byte-at-a-time streaming equals one-shot"
+        );
+    }
+
+    #[test]
     fn engine_matches_one_shot_on_empty_input() {
         for kind in ALL_KINDS {
             assert_eq!(
@@ -501,6 +794,44 @@ mod tests {
                 e.update(&data[lo..hi]);
                 e.update(&data[hi..]);
                 prop_assert_eq!(e.finish(), kind.compute(&data), "{:?}", kind);
+            }
+        }
+
+        /// The table-driven CRC-16 equals the bitwise reference on
+        /// arbitrary input (the table is an optimisation, not a new
+        /// algorithm).
+        #[test]
+        fn crc16_table_matches_bitwise_reference(
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            prop_assert_eq!(crc16_ccitt(&data), crc16_ccitt_bitwise(&data));
+        }
+
+        /// The sliced/deferred-reduction fast path of the streaming
+        /// engine equals its byte-at-a-time reference implementation
+        /// over arbitrary run/zero-run interleavings — the law that
+        /// makes `set_reference_mode` a pure measurement knob.
+        #[test]
+        fn engine_fast_path_matches_reference_path(
+            runs in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..48), 0usize..9),
+                0..6,
+            ),
+        ) {
+            for kind in ALL_KINDS {
+                let mut fast = ChecksumEngine::new(kind);
+                for (data, zeros) in &runs {
+                    fast.update(data);
+                    fast.update_zeros(*zeros);
+                }
+                let was = set_reference_mode(true);
+                let mut reference = ChecksumEngine::new(kind);
+                for (data, zeros) in &runs {
+                    reference.update(data);
+                    reference.update_zeros(*zeros);
+                }
+                set_reference_mode(was);
+                prop_assert_eq!(fast.finish(), reference.finish(), "{:?}", kind);
             }
         }
 

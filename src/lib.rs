@@ -116,14 +116,28 @@ pub use netdsl_codec as codec;
 /// ```
 pub use netdsl_core as core;
 
-/// Deterministic network simulator (loss, duplication, corruption, jitter).
+/// Deterministic network simulator (loss, duplication, corruption,
+/// jitter) with a zero-allocation frame hot path: payloads live in a
+/// refcounted arena ([`netsim::PayloadArena`]) and events schedule on a
+/// hierarchical timer wheel, with the pre-arena engine retained as the
+/// bit-identical [`netsim::SimCore::Legacy`] baseline
+/// (`docs/SIMCORE.md`, experiment E13).
 ///
 /// ```
-/// use netdsl::netsim::{LinkConfig, Simulator};
+/// use netdsl::netsim::{EventRef, LinkConfig, Simulator};
 /// let mut sim = Simulator::new(1);
 /// let (a, b) = (sim.add_node(), sim.add_node());
 /// let link = sim.add_link(a, b, LinkConfig::reliable(3));
-/// assert!(sim.send(link, vec![0x42]));
+/// // Allocation-free handle path: encode into a pooled buffer…
+/// let frame = sim.alloc_payload_with(|buf| buf.extend_from_slice(&[0x42]));
+/// assert!(sim.send_ref(link, frame));
+/// // …and detach/recycle on delivery.
+/// let Some(EventRef::Frame { payload, .. }) = sim.step_ref() else {
+///     unreachable!()
+/// };
+/// let bytes = sim.detach_payload(payload);
+/// assert_eq!(bytes, vec![0x42]);
+/// sim.recycle_payload(bytes);
 /// ```
 pub use netdsl_netsim as netsim;
 

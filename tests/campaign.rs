@@ -81,6 +81,71 @@ fn campaign_reruns_are_bit_identical() {
 }
 
 #[test]
+fn arena_recycling_never_changes_campaign_reports() {
+    // Campaign workers recycle one payload arena (and timer wheel) per
+    // thread across scenarios; the first run starts cold, every later
+    // run on the same threads starts warm. Same seeds must still give
+    // byte-identical reports — slot reuse is invisible to results.
+    let campaign = acceptance_campaign(41);
+    let driver = SuiteDriver::new();
+    let cold = campaign.run(&driver, 2);
+    for rerun in 0..3 {
+        assert_eq!(
+            cold,
+            campaign.run(&driver, 2),
+            "warm-arena rerun {rerun} diverged"
+        );
+    }
+    // And a differently-threaded warm run still matches.
+    assert_eq!(cold, campaign.run(&driver, 1));
+}
+
+#[test]
+fn engine_cores_produce_identical_campaign_reports() {
+    // The pooled core (arena + timer wheel) and the legacy core (owned
+    // buffers + binary heap) are behaviourally identical; a whole
+    // campaign — faults, duplication, corruption, jitter included —
+    // must come out bit-for-bit the same on both.
+    use netdsl::netsim::SimCore;
+    let with_core = |core: SimCore| {
+        acceptance_campaign(23)
+            .protocols(Sweep::grid([
+                ("sw", ProtocolSpec::new(STOP_AND_WAIT).with_sim_core(core)),
+                (
+                    "gbn8",
+                    ProtocolSpec::new(GO_BACK_N)
+                        .with_window(8)
+                        .with_retries(400)
+                        .with_sim_core(core),
+                ),
+                (
+                    "sr8",
+                    ProtocolSpec::new(SELECTIVE_REPEAT)
+                        .with_window(8)
+                        .with_retries(400)
+                        .with_sim_core(core),
+                ),
+            ]))
+            .fault(Fault::partition(400))
+            .fault(Fault::repair(2_000, 3))
+    };
+    let driver = SuiteDriver::new();
+    let pooled = with_core(SimCore::Pooled).run(&driver, 2);
+    let legacy = with_core(SimCore::Legacy).run(&driver, 2);
+    // The reports differ only in the protocol specs they carry (the
+    // sim_core axis value); results must be identical cell-for-cell.
+    assert_eq!(pooled.runs.len(), legacy.runs.len());
+    for (p, l) in pooled.runs.iter().zip(&legacy.runs) {
+        assert_eq!(p.scenario.name, l.scenario.name);
+        assert_eq!(
+            p.outcome, l.outcome,
+            "{} diverged across cores",
+            p.scenario.name
+        );
+    }
+}
+
+#[test]
 fn common_random_numbers_across_protocols() {
     // Scenarios differing only on non-seed axes share a derived seed, so
     // every protocol faces the same channel randomness per replicate.

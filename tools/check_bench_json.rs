@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p netdsl-tools --bin check_bench_json -- \
-//!     [--expect <id>]... [--expect-benches <benches-dir>]... [dir]
+//!     [--expect <id>]... [--expect-benches <benches-dir>]... \
+//!     [--min-metric <id>:<metric>:<min>]... [dir]
 //! ```
 //!
 //! Checks, per file: parses as a schema-valid
@@ -22,6 +23,12 @@
 //! silently thinning the trajectory. Corollary: every `*.rs` file in
 //! the benches directory is treated as a harness; bench-support helper
 //! modules belong in the crate's `src/`, not alongside the targets.
+//!
+//! `--min-metric <id>:<metric>:<min>` (repeatable) additionally gates a
+//! performance claim: the named report must carry the named metric and
+//! its sample mean must be ≥ `min`. This is how the simcore speedup
+//! gate (`--min-metric E13:campaign_speedup:1.5`) turns a regression of
+//! the pooled engine against the pre-arena baseline into a red build.
 //!
 //! Exit code 0 when everything passes; 1 otherwise, after printing
 //! every problem found.
@@ -48,8 +55,32 @@ fn bench_stems(dir: &PathBuf) -> Result<Vec<String>, String> {
     Ok(stems)
 }
 
+/// One `--min-metric` expectation: report `id` must carry `metric`
+/// with a sample mean of at least `min`.
+struct MetricFloor {
+    id: String,
+    metric: String,
+    min: f64,
+}
+
+fn parse_metric_floor(spec: &str) -> Result<MetricFloor, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [id, metric, min] = parts[..] else {
+        return Err(format!("expected <id>:<metric>:<min>, got {spec:?}"));
+    };
+    let min: f64 = min
+        .parse()
+        .map_err(|e| format!("bad minimum in {spec:?}: {e}"))?;
+    Ok(MetricFloor {
+        id: id.to_string(),
+        metric: metric.to_string(),
+        min,
+    })
+}
+
 fn main() -> ExitCode {
     let mut expected: Vec<String> = Vec::new();
+    let mut floors: Vec<MetricFloor> = Vec::new();
     let mut dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,9 +112,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--min-metric" => match args.next().as_deref().map(parse_metric_floor) {
+                Some(Ok(floor)) => floors.push(floor),
+                Some(Err(e)) => {
+                    eprintln!("--min-metric: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--min-metric needs <id>:<metric>:<min>");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: check_bench_json [--expect <id>]... [--expect-benches <dir>]... [dir]"
+                    "usage: check_bench_json [--expect <id>]... [--expect-benches <dir>]... \
+                     [--min-metric <id>:<metric>:<min>]... [dir]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -150,6 +193,35 @@ fn main() -> ExitCode {
         } else if report.metrics.iter().all(|m| m.samples.is_empty()) {
             problems.push(format!("{name}: every metric is empty of samples"));
         }
+        for floor in floors.iter().filter(|f| f.id == report.id) {
+            let means: Vec<f64> = report
+                .metrics
+                .iter()
+                .filter(|m| m.name == floor.metric && !m.samples.is_empty())
+                .map(|m| m.samples.iter().sum::<f64>() / m.samples.len() as f64)
+                .collect();
+            if means.is_empty() {
+                problems.push(format!(
+                    "{name}: gated metric {:?} is missing or empty",
+                    floor.metric
+                ));
+            } else if let Some(&low) = means
+                .iter()
+                .find(|&&mean| !(mean.is_finite() && mean >= floor.min))
+            {
+                problems.push(format!(
+                    "{name}: {} mean {low:.3} is below the required {:.3}",
+                    floor.metric, floor.min
+                ));
+            } else {
+                println!(
+                    "gate {name}: {} mean {:.3} ≥ {:.3}",
+                    floor.metric,
+                    means.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+                    floor.min
+                );
+            }
+        }
         if problems.len() == problems_before {
             let samples: usize = report.metrics.iter().map(|m| m.samples.len()).sum();
             println!(
@@ -164,6 +236,15 @@ fn main() -> ExitCode {
     for id in &expected {
         if !seen.contains(id) {
             problems.push(format!("expected artifact BENCH_{id}.json is missing"));
+        }
+    }
+
+    for floor in &floors {
+        if !seen.contains(&floor.id) && !expected.contains(&floor.id) {
+            problems.push(format!(
+                "gated artifact BENCH_{}.json was never validated",
+                floor.id
+            ));
         }
     }
 
