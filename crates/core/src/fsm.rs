@@ -36,19 +36,27 @@ pub struct VarId(pub usize);
 /// A total expression over the machine's variables.
 ///
 /// Semantics: expressions evaluate to `u64`; comparisons and logical
-/// operators yield 0/1. Arithmetic wraps modulo the *target variable's*
-/// domain on assignment (sequence-number arithmetic, e.g. `seq + 1` in an
-/// 8-bit space, is the motivating case — the paper's `Ready (seq+1)`).
+/// operators yield 0/1. Arithmetic is **modular**: each `Add`/`Sub` node
+/// wraps modulo the narrowest domain (`max + 1`) among the variables its
+/// subtree reads, or modulo 2⁶⁴ when it reads none (see
+/// [`Expr::arith_modulus`]). This makes sequence arithmetic observable
+/// *inside guards*: `seq + 1 == 0` in an 8-bit domain is true exactly at
+/// `seq == 255` — the paper's `Ready (seq+1)` wrap. (An earlier revision
+/// saturated during evaluation but wrapped on assignment, so a guard
+/// could never see the wrap an effect was about to perform.) Assignment
+/// additionally reduces the final value modulo the *target* variable's
+/// domain, which is the identity whenever the expression already wrapped
+/// in that domain.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Expr {
     /// A variable's current value.
     Var(String),
     /// A literal.
     Const(u64),
-    /// Wrapping addition (wrapped on assignment; saturates at `u64::MAX`
-    /// during evaluation).
+    /// Addition, wrapping modulo the node's [`Expr::arith_modulus`].
     Add(Box<Expr>, Box<Expr>),
-    /// Saturating subtraction.
+    /// Subtraction, wrapping modulo the node's [`Expr::arith_modulus`]
+    /// (so `0 - 1` evaluates to `m - 1`, never saturates).
     Sub(Box<Expr>, Box<Expr>),
     /// Equality (1/0).
     Eq(Box<Expr>, Box<Expr>),
@@ -72,27 +80,77 @@ impl Expr {
         Expr::Var(name.to_string())
     }
 
-    /// Evaluates against a name→value environment.
+    /// Evaluates against a name→value environment with every variable
+    /// treated as unbounded (domain `0..=u64::MAX`), so arithmetic wraps
+    /// modulo 2⁶⁴. Spec execution uses [`Expr::eval_with`] with the
+    /// declared domains instead; this entry point exists for expression
+    /// tests and tooling that have no spec at hand.
     ///
     /// # Errors
     ///
     /// [`DslError::UnknownName`] for unresolved variables.
     pub fn eval(&self, env: &BTreeMap<String, u64>) -> Result<u64, DslError> {
+        self.eval_with(&|n| env.get(n).map(|v| (*v, u64::MAX)))
+    }
+
+    /// Evaluates against a lookup returning `(value, domain max)` per
+    /// variable — **the** expression semantics, shared verbatim by the
+    /// tree-walking [`Machine`] and (via precomputed moduli) the compiled
+    /// stepper in [`crate::fsm_compiled`]. Each arithmetic node wraps
+    /// modulo [`Expr::arith_modulus`] of its own subtree.
+    ///
+    /// # Errors
+    ///
+    /// [`DslError::UnknownName`] when `lookup` returns `None`.
+    pub fn eval_with(&self, lookup: &dyn Fn(&str) -> Option<(u64, u64)>) -> Result<u64, DslError> {
         Ok(match self {
-            Expr::Var(n) => *env
-                .get(n)
-                .ok_or_else(|| DslError::UnknownName { name: n.clone() })?,
+            Expr::Var(n) => {
+                lookup(n)
+                    .ok_or_else(|| DslError::UnknownName { name: n.clone() })?
+                    .0
+            }
             Expr::Const(c) => *c,
-            Expr::Add(a, b) => a.eval(env)?.saturating_add(b.eval(env)?),
-            Expr::Sub(a, b) => a.eval(env)?.saturating_sub(b.eval(env)?),
-            Expr::Eq(a, b) => u64::from(a.eval(env)? == b.eval(env)?),
-            Expr::Ne(a, b) => u64::from(a.eval(env)? != b.eval(env)?),
-            Expr::Lt(a, b) => u64::from(a.eval(env)? < b.eval(env)?),
-            Expr::Le(a, b) => u64::from(a.eval(env)? <= b.eval(env)?),
-            Expr::And(a, b) => u64::from(a.eval(env)? != 0 && b.eval(env)? != 0),
-            Expr::Or(a, b) => u64::from(a.eval(env)? != 0 || b.eval(env)? != 0),
-            Expr::Not(a) => u64::from(a.eval(env)? == 0),
+            Expr::Add(a, b) => {
+                let m = self.arith_modulus(&|n| lookup(n).map(|(_, max)| max))?;
+                let va = u128::from(a.eval_with(lookup)?) % m;
+                let vb = u128::from(b.eval_with(lookup)?) % m;
+                ((va + vb) % m) as u64
+            }
+            Expr::Sub(a, b) => {
+                let m = self.arith_modulus(&|n| lookup(n).map(|(_, max)| max))?;
+                let va = u128::from(a.eval_with(lookup)?) % m;
+                let vb = u128::from(b.eval_with(lookup)?) % m;
+                ((va + m - vb) % m) as u64
+            }
+            Expr::Eq(a, b) => u64::from(a.eval_with(lookup)? == b.eval_with(lookup)?),
+            Expr::Ne(a, b) => u64::from(a.eval_with(lookup)? != b.eval_with(lookup)?),
+            Expr::Lt(a, b) => u64::from(a.eval_with(lookup)? < b.eval_with(lookup)?),
+            Expr::Le(a, b) => u64::from(a.eval_with(lookup)? <= b.eval_with(lookup)?),
+            Expr::And(a, b) => u64::from(a.eval_with(lookup)? != 0 && b.eval_with(lookup)? != 0),
+            Expr::Or(a, b) => u64::from(a.eval_with(lookup)? != 0 || b.eval_with(lookup)? != 0),
+            Expr::Not(a) => u64::from(a.eval_with(lookup)? == 0),
         })
+    }
+
+    /// The wrap modulus of an arithmetic node: the smallest `max + 1`
+    /// among the variables the node's subtree reads, or 2⁶⁴ when it
+    /// reads none (hence the `u128` return — 2⁶⁴ must be representable).
+    /// The *narrowest* domain governs because that is the space the
+    /// result will live in: `seq + 1` over an 8-bit `seq` means 8-bit
+    /// arithmetic, exactly as the assignment that consumes it.
+    ///
+    /// # Errors
+    ///
+    /// [`DslError::UnknownName`] when `max_of` cannot resolve a variable.
+    pub fn arith_modulus(&self, max_of: &dyn Fn(&str) -> Option<u64>) -> Result<u128, DslError> {
+        let mut m: u128 = 1 << 64;
+        for v in self.variables() {
+            let max = max_of(v).ok_or_else(|| DslError::UnknownName {
+                name: v.to_string(),
+            })?;
+            m = m.min(u128::from(max) + 1);
+        }
+        Ok(m)
     }
 
     /// Names of the variables this expression reads.
@@ -244,14 +302,20 @@ impl Spec {
         &self.events[id.0].name
     }
 
-    /// Graphviz `dot` rendering of the transition structure.
+    /// Graphviz `dot` rendering of the transition structure. Spec,
+    /// state and event names are escaped, so names containing `"` or
+    /// `\` still produce valid `dot`.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "digraph \"{}\" {{", dot_escape(&self.name));
         for (i, s) in self.states.iter().enumerate() {
             let shape = if s.terminal { "doublecircle" } else { "circle" };
-            let _ = writeln!(out, "  s{i} [label=\"{}\", shape={shape}];", s.name);
+            let _ = writeln!(
+                out,
+                "  s{i} [label=\"{}\", shape={shape}];",
+                dot_escape(&s.name)
+            );
         }
         let _ = writeln!(out, "  init [shape=point];");
         let _ = writeln!(out, "  init -> s{};", self.initial.0);
@@ -260,12 +324,40 @@ impl Spec {
             let _ = writeln!(
                 out,
                 "  s{} -> s{} [label=\"{}{}\"];",
-                t.from.0, t.to.0, self.events[t.event.0].name, guard
+                t.from.0,
+                t.to.0,
+                dot_escape(&self.events[t.event.0].name),
+                guard
             );
         }
         out.push_str("}\n");
         out
     }
+
+    /// Pairs of transition indices with the same `(from, event)` —
+    /// candidates for runtime nondeterminism. [`SpecBuilder::build`]
+    /// already rejects pairs that *certainly* overlap (unguarded or
+    /// syntactically equal guards), so anything listed here overlaps only
+    /// for valuations where both guards happen to hold; the interpreter
+    /// and the compiled stepper both surface that case as
+    /// [`DslError::Nondeterministic`] rather than tie-breaking. Useful as
+    /// a lint: an empty list means no event can ever be ambiguous.
+    pub fn overlap_candidates(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, a) in self.transitions.iter().enumerate() {
+            for (j, b) in self.transitions.iter().enumerate().take(i) {
+                if a.from == b.from && a.event == b.event {
+                    out.push((j, i));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string for use inside a double-quoted Graphviz label.
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// A transition as declared on the builder, still by name:
@@ -351,10 +443,21 @@ impl SpecBuilder {
 
     /// Validates and produces the spec.
     ///
+    /// Determinism contract: two transitions may share a `(from, event)`
+    /// pair only if their guards can *distinguish* them. Pairs that
+    /// certainly overlap — either transition unguarded, or both guards
+    /// syntactically identical — are rejected here; pairs whose distinct
+    /// guards happen to both hold at some valuation are legal to build
+    /// but surface as [`DslError::Nondeterministic`] when executed there
+    /// (never resolved by declaration order), so every engine over the
+    /// spec provably agrees. [`Spec::overlap_candidates`] lists the
+    /// residual candidates.
+    ///
     /// # Errors
     ///
-    /// [`DslError::BadSpec`] when names are duplicated/empty or there are
-    /// no states; [`DslError::UnknownName`] when a transition, guard or
+    /// [`DslError::BadSpec`] when names are duplicated/empty, there are
+    /// no states, or two transitions certainly overlap;
+    /// [`DslError::UnknownName`] when a transition, guard or
     /// effect references an undeclared state/event/variable;
     /// [`DslError::DomainViolation`] when a variable's `init` exceeds its
     /// `max`.
@@ -441,6 +544,29 @@ impl SpecBuilder {
                 to: state_id(to)?,
                 effects: effects.clone(),
             });
+        }
+        // Reject *certain* nondeterminism: same (from, event) where no
+        // valuation can tell the transitions apart. Distinct guards may
+        // still overlap for some valuations; that residue is detected at
+        // execution time (Nondeterministic), never tie-broken.
+        for (i, a) in transitions.iter().enumerate() {
+            for b in transitions.iter().take(i) {
+                if a.from != b.from || a.event != b.event {
+                    continue;
+                }
+                let certain = match (&a.guard, &b.guard) {
+                    (None, _) | (_, None) => true,
+                    (Some(x), Some(y)) => x == y,
+                };
+                if certain {
+                    return Err(bad(format!(
+                        "transitions from `{}` on `{}` always overlap \
+                         (unguarded or identical guards); guards must be \
+                         able to distinguish same-(state, event) transitions",
+                        self.states[a.from.0].name, self.events[a.event.0].name
+                    )));
+                }
+            }
         }
         Ok(Spec {
             name: self.name,
@@ -550,13 +676,16 @@ impl<'s> Machine<'s> {
             })
     }
 
-    fn env(&self) -> BTreeMap<String, u64> {
+    /// The machine's variable lookup: `(value, domain max)` by name, the
+    /// shape [`Expr::eval_with`] wants. Declared domains flow into
+    /// arithmetic here, so guards see the same modular semantics as the
+    /// effects that assign into those domains.
+    fn lookup(&self, name: &str) -> Option<(u64, u64)> {
         self.spec
             .vars()
             .iter()
-            .zip(&self.config.vars)
-            .map(|(d, v)| (d.name.clone(), *v))
-            .collect()
+            .position(|v| v.name == name)
+            .map(|i| (self.config.vars[i], self.spec.vars()[i].max))
     }
 
     /// Indices of transitions enabled for `event` in the current
@@ -567,7 +696,6 @@ impl<'s> Machine<'s> {
     /// Guard evaluation errors propagate (unknown variables cannot occur
     /// in built specs).
     pub fn enabled(&self, event: EventId) -> Result<Vec<usize>, DslError> {
-        let env = self.env();
         let mut out = Vec::new();
         for (i, t) in self.spec.transitions().iter().enumerate() {
             if t.from != self.config.state || t.event != event {
@@ -575,7 +703,7 @@ impl<'s> Machine<'s> {
             }
             let pass = match &t.guard {
                 None => true,
-                Some(g) => g.eval(&env)? != 0,
+                Some(g) => g.eval_with(&|n| self.lookup(n))? != 0,
             };
             if pass {
                 out.push(i);
@@ -613,7 +741,6 @@ impl<'s> Machine<'s> {
             }
         };
         let t = &self.spec.transitions()[idx];
-        let env = self.env();
         // Simultaneous assignment: all RHS evaluated against the pre-state.
         let mut new_vars = self.config.vars.clone();
         for (target, expr) in &t.effects {
@@ -624,8 +751,11 @@ impl<'s> Machine<'s> {
                 .position(|v| v.name == *target)
                 .expect("validated at build");
             let max = self.spec.vars()[pos].max;
-            let raw = expr.eval(&env)?;
-            new_vars[pos] = raw % (max + 1);
+            let raw = expr.eval_with(&|n| self.lookup(n))?;
+            new_vars[pos] = match max.checked_add(1) {
+                Some(m) => raw % m,
+                None => raw, // domain is all of u64: nothing to reduce
+            };
         }
         self.config.vars = new_vars;
         self.config.state = t.to;
@@ -733,7 +863,83 @@ mod tests {
         assert_eq!(logic.eval(&env).unwrap(), 1);
         assert!(Expr::var("ghost").eval(&env).is_err());
         let sub = Expr::Sub(Box::new(Expr::Const(1)), Box::new(Expr::Const(5)));
-        assert_eq!(sub.eval(&env).unwrap(), 0, "saturating");
+        assert_eq!(
+            sub.eval(&env).unwrap(),
+            u64::MAX - 3,
+            "variable-free arithmetic wraps modulo 2^64, it never saturates"
+        );
+    }
+
+    #[test]
+    fn arithmetic_wraps_in_the_narrowest_variable_domain() {
+        // `x - 1` with x = 0 over 0..=7 is 7: the subtraction happens in
+        // x's own domain. The old semantics saturated to 0 and only
+        // wrapped on assignment, so guards could never observe the wrap.
+        let max_of = |max: u64| move |n: &str| (n == "x").then_some((0u64, max));
+        let sub = Expr::Sub(Box::new(Expr::var("x")), Box::new(Expr::Const(1)));
+        assert_eq!(sub.eval_with(&max_of(7)).unwrap(), 7);
+        assert_eq!(sub.eval_with(&max_of(u64::MAX)).unwrap(), u64::MAX);
+        // The narrowest domain among the operands governs: x + 3 with
+        // x = 3 over 0..=3 is (3 + 3) mod 4 = 2.
+        let add = Expr::Add(Box::new(Expr::var("x")), Box::new(Expr::Const(3)));
+        let lookup = |n: &str| (n == "x").then_some((3u64, 3u64));
+        assert_eq!(add.eval_with(&lookup).unwrap(), 2);
+        assert_eq!(add.arith_modulus(&|_| Some(3)).unwrap(), 4);
+        assert_eq!(
+            Expr::Const(9).arith_modulus(&|_| None).unwrap(),
+            1u128 << 64,
+            "no variables read: full u64 arithmetic"
+        );
+    }
+
+    #[test]
+    fn guard_observes_domain_wrap() {
+        // Regression for the saturate-vs-wrap mismatch: a guard
+        // `seq + 1 == 0` in an 8-bit domain must fire exactly when the
+        // effect `seq + 1` is about to wrap to 0.
+        let wrap_guard = Expr::Eq(
+            Box::new(Expr::Add(
+                Box::new(Expr::var("seq")),
+                Box::new(Expr::Const(1)),
+            )),
+            Box::new(Expr::Const(0)),
+        );
+        let spec = Spec::builder("wrap")
+            .state("A")
+            .state("Wrapped")
+            .event("TICK")
+            .var("seq", 255, 255)
+            .transition_full("A", "TICK", "Wrapped", Some(wrap_guard.clone()), vec![])
+            .transition_full(
+                "A",
+                "TICK",
+                "A",
+                Some(Expr::Not(Box::new(wrap_guard))),
+                vec![(
+                    "seq".to_string(),
+                    Expr::Add(Box::new(Expr::var("seq")), Box::new(Expr::Const(1))),
+                )],
+            )
+            .build()
+            .unwrap();
+        let mut m = Machine::new(&spec);
+        m.apply_named("TICK").unwrap();
+        assert_eq!(
+            spec.state_name(m.state()),
+            "Wrapped",
+            "seq = 255: the guard sees (255 + 1) mod 256 == 0"
+        );
+        let mut low = Machine::at(
+            &spec,
+            Config {
+                state: spec.state_id("A").unwrap(),
+                vars: vec![7],
+            },
+        )
+        .unwrap();
+        low.apply_named("TICK").unwrap();
+        assert_eq!(spec.state_name(low.state()), "A");
+        assert_eq!(low.var("seq").unwrap(), 8);
     }
 
     #[test]
@@ -843,20 +1049,92 @@ mod tests {
         assert_eq!(spec.state_name(m2.state()), "Big");
     }
 
-    #[test]
-    fn nondeterminism_detected_not_resolved() {
-        let spec = Spec::builder("nd")
+    /// Two `A --GO-->` transitions whose guards (`x <= 5`, `x <= 7`) are
+    /// distinct but overlap for `x <= 5` — buildable, ambiguous only at
+    /// runtime.
+    fn sometimes_overlapping_spec() -> Spec {
+        Spec::builder("nd")
             .state("A")
             .state("B")
             .event("GO")
-            .transition("A", "GO", "B")
-            .transition("A", "GO", "A")
+            .var("x", 9, 0)
+            .transition_full(
+                "A",
+                "GO",
+                "B",
+                Some(Expr::Le(Box::new(Expr::var("x")), Box::new(Expr::Const(5)))),
+                vec![],
+            )
+            .transition_full(
+                "A",
+                "GO",
+                "A",
+                Some(Expr::Le(Box::new(Expr::var("x")), Box::new(Expr::Const(7)))),
+                vec![],
+            )
             .build()
-            .unwrap();
+            .unwrap()
+    }
+
+    #[test]
+    fn nondeterminism_detected_not_resolved() {
+        let spec = sometimes_overlapping_spec();
+        assert_eq!(spec.overlap_candidates(), vec![(0, 1)]);
+        // x = 0: both guards hold — surfaced, not tie-broken by order.
         let mut m = Machine::new(&spec);
         assert!(matches!(
             m.apply_named("GO"),
             Err(DslError::Nondeterministic { .. })
+        ));
+        // x = 7: only the second guard holds — the overlap is genuinely
+        // valuation-dependent, which is why build accepts the spec.
+        let mut m7 = Machine::at(
+            &spec,
+            Config {
+                state: spec.state_id("A").unwrap(),
+                vars: vec![7],
+            },
+        )
+        .unwrap();
+        assert_eq!(m7.apply_named("GO").unwrap(), spec.state_id("A").unwrap());
+    }
+
+    #[test]
+    fn certainly_overlapping_transitions_rejected_at_build() {
+        // Unguarded duplicates can never be distinguished: reject early.
+        assert!(matches!(
+            Spec::builder("nd")
+                .state("A")
+                .state("B")
+                .event("GO")
+                .transition("A", "GO", "B")
+                .transition("A", "GO", "A")
+                .build(),
+            Err(DslError::BadSpec { .. })
+        ));
+        // Same for one unguarded + one guarded…
+        let g = Expr::Le(Box::new(Expr::var("x")), Box::new(Expr::Const(5)));
+        assert!(matches!(
+            Spec::builder("nd")
+                .state("A")
+                .event("GO")
+                .var("x", 9, 0)
+                .transition("A", "GO", "A")
+                .transition_full("A", "GO", "A", Some(g.clone()), vec![])
+                .build(),
+            Err(DslError::BadSpec { .. })
+        ));
+        // …and for syntactically identical guards.
+        assert!(matches!(
+            Spec::builder("nd")
+                .state("A")
+                .state("B")
+                .event("GO")
+                .var("x", 9, 0)
+                .transition_full("A", "GO", "A", Some(g.clone()), vec![])
+                .transition_full("A", "GO", "B", Some(g), vec![])
+                .build(),
+            Err(DslError::BadSpec { .. })
         ));
     }
 
@@ -943,6 +1221,32 @@ mod tests {
         assert!(dot.contains("Ready"));
         assert!(dot.contains("SEND"));
         assert!(dot.contains("doublecircle"), "terminal state styled");
+    }
+
+    #[test]
+    fn dot_output_escapes_hostile_names() {
+        // Regression: quotes and backslashes in names used to land raw
+        // inside double-quoted labels, producing invalid Graphviz.
+        let spec = Spec::builder("we \"quote\" \\ stuff")
+            .state("A\"B")
+            .event("E\\V")
+            .transition("A\"B", "E\\V", "A\"B")
+            .build()
+            .unwrap();
+        let dot = spec.to_dot();
+        assert!(dot.contains("digraph \"we \\\"quote\\\" \\\\ stuff\" {"));
+        assert!(dot.contains("label=\"A\\\"B\""));
+        assert!(dot.contains("label=\"E\\\\V\""));
+        // Every quote inside a label is now escaped: strip the escapes
+        // and no bare quote may remain between the label delimiters.
+        for line in dot.lines().filter(|l| l.contains("label=")) {
+            let body = line.split("label=\"").nth(1).unwrap();
+            let body = &body[..body.rfind('"').unwrap()];
+            assert!(
+                !body.replace("\\\\", "").replace("\\\"", "").contains('"'),
+                "unescaped quote in {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@
 pub mod error;
 pub mod exec;
 pub mod fsm;
+pub mod fsm_compiled;
 pub mod packet;
 pub mod typestate;
 pub mod tyvec;

@@ -1,0 +1,196 @@
+//! Differential proptest suite: the compiled transition-table engine
+//! must agree with the tree-walking [`Machine`] on **randomly generated
+//! specs** — step-for-step on accepted events, error-for-error on
+//! refused ones (`NoTransition` and `Nondeterministic` alike), and
+//! configuration-for-configuration after every step, including the
+//! untouched-on-reject guarantee.
+//!
+//! The FSM twin of `netdsl-codec`'s codec differential suite: specs are
+//! grown from a seeded ChaCha stream so every failure reproduces from
+//! its printed seed, and a handful of pinned seeds keep covering the
+//! same tricky shapes regardless of ambient proptest seeding.
+
+use netdsl_core::fsm::{EventId, Expr, Machine, Spec};
+use netdsl_core::fsm_compiled::{lower, Stepper};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Variable domains worth exercising: tiny (lots of wrap), byte-sized
+/// (the paper's sequence space), and full-width (the modulus that
+/// doesn't fit in a `u64`).
+const DOMAINS: [u64; 5] = [1, 3, 7, 255, u64::MAX];
+
+/// A random expression over `vars` (by name), depth-limited so guards
+/// stay evaluable at volume.
+fn random_expr(rng: &mut ChaCha12Rng, vars: &[(String, u64)], depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.random_bool(0.35);
+    if leaf {
+        if !vars.is_empty() && rng.random_bool(0.6) {
+            let (name, _) = &vars[rng.random_range(0usize..vars.len())];
+            return Expr::var(name);
+        }
+        // Mostly small constants (near the interesting wrap points),
+        // occasionally huge ones.
+        return Expr::Const(if rng.random_bool(0.8) {
+            rng.random_range(0u64..10)
+        } else {
+            rng.random_range(0u64..=u64::MAX)
+        });
+    }
+    let a = Box::new(random_expr(rng, vars, depth - 1));
+    let b = Box::new(random_expr(rng, vars, depth - 1));
+    match rng.random_range(0u32..9) {
+        0 => Expr::Add(a, b),
+        1 => Expr::Sub(a, b),
+        2 => Expr::Eq(a, b),
+        3 => Expr::Ne(a, b),
+        4 => Expr::Lt(a, b),
+        5 => Expr::Le(a, b),
+        6 => Expr::And(a, b),
+        7 => Expr::Or(a, b),
+        _ => Expr::Not(a),
+    }
+}
+
+/// Would adding `guard` to `existing` (guards already declared on the
+/// same `(from, event)` cell) trip the builder's certain-overlap
+/// rejection? Mirrors the rule in `SpecBuilder::build`: unguarded or
+/// syntactically identical guards certainly overlap.
+fn certainly_overlaps(existing: &[Option<Expr>], guard: &Option<Expr>) -> bool {
+    existing.iter().any(|g| match (g, guard) {
+        (None, _) | (_, None) => true,
+        (Some(x), Some(y)) => x == y,
+    })
+}
+
+/// Grows a random well-formed spec: 1–4 states (later ones sometimes
+/// terminal), 1–3 events, 0–2 bounded variables, 0–8 transitions with
+/// optional guards and effects. Certain overlaps are skipped before
+/// pushing, so `build()` always succeeds; *valuation-dependent*
+/// overlaps stay in, which is exactly what exercises the
+/// `Nondeterministic` path in both engines.
+fn random_spec(rng: &mut ChaCha12Rng) -> Spec {
+    let n_states = rng.random_range(1usize..=4);
+    let n_events = rng.random_range(1usize..=3);
+    let n_vars = rng.random_range(0usize..=2);
+
+    let mut b = Spec::builder("diff");
+    for s in 0..n_states {
+        let name = format!("S{s}");
+        if s > 0 && rng.random_bool(0.25) {
+            b = b.terminal(&name);
+        } else {
+            b = b.state(&name);
+        }
+    }
+    for e in 0..n_events {
+        b = b.event(&format!("E{e}"));
+    }
+    let mut vars: Vec<(String, u64)> = Vec::new();
+    for v in 0..n_vars {
+        let name = format!("v{v}");
+        let max = DOMAINS[rng.random_range(0usize..DOMAINS.len())];
+        let init = rng.random_range(0u64..=max);
+        b = b.var(&name, max, init);
+        vars.push((name, max));
+    }
+
+    let mut guards_by_cell: std::collections::BTreeMap<(usize, usize), Vec<Option<Expr>>> =
+        std::collections::BTreeMap::new();
+    for _ in 0..rng.random_range(0usize..=8) {
+        let from = rng.random_range(0usize..n_states);
+        let event = rng.random_range(0usize..n_events);
+        let to = rng.random_range(0usize..n_states);
+        let guard = if rng.random_bool(0.5) {
+            let depth = rng.random_range(1u32..=3);
+            Some(random_expr(rng, &vars, depth))
+        } else {
+            None
+        };
+        let cell = guards_by_cell.entry((from, event)).or_default();
+        if certainly_overlaps(cell, &guard) {
+            continue; // the builder would reject; generate a legal spec
+        }
+        cell.push(guard.clone());
+        let effects: Vec<(String, Expr)> = (0..rng.random_range(0usize..=2))
+            .filter(|_| !vars.is_empty())
+            .map(|_| {
+                let (name, _) = &vars[rng.random_range(0usize..vars.len())];
+                (name.clone(), random_expr(rng, &vars, 2))
+            })
+            .collect();
+        b = b.transition_full(
+            &format!("S{from}"),
+            &format!("E{event}"),
+            &format!("S{to}"),
+            guard,
+            effects,
+        );
+    }
+    b.build().expect("generator emits well-formed specs")
+}
+
+/// One differential episode: spec → lower → drive both engines through
+/// the same random event schedule, comparing verdicts and configurations
+/// after every single step (accepted or refused).
+fn differential_case(seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let spec = random_spec(&mut rng);
+    let fsm = lower(&spec).expect("every built spec lowers");
+
+    let mut walker = Machine::new(&spec);
+    let mut stepper = Stepper::new(&fsm);
+    prop_assert_eq!(walker.config(), &stepper.config(), "initial configs");
+
+    let n_events = spec.events().len();
+    for step in 0..rng.random_range(1usize..=32) {
+        let event = EventId(rng.random_range(0usize..n_events));
+        let w = walker.apply(event);
+        let s = stepper.apply(event);
+        prop_assert_eq!(
+            &w,
+            &s,
+            "verdicts diverge (seed {}, step {}, event {:?})\n{}",
+            seed,
+            step,
+            event,
+            fsm.disassemble()
+        );
+        // Configurations must agree after *every* step: on success both
+        // engines moved identically; on refusal (NoTransition or
+        // Nondeterministic) both must be untouched.
+        prop_assert_eq!(
+            walker.config(),
+            &stepper.config(),
+            "configs diverge (seed {}, step {}, verdict {:?})",
+            seed,
+            step,
+            w
+        );
+        prop_assert_eq!(
+            walker.is_terminal(),
+            stepper.is_terminal(),
+            "terminal flags diverge (seed {seed}, step {step})"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Random specs × random event schedules: the compiled stepper and
+    /// the tree-walking interpreter are observationally identical.
+    #[test]
+    fn compiled_stepper_is_equivalent_to_walker(seed in any::<u64>()) {
+        differential_case(seed)?;
+    }
+}
+
+/// Pinned seeds so the suite keeps covering the same tricky shapes even
+/// if the ambient proptest seeding changes.
+#[test]
+fn pinned_seeds_stay_equivalent() {
+    for seed in [0, 1, 7, 42, 1337, 0xDEAD_BEEF, u64::MAX] {
+        differential_case(seed).unwrap();
+    }
+}

@@ -48,6 +48,36 @@ impl FramePath {
     }
 }
 
+/// How a driver should run its protocol control state machine.
+///
+/// The FSM twin of [`FramePath`]: plain data carrying a selection that
+/// FSM-aware drivers (`netdsl-protocols`' stop-and-wait arm) dispatch
+/// on. [`FsmPath::Typestate`] runs the statically-checked typestate
+/// machine; [`FsmPath::Compiled`] drives the same control logic from the
+/// lowered transition-table engine (`netdsl-core::fsm_compiled`) over
+/// the reified paper spec. The two are behaviourally equivalent (pinned
+/// by replay tests), so campaigns can put pure control-engine cost on an
+/// axis. Drivers without a reified control FSM must refuse
+/// [`FsmPath::Compiled`] loudly rather than silently fall back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsmPath {
+    /// The compile-time-checked typestate machines.
+    #[default]
+    Typestate,
+    /// The compiled transition-table stepper over the reified spec.
+    Compiled,
+}
+
+impl FsmPath {
+    /// Canonical axis label (`"typestate"` / `"compiled"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FsmPath::Typestate => "typestate",
+            FsmPath::Compiled => "compiled",
+        }
+    }
+}
+
 /// Which protocol a driver should run, plus its tuning knobs.
 ///
 /// The `name` is a driver-defined key (e.g. `netdsl-protocols`'
@@ -67,6 +97,8 @@ pub struct ProtocolSpec {
     pub max_retries: u32,
     /// Which frame codec path endpoints should use.
     pub frame_path: FramePath,
+    /// Which control-FSM engine endpoints should use (see [`FsmPath`]).
+    pub fsm_path: FsmPath,
     /// Which engine core the driver should run the simulation on. The
     /// cores are behaviourally identical (bit-identical transcripts);
     /// like [`frame_path`](ProtocolSpec::frame_path), this exists so
@@ -84,6 +116,7 @@ impl ProtocolSpec {
             timeout: 150,
             max_retries: 200,
             frame_path: FramePath::default(),
+            fsm_path: FsmPath::default(),
             sim_core: SimCore::default(),
         }
     }
@@ -92,6 +125,13 @@ impl ProtocolSpec {
     #[must_use]
     pub fn with_frame_path(mut self, frame_path: FramePath) -> Self {
         self.frame_path = frame_path;
+        self
+    }
+
+    /// Selects the control-FSM engine (builder style).
+    #[must_use]
+    pub fn with_fsm_path(mut self, fsm_path: FsmPath) -> Self {
+        self.fsm_path = fsm_path;
         self
     }
 

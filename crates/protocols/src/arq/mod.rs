@@ -18,8 +18,12 @@
 //!   endpoints, and `send_packet` returning the paper's `NextSent` sum
 //!   (items 3–4);
 //! * [`session`] — full sender/receiver endpoints over the simulator
-//!   with retransmission, used by the experiments.
+//!   with retransmission, used by the experiments;
+//! * [`compiled`] — the same sending endpoint driven by the compiled
+//!   transition-table engine ([`netdsl_core::fsm_compiled`]), selected
+//!   per scenario via `FsmPath::Compiled`.
 
+pub mod compiled;
 pub mod session;
 pub mod typestate;
 

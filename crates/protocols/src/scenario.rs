@@ -26,10 +26,12 @@
 //! ```
 
 use netdsl_netsim::scenario::{
-    Fault, FaultDirection, Scenario, ScenarioDriver, ScenarioError, ScenarioResult, TopologySpec,
+    Fault, FaultDirection, FsmPath, ProtocolSpec, Scenario, ScenarioDriver, ScenarioError,
+    ScenarioResult, TopologySpec,
 };
 use netdsl_netsim::Tick;
 
+use crate::arq::compiled::FsmSender;
 use crate::arq::session::{SwReceiver, SwSender};
 use crate::baseline::{CReceiver, CSender};
 use crate::driver::{Duplex, Endpoint};
@@ -160,6 +162,22 @@ pub fn drive_duplex<A: Endpoint, B: Endpoint>(
     }
 }
 
+/// Refuses [`FsmPath::Compiled`] for protocols that have no compiled
+/// control-FSM driver. Only stop-and-wait has a reified §3.4 spec to
+/// lower; silently falling back to the typestate engine would let a
+/// sweep label a cell "compiled" while measuring something else — the
+/// same honesty rule the driver applies to fault schedules.
+fn refuse_compiled_fsm(spec: &ProtocolSpec) -> Result<(), ScenarioError> {
+    match spec.fsm_path {
+        FsmPath::Typestate => Ok(()),
+        FsmPath::Compiled => Err(ScenarioError::Unsupported(format!(
+            "{} has no compiled control-FSM driver (fsm_path = {})",
+            spec.name,
+            spec.fsm_path.as_str()
+        ))),
+    }
+}
+
 impl ScenarioDriver for SuiteDriver {
     fn supports(&self, protocol: &str) -> bool {
         matches!(
@@ -183,60 +201,87 @@ impl ScenarioDriver for SuiteDriver {
         let n = messages.len();
 
         match spec.name.as_str() {
-            STOP_AND_WAIT => Ok(drive_duplex(
-                scenario,
-                SwSender::new(messages, spec.timeout, spec.max_retries)
-                    .with_frame_path(spec.frame_path),
-                SwReceiver::new(n).with_frame_path(spec.frame_path),
-                |d| {
-                    let s = d.a().stats();
-                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
-                },
-                SwSender::messages,
-                SwReceiver::delivered,
-            )),
-            GO_BACK_N => Ok(drive_duplex(
-                scenario,
-                GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                    .with_frame_path(spec.frame_path),
-                GbnReceiver::new(n).with_frame_path(spec.frame_path),
-                |d| {
-                    let s = d.a().stats();
-                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
-                },
-                GbnSender::messages,
-                GbnReceiver::delivered,
-            )),
-            SELECTIVE_REPEAT => Ok(drive_duplex(
-                scenario,
-                SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                    .with_frame_path(spec.frame_path),
-                SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
-                |d| {
-                    let s = d.a().stats();
-                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
-                },
-                SrSender::messages,
-                SrReceiver::delivered,
-            )),
-            BASELINE => Ok(drive_duplex(
-                scenario,
-                CSender::new(messages, spec.timeout, spec.max_retries),
-                CReceiver::new(n),
-                |d| {
-                    // The baseline sender keeps no counters (that is its
-                    // point); recover frame counts from the data-direction
-                    // link: every `sent` there is a data frame, and
-                    // anything beyond one per delivered message was a
-                    // retransmission.
-                    let frames_sent = d.sim().link_stats(d.link_ab()).sent;
-                    let retransmissions =
-                        frames_sent.saturating_sub(d.b().delivered().len() as u64);
-                    (d.a().succeeded(), frames_sent, retransmissions)
-                },
-                CSender::messages,
-                CReceiver::delivered,
-            )),
+            // Stop-and-wait is the one protocol with a reified control
+            // spec, so it honours the FsmPath axis: the same scenario
+            // runs on the typestate engine or the compiled
+            // transition-table engine, transcript-identically.
+            STOP_AND_WAIT => match spec.fsm_path {
+                FsmPath::Typestate => Ok(drive_duplex(
+                    scenario,
+                    SwSender::new(messages, spec.timeout, spec.max_retries)
+                        .with_frame_path(spec.frame_path),
+                    SwReceiver::new(n).with_frame_path(spec.frame_path),
+                    |d| {
+                        let s = d.a().stats();
+                        (d.a().succeeded(), s.frames_sent, s.retransmissions)
+                    },
+                    SwSender::messages,
+                    SwReceiver::delivered,
+                )),
+                FsmPath::Compiled => Ok(drive_duplex(
+                    scenario,
+                    FsmSender::new(messages, spec.timeout, spec.max_retries)
+                        .with_frame_path(spec.frame_path),
+                    SwReceiver::new(n).with_frame_path(spec.frame_path),
+                    |d| {
+                        let s = d.a().stats();
+                        (d.a().succeeded(), s.frames_sent, s.retransmissions)
+                    },
+                    FsmSender::messages,
+                    SwReceiver::delivered,
+                )),
+            },
+            GO_BACK_N => {
+                refuse_compiled_fsm(spec)?;
+                Ok(drive_duplex(
+                    scenario,
+                    GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                        .with_frame_path(spec.frame_path),
+                    GbnReceiver::new(n).with_frame_path(spec.frame_path),
+                    |d| {
+                        let s = d.a().stats();
+                        (d.a().succeeded(), s.frames_sent, s.retransmissions)
+                    },
+                    GbnSender::messages,
+                    GbnReceiver::delivered,
+                ))
+            }
+            SELECTIVE_REPEAT => {
+                refuse_compiled_fsm(spec)?;
+                Ok(drive_duplex(
+                    scenario,
+                    SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                        .with_frame_path(spec.frame_path),
+                    SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
+                    |d| {
+                        let s = d.a().stats();
+                        (d.a().succeeded(), s.frames_sent, s.retransmissions)
+                    },
+                    SrSender::messages,
+                    SrReceiver::delivered,
+                ))
+            }
+            BASELINE => {
+                refuse_compiled_fsm(spec)?;
+                Ok(drive_duplex(
+                    scenario,
+                    CSender::new(messages, spec.timeout, spec.max_retries),
+                    CReceiver::new(n),
+                    |d| {
+                        // The baseline sender keeps no counters (that is
+                        // its point); recover frame counts from the
+                        // data-direction link: every `sent` there is a
+                        // data frame, and anything beyond one per
+                        // delivered message was a retransmission.
+                        let frames_sent = d.sim().link_stats(d.link_ab()).sent;
+                        let retransmissions =
+                            frames_sent.saturating_sub(d.b().delivered().len() as u64);
+                        (d.a().succeeded(), frames_sent, retransmissions)
+                    },
+                    CSender::messages,
+                    CReceiver::delivered,
+                ))
+            }
             other => Err(ScenarioError::UnknownProtocol(other.to_string())),
         }
     }
@@ -322,6 +367,39 @@ mod tests {
             let rc = driver.run(&compiled).unwrap();
             assert_eq!(ri, rc, "{name}: frame paths diverge");
             assert!(rc.success, "{name}");
+        }
+    }
+
+    #[test]
+    fn compiled_fsm_path_replays_typestate_runs_exactly() {
+        // The control-FSM twin of the frame-path test above: the same
+        // scenario driven by the typestate machine and by the compiled
+        // transition-table stepper produces an identical result —
+        // timing, frame counts, retransmissions, link counters and all.
+        let driver = SuiteDriver::new();
+        for seed in [3, 11, 42] {
+            let typestate = base(STOP_AND_WAIT).with_seed(seed);
+            let mut compiled = base(STOP_AND_WAIT).with_seed(seed);
+            compiled.protocol = compiled.protocol.clone().with_fsm_path(FsmPath::Compiled);
+            let rt = driver.run(&typestate).unwrap();
+            let rc = driver.run(&compiled).unwrap();
+            assert_eq!(rt, rc, "seed {seed}: fsm paths diverge");
+            assert!(rc.success, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn compiled_fsm_path_refused_without_a_driver() {
+        // Protocols without a reified control spec must refuse the axis
+        // loudly rather than silently measure the typestate engine.
+        let driver = SuiteDriver::new();
+        for name in [GO_BACK_N, SELECTIVE_REPEAT, BASELINE] {
+            let mut scenario = base(name);
+            scenario.protocol = scenario.protocol.clone().with_fsm_path(FsmPath::Compiled);
+            assert!(
+                matches!(driver.run(&scenario), Err(ScenarioError::Unsupported(_))),
+                "{name} must refuse FsmPath::Compiled"
+            );
         }
     }
 

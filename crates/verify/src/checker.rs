@@ -6,11 +6,13 @@
 //! exhaustively explored, checked against invariants, and queried for
 //! reachability, with counter-example traces extracted on failure.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 
 use netdsl_core::fsm::{Config, EventId, Machine, Spec};
+use netdsl_core::fsm_compiled::{CompiledFsm, Stepper};
 
 /// A labelled transition system.
 pub trait System {
@@ -283,6 +285,59 @@ impl System for SpecSystem<'_> {
     }
 }
 
+/// Adapts a [`CompiledFsm`] as a [`System`]: the dense-table successor
+/// function. Behaviourally identical to [`SpecSystem`] over the same
+/// spec (same states, transitions, deadlocks — pinned by the
+/// equivalence tests), but each successor query is one row probe of the
+/// compiled table instead of a fresh [`Machine`] plus boxed-`Expr`
+/// re-evaluation per event, which is what makes exhaustive exploration
+/// of large variable domains cheap (experiment E14).
+///
+/// The internal [`Stepper`] is reused across queries through a
+/// [`RefCell`] — exploration is single-threaded per explorer, and
+/// [`System::successors`] takes `&self`.
+#[derive(Debug)]
+pub struct CompiledSpecSystem<'c> {
+    fsm: &'c CompiledFsm,
+    stepper: RefCell<Stepper<'c>>,
+}
+
+impl<'c> CompiledSpecSystem<'c> {
+    /// Wraps a compiled artifact.
+    pub fn new(fsm: &'c CompiledFsm) -> Self {
+        CompiledSpecSystem {
+            fsm,
+            stepper: RefCell::new(Stepper::new(fsm)),
+        }
+    }
+
+    /// The wrapped artifact.
+    pub fn fsm(&self) -> &'c CompiledFsm {
+        self.fsm
+    }
+}
+
+impl System for CompiledSpecSystem<'_> {
+    type State = Config;
+    type Label = EventId;
+
+    fn initial(&self) -> Config {
+        self.fsm.initial_config()
+    }
+
+    fn successors(&self, s: &Config) -> Vec<(EventId, Config)> {
+        let mut stepper = self.stepper.borrow_mut();
+        stepper.set_config(s).expect("reachable configs are valid");
+        let mut out = Vec::new();
+        stepper.successors_into(&mut out);
+        out
+    }
+
+    fn is_terminal(&self, s: &Config) -> bool {
+        self.fsm.state_is_terminal(s.state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,5 +488,48 @@ mod tests {
                 .is_none(),
             "domain wrapping keeps seq within bounds"
         );
+    }
+
+    #[test]
+    fn dense_table_exploration_equals_enum_dispatch() {
+        // The checker-equivalence contract: exploring through the
+        // compiled table must produce the identical report as exploring
+        // through Machine::apply per event.
+        let spec = paper_sender_spec(7);
+        let fsm = netdsl_core::fsm_compiled::lower(&spec).unwrap();
+        let walker = SpecSystem::new(&spec);
+        let dense = CompiledSpecSystem::new(&fsm);
+        let rw = Explorer::new().explore(&walker);
+        let rd = Explorer::new().explore(&dense);
+        assert_eq!(rw.states, rd.states);
+        assert_eq!(rw.transitions, rd.transitions);
+        assert_eq!(rw.deadlocks, rd.deadlocks);
+        assert_eq!(rw.truncated, rd.truncated);
+        assert_eq!(
+            Explorer::new().always_eventually_terminal(&walker),
+            Explorer::new().always_eventually_terminal(&dense),
+        );
+    }
+
+    #[test]
+    fn dense_table_invariant_counterexamples_agree() {
+        let spec = paper_sender_spec(3);
+        let fsm = netdsl_core::fsm_compiled::lower(&spec).unwrap();
+        let dense = CompiledSpecSystem::new(&fsm);
+        assert!(Explorer::new()
+            .check_invariant(&dense, |c| c.vars[0] <= 3)
+            .is_none());
+        // A violated invariant yields the same shortest counter-example
+        // depth from both successor functions (BFS order may differ in
+        // label, not in length).
+        let walker = SpecSystem::new(&spec);
+        let cw = Explorer::new()
+            .check_invariant(&walker, |c| c.vars[0] < 2)
+            .expect("seq reaches 2");
+        let cd = Explorer::new()
+            .check_invariant(&dense, |c| c.vars[0] < 2)
+            .expect("seq reaches 2");
+        assert_eq!(cw.path.len(), cd.path.len());
+        assert_eq!(cw.state, cd.state);
     }
 }

@@ -27,6 +27,8 @@ pub mod checker;
 pub mod props;
 pub mod testgen;
 
-pub use checker::{CounterExample, ExplorationReport, Explorer, Limits, System};
+pub use checker::{
+    CompiledSpecSystem, CounterExample, ExplorationReport, Explorer, Limits, SpecSystem, System,
+};
 pub use props::{SpecReport, Verdict};
 pub use testgen::{coverage_of, random_suite, transition_cover, TestCase};

@@ -218,12 +218,29 @@ mod tests {
 
     #[test]
     fn nondeterministic_spec_flagged() {
+        // Certain overlap (unguarded duplicates) is rejected at build
+        // since the first-match-free determinism contract landed, so the
+        // checker's job is the *residual* case: distinct guards that
+        // both hold for some valuation (here x <= 5).
         let spec = Spec::builder("nd")
             .state("A")
             .state("B")
             .event("GO")
-            .transition("A", "GO", "B")
-            .transition("A", "GO", "A")
+            .var("x", 9, 0)
+            .transition_full(
+                "A",
+                "GO",
+                "B",
+                Some(Expr::Le(Box::new(Expr::var("x")), Box::new(Expr::Const(5)))),
+                vec![],
+            )
+            .transition_full(
+                "A",
+                "GO",
+                "A",
+                Some(Expr::Le(Box::new(Expr::var("x")), Box::new(Expr::Const(7)))),
+                vec![],
+            )
             .build()
             .unwrap();
         let report = check_spec(&spec, Limits::default());
