@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use netdsl_bench::harnesses;
 use netdsl_bench::report::{self, BenchReport, Metric};
-use netdsl_bench::workload;
+use netdsl_bench::{stages, workload};
 use netdsl_netsim::{LinkConfig, Simulator};
 use netdsl_protocols::scenario::SuiteDriver;
 
@@ -165,6 +165,10 @@ fn main() {
              this run ({speedup:.3}x) — expected > 1; likely measurement noise"
         );
     }
+    // Stage attribution rides along so a throughput regression can be
+    // localised (encode vs schedule vs deliver …) without a re-run.
+    stages::attach(&mut out, reps, report::scaled(20_000, 2_000));
+
     println!("\nexpected shape: speedup > 1 (payload move beats per-send clone);");
     println!("campaign and summary throughput trend up across commits.");
 

@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use netdsl_bench::harnesses::e13_campaign;
 use netdsl_bench::report::{self, BenchReport, Metric};
+use netdsl_bench::stages;
 use netdsl_netsim::{EventRef, LinkConfig, SimCore, Simulator};
 use netdsl_protocols::scenario::SuiteDriver;
 
@@ -250,6 +251,10 @@ fn main() {
              (expected ≥ 1.5x); likely measurement noise"
         );
     }
+    // Stage attribution rides along (and into the E13 alias below) so a
+    // simcore regression can be localised to schedule/deliver vs codec.
+    stages::attach(&mut out, reps, report::scaled(20_000, 2_000));
+
     println!("\nexpected shape: frame_speedup > 1, campaign_speedup ≥ 1.5 (the simcore gate);");
     println!("pooled allocates nothing per frame (see netsim tests/alloc_zero.rs).");
 

@@ -50,6 +50,7 @@
 
 pub mod arena;
 pub mod campaign;
+pub mod golden;
 pub mod link;
 pub mod scenario;
 pub mod sim;
@@ -60,6 +61,9 @@ mod wheel;
 
 pub use arena::{ArenaStats, PayloadArena, PayloadRef};
 pub use campaign::{Campaign, CampaignReport, Summary, Sweep};
+pub use golden::{
+    GoldenEvent, GoldenEventKind, GoldenResult, GoldenScenario, GoldenTrace, Verdict,
+};
 pub use link::LinkConfig;
 pub use scenario::{
     Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioResult, TopologySpec, TrafficPattern,

@@ -28,6 +28,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 use crate::arena::{PayloadArena, PayloadRef};
+use crate::golden::{GoldenEvent, GoldenEventKind, Verdict};
 use crate::link::LinkConfig;
 use crate::stats::LinkStats;
 use crate::trace::{Trace, TraceEntry};
@@ -230,6 +231,15 @@ thread_local! {
 /// at a time; a few extra cover nested helper simulations).
 const CORE_POOL_CAP: usize = 8;
 
+/// Golden-trace capture state, boxed behind an `Option` so the hot path
+/// pays one predictable branch when recording is off (the default).
+#[derive(Debug, Default)]
+struct GoldenLog {
+    events: Vec<GoldenEvent>,
+    /// Index of the most recent `Delivered` event, pending annotation.
+    last_delivery: Option<usize>,
+}
+
 /// A deterministic discrete-event network simulator.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -245,6 +255,7 @@ pub struct Simulator {
     rng: ChaCha12Rng,
     trace: Trace,
     cancelled_timers: Vec<(NodeId, TimerToken)>,
+    golden: Option<Box<GoldenLog>>,
 }
 
 impl Simulator {
@@ -284,6 +295,45 @@ impl Simulator {
             rng: ChaCha12Rng::seed_from_u64(seed),
             trace: Trace::new(),
             cancelled_timers: Vec::new(),
+            golden: None,
+        }
+    }
+
+    /// Switches golden-trace capture on or off (off by default, so the
+    /// zero-allocation hot path is untouched in normal runs). While on,
+    /// every frame event is logged with its full wire bytes; deliveries
+    /// can then be annotated with a verdict and endpoint digest via
+    /// [`Simulator::annotate_delivery`]. See [`crate::golden`].
+    pub fn record_golden(&mut self, on: bool) {
+        self.golden = on.then(Box::default);
+    }
+
+    /// Attaches the validation verdict and endpoint state digest to the
+    /// most recently delivered frame. Call between a
+    /// [`Simulator::step_ref`] that returned a frame and the next step;
+    /// a no-op when golden capture is off.
+    pub fn annotate_delivery(&mut self, verdict: Verdict, digest: u64) {
+        let Some(golden) = &mut self.golden else {
+            return;
+        };
+        let Some(idx) = golden.last_delivery.take() else {
+            return;
+        };
+        let ev = &mut golden.events[idx];
+        debug_assert_eq!(ev.kind, GoldenEventKind::Delivered);
+        ev.verdict = Some(verdict);
+        ev.digest = Some(digest);
+    }
+
+    /// Takes the captured golden events, leaving capture enabled with an
+    /// empty log.
+    pub fn take_golden_events(&mut self) -> Vec<GoldenEvent> {
+        match &mut self.golden {
+            Some(golden) => {
+                golden.last_delivery = None;
+                std::mem::take(&mut golden.events)
+            }
+            None => Vec::new(),
         }
     }
 
@@ -447,6 +497,22 @@ impl Simulator {
         self.queue.push(at, seq, what);
     }
 
+    /// Appends one golden event (capture must be on) and returns its
+    /// index in the log.
+    fn push_golden(&mut self, kind: GoldenEventKind, link: LinkId, bytes: Vec<u8>) -> usize {
+        let at = self.time;
+        let golden = self.golden.as_mut().expect("golden capture enabled");
+        golden.events.push(GoldenEvent {
+            at,
+            kind,
+            link: link.index(),
+            bytes,
+            verdict: None,
+            digest: None,
+        });
+        golden.events.len() - 1
+    }
+
     /// Transmits `payload` over `link`, applying the link's
     /// impairments. Compatibility wrapper over [`Simulator::send_ref`]:
     /// adopts the buffer into the arena without copying.
@@ -483,6 +549,10 @@ impl Simulator {
             link,
             bytes: self.arena.get(&payload).len(),
         });
+        if self.golden.is_some() {
+            let wire = self.arena.get(&payload).to_vec();
+            self.push_golden(GoldenEventKind::Sent, link, wire);
+        }
 
         if self.rng.random_bool(loss) {
             self.links[link.0].stats.lost += 1;
@@ -490,6 +560,9 @@ impl Simulator {
                 at: self.time,
                 link,
             });
+            if self.golden.is_some() {
+                self.push_golden(GoldenEventKind::Lost, link, Vec::new());
+            }
             self.arena.release(payload);
             return false;
         }
@@ -533,6 +606,9 @@ impl Simulator {
                 at: self.time,
                 link,
             });
+            if self.golden.is_some() {
+                self.push_golden(GoldenEventKind::Corrupted, link, Vec::new());
+            }
         }
         let extra = if jitter > 0 {
             self.rng.random_range(0..=jitter)
@@ -579,6 +655,11 @@ impl Simulator {
                         link,
                         bytes: self.arena.get(&payload).len(),
                     });
+                    if self.golden.is_some() {
+                        let wire = self.arena.get(&payload).to_vec();
+                        let idx = self.push_golden(GoldenEventKind::Delivered, link, wire);
+                        self.golden.as_mut().unwrap().last_delivery = Some(idx);
+                    }
                     return Some(EventRef::Frame {
                         node: to,
                         link,
@@ -988,6 +1069,45 @@ mod tests {
             "steady state reuses slots: {stats:?}"
         );
         assert_eq!(stats.payloads, 100);
+    }
+
+    #[test]
+    fn golden_capture_logs_wire_bytes_and_annotations() {
+        use crate::golden::{GoldenEventKind, Verdict};
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(2));
+        sim.record_golden(true);
+        sim.send(ab, vec![7, 8, 9]);
+        let ev = sim.step_ref().unwrap();
+        let EventRef::Frame { payload, .. } = ev else {
+            panic!("expected a frame");
+        };
+        sim.release_payload(payload);
+        sim.annotate_delivery(Verdict::Valid, 0x1234);
+        let events = sim.take_golden_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, GoldenEventKind::Sent);
+        assert_eq!(events[0].bytes, vec![7, 8, 9]);
+        assert_eq!(events[0].verdict, None);
+        assert_eq!(events[1].kind, GoldenEventKind::Delivered);
+        assert_eq!(events[1].at, 2);
+        assert_eq!(events[1].verdict, Some(Verdict::Valid));
+        assert_eq!(events[1].digest, Some(0x1234));
+        assert!(sim.take_golden_events().is_empty(), "log was drained");
+    }
+
+    #[test]
+    fn golden_capture_off_records_nothing_and_annotation_is_inert() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(1));
+        sim.send(ab, vec![1]);
+        sim.step();
+        sim.annotate_delivery(crate::golden::Verdict::Valid, 1);
+        assert!(sim.take_golden_events().is_empty());
     }
 
     #[test]

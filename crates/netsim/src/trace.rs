@@ -8,6 +8,10 @@
 //! allocation-free, which the zero-allocation frame-path test
 //! (`tests/alloc_zero.rs`) relies on.
 
+use std::cmp::Ordering;
+
+use serde::json::Value;
+
 use crate::sim::LinkId;
 use crate::Tick;
 
@@ -51,6 +55,116 @@ pub enum TraceEntry {
         /// Link on which it occurred.
         link: LinkId,
     },
+}
+
+impl TraceEntry {
+    /// Virtual time of the event.
+    pub fn at(&self) -> Tick {
+        match self {
+            TraceEntry::Sent { at, .. }
+            | TraceEntry::Delivered { at, .. }
+            | TraceEntry::Lost { at, .. }
+            | TraceEntry::Corrupted { at, .. } => *at,
+        }
+    }
+
+    /// Link the event occurred on.
+    pub fn link(&self) -> LinkId {
+        match self {
+            TraceEntry::Sent { link, .. }
+            | TraceEntry::Delivered { link, .. }
+            | TraceEntry::Lost { link, .. }
+            | TraceEntry::Corrupted { link, .. } => *link,
+        }
+    }
+
+    /// Frame size for entries that carry one (`Sent` / `Delivered`).
+    pub fn bytes(&self) -> Option<usize> {
+        match self {
+            TraceEntry::Sent { bytes, .. } | TraceEntry::Delivered { bytes, .. } => Some(*bytes),
+            TraceEntry::Lost { .. } | TraceEntry::Corrupted { .. } => None,
+        }
+    }
+
+    /// Canonical serialized label of the entry kind.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            TraceEntry::Sent { .. } => "sent",
+            TraceEntry::Delivered { .. } => "delivered",
+            TraceEntry::Lost { .. } => "lost",
+            TraceEntry::Corrupted { .. } => "corrupted",
+        }
+    }
+
+    /// Tie-break rank for same-tick events. Within one tick the engine
+    /// causally emits sends before drops/corruptions and those before
+    /// deliveries of earlier sends, so the canonical kind order is
+    /// `Sent < Lost < Corrupted < Delivered`.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            TraceEntry::Sent { .. } => 0,
+            TraceEntry::Lost { .. } => 1,
+            TraceEntry::Corrupted { .. } => 2,
+            TraceEntry::Delivered { .. } => 3,
+        }
+    }
+
+    /// Serializes the entry to a JSON object (`at` / `kind` / `link`,
+    /// plus `bytes` where applicable).
+    pub fn to_json(&self) -> Value {
+        let mut v = Value::object()
+            .set("at", self.at() as f64)
+            .set("kind", self.kind_str())
+            .set("link", self.link().index());
+        if let Some(bytes) = self.bytes() {
+            v = v.set("bytes", bytes);
+        }
+        v
+    }
+
+    /// Parses an entry serialized by [`TraceEntry::to_json`].
+    pub fn from_json(v: &Value) -> Option<Self> {
+        let at = v.get("at")?.as_u64()?;
+        let link = LinkId(v.get("link")?.as_u64()? as usize);
+        let bytes = || Some(v.get("bytes")?.as_u64()? as usize);
+        Some(match v.get("kind")?.as_str()? {
+            "sent" => TraceEntry::Sent {
+                at,
+                link,
+                bytes: bytes()?,
+            },
+            "delivered" => TraceEntry::Delivered {
+                at,
+                link,
+                bytes: bytes()?,
+            },
+            "lost" => TraceEntry::Lost { at, link },
+            "corrupted" => TraceEntry::Corrupted { at, link },
+            _ => return None,
+        })
+    }
+}
+
+/// The canonical total order: by time, then kind rank
+/// (`Sent < Lost < Corrupted < Delivered`), then link index, then frame
+/// size. Two entries comparing equal are genuinely indistinguishable, so
+/// sorting a trace stably by this order yields a deterministic sequence
+/// whatever thread interleaving produced the recordings being merged.
+impl Ord for TraceEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at(), self.kind_rank(), self.link(), self.bytes()).cmp(&(
+            other.at(),
+            other.kind_rank(),
+            other.link(),
+            other.bytes(),
+        ))
+    }
+}
+
+impl PartialOrd for TraceEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// Bounded ring of [`TraceEntry`] values plus whole-run totals.
@@ -141,6 +255,16 @@ impl Trace {
     pub fn bytes_delivered(&self) -> u64 {
         self.bytes_delivered
     }
+
+    /// The retained entries in canonical order (stable sort by
+    /// [`TraceEntry`]'s `Ord`). Recording order is already nondecreasing
+    /// in time, so this only normalizes same-tick tie-breaks — the form
+    /// transcripts should be compared in.
+    pub fn canonical_entries(&self) -> Vec<TraceEntry> {
+        let mut entries: Vec<TraceEntry> = self.iter().copied().collect();
+        entries.sort();
+        entries
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +316,97 @@ mod tests {
             })
             .collect();
         assert_eq!(ats, vec![2, 3, 4], "oldest first, newest kept");
+    }
+
+    #[test]
+    fn canonical_order_breaks_same_tick_ties_deterministically() {
+        let sent = TraceEntry::Sent {
+            at: 5,
+            link: LinkId(1),
+            bytes: 8,
+        };
+        let lost = TraceEntry::Lost {
+            at: 5,
+            link: LinkId(0),
+        };
+        let corrupted = TraceEntry::Corrupted {
+            at: 5,
+            link: LinkId(0),
+        };
+        let delivered = TraceEntry::Delivered {
+            at: 5,
+            link: LinkId(0),
+            bytes: 8,
+        };
+        let earlier = TraceEntry::Delivered {
+            at: 4,
+            link: LinkId(9),
+            bytes: 99,
+        };
+        let mut entries = vec![delivered, corrupted, lost, sent, earlier];
+        entries.sort();
+        assert_eq!(entries, vec![earlier, sent, lost, corrupted, delivered]);
+        // Same tick and kind: link index breaks the tie.
+        let a = TraceEntry::Sent {
+            at: 5,
+            link: LinkId(0),
+            bytes: 8,
+        };
+        assert!(a < sent);
+    }
+
+    #[test]
+    fn canonical_entries_sorts_stably_and_keeps_everything() {
+        let mut t = Trace::new();
+        // Recording order is time-ordered but same-tick kinds arrive in
+        // engine order; canonical_entries normalizes the tie-break.
+        t.record(TraceEntry::Delivered {
+            at: 0,
+            link: LinkId(1),
+            bytes: 4,
+        });
+        t.record(TraceEntry::Sent {
+            at: 0,
+            link: LinkId(0),
+            bytes: 4,
+        });
+        t.record(TraceEntry::Sent {
+            at: 1,
+            link: LinkId(0),
+            bytes: 4,
+        });
+        let canon = t.canonical_entries();
+        assert_eq!(canon.len(), 3);
+        assert!(canon.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(canon[0].kind_str(), "sent");
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let entries = [
+            TraceEntry::Sent {
+                at: 3,
+                link: LinkId(0),
+                bytes: 16,
+            },
+            TraceEntry::Delivered {
+                at: 7,
+                link: LinkId(1),
+                bytes: 16,
+            },
+            TraceEntry::Lost {
+                at: 9,
+                link: LinkId(0),
+            },
+            TraceEntry::Corrupted {
+                at: 9,
+                link: LinkId(1),
+            },
+        ];
+        for e in entries {
+            let back = TraceEntry::from_json(&e.to_json()).unwrap();
+            assert_eq!(back, e);
+        }
+        assert!(TraceEntry::from_json(&Value::object().set("kind", "sent")).is_none());
     }
 }

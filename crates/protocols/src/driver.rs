@@ -52,6 +52,15 @@ impl Io<'_> {
     pub fn now(&self) -> Tick {
         self.sim.now()
     }
+
+    /// Attaches a validation verdict and endpoint state digest to the
+    /// frame currently being dispatched (a no-op unless the simulator
+    /// has golden-trace capture on — see
+    /// [`Simulator::record_golden`](netdsl_netsim::Simulator::record_golden)
+    /// and [`crate::golden`]).
+    pub fn annotate_golden(&mut self, verdict: netdsl_netsim::Verdict, digest: u64) {
+        self.sim.annotate_delivery(verdict, digest);
+    }
 }
 
 /// A protocol participant driven by frames and timers.

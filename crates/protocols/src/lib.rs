@@ -33,6 +33,7 @@ pub mod codec;
 pub mod driver;
 pub mod dv;
 pub mod gbn;
+pub mod golden;
 pub mod handshake;
 pub mod ipv4;
 pub mod scenario;

@@ -167,7 +167,7 @@ pub fn drive_duplex<A: Endpoint, B: Endpoint>(
 /// lower; silently falling back to the typestate engine would let a
 /// sweep label a cell "compiled" while measuring something else — the
 /// same honesty rule the driver applies to fault schedules.
-fn refuse_compiled_fsm(spec: &ProtocolSpec) -> Result<(), ScenarioError> {
+pub(crate) fn refuse_compiled_fsm(spec: &ProtocolSpec) -> Result<(), ScenarioError> {
     match spec.fsm_path {
         FsmPath::Typestate => Ok(()),
         FsmPath::Compiled => Err(ScenarioError::Unsupported(format!(

@@ -1,0 +1,206 @@
+//! Golden-trace parity suite: the committed corpus under
+//! `tests/golden/` is the behavioural contract of the whole engine.
+//!
+//! Every fixture is replayed under the **full engine-axis product** —
+//! `SimCore` (pooled / legacy) × `FramePath` (interpreted / compiled) ×
+//! `FsmPath` (typestate / compiled), 8 combinations — and each
+//! supported combination must reproduce the committed transcript
+//! **byte-for-byte**: same events at the same ticks, same wire bytes,
+//! same verdicts, same endpoint-state digests, same serialized JSON.
+//! Combinations a protocol refuses (a compiled control FSM exists only
+//! for stop-and-wait) must refuse loudly, not fall back silently.
+//!
+//! A property test widens the net beyond the committed corpus: random
+//! small scenarios across all four protocols and random impairments
+//! must also transcribe identically across every supported combo. And
+//! because campaign workers record from worker threads, recording must
+//! be thread-independent too.
+//!
+//! Regenerating after an intentional behaviour change:
+//! `cargo run -p netdsl-tools --bin golden` (CI runs `--check`).
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use netdsl::netsim::{GoldenTrace, LinkConfig, SimCore};
+use netdsl::protocols::golden::{corpus, engine_combos, record, with_combo};
+use netdsl::protocols::scenario::{BASELINE, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
+use netdsl::scenario::{FramePath, FsmPath, ProtocolSpec, Scenario, TrafficPattern};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Only stop-and-wait has a compiled control FSM; everything else must
+/// refuse `FsmPath::Compiled`.
+fn supported(scenario: &Scenario, fsm: FsmPath) -> bool {
+    fsm == FsmPath::Typestate || scenario.protocol.name == STOP_AND_WAIT
+}
+
+#[test]
+fn corpus_spans_every_protocol_and_impairment() {
+    let fixtures = corpus();
+    assert!(
+        fixtures.len() >= 12,
+        "corpus must stay ≥ 12 fixtures, has {}",
+        fixtures.len()
+    );
+    for protocol in ["sw", "gbn", "sr", "baseline"] {
+        for impairment in ["loss", "corrupt", "dup", "reorder"] {
+            assert!(
+                fixtures
+                    .iter()
+                    .any(|s| s.name == format!("{protocol}-{impairment}")),
+                "corpus lost {protocol}-{impairment}"
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_corpus_replays_byte_identically_under_every_engine_combo() {
+    let fixtures = corpus();
+    let combos = engine_combos();
+    assert_eq!(combos.len(), 8, "2 cores × 2 frame paths × 2 FSM paths");
+    for scenario in &fixtures {
+        let path = fixture_path(&scenario.name);
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: committed fixture unreadable ({e}); \
+                 run `cargo run -p netdsl-tools --bin golden`",
+                path.display()
+            )
+        });
+        let parsed = GoldenTrace::from_json_str(&committed)
+            .unwrap_or_else(|e| panic!("{}: fixture does not parse: {e}", scenario.name));
+        assert_eq!(parsed.name, scenario.name, "fixture name matches its file");
+        assert_eq!(
+            parsed.to_json_string(),
+            committed,
+            "{}: committed fixture is not in canonical serialization",
+            scenario.name
+        );
+
+        for &combo in &combos {
+            let variant = with_combo(scenario, combo);
+            if supported(scenario, combo.2) {
+                let replay = record(&variant).unwrap_or_else(|e| {
+                    panic!("{} under {combo:?}: recording failed: {e}", scenario.name)
+                });
+                assert_eq!(
+                    replay.to_json_string(),
+                    committed,
+                    "{} under {combo:?}: transcript drifted from the committed fixture",
+                    scenario.name
+                );
+            } else {
+                assert!(
+                    record(&variant).is_err(),
+                    "{} under {combo:?}: must refuse loudly, not fall back",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recording_is_identical_across_threads() {
+    // Campaign workers record from worker threads; the transcript must
+    // not depend on which thread does the recording.
+    let scenario = corpus()
+        .into_iter()
+        .find(|s| s.name == "gbn-reorder")
+        .expect("corpus names are stable");
+    let here = record(&scenario).unwrap().to_json_string();
+    let moved = scenario.clone();
+    let there = std::thread::spawn(move || record(&moved).unwrap().to_json_string())
+        .join()
+        .expect("recording thread completes");
+    assert_eq!(here, there, "recording depends on the recording thread");
+    // And the default-axes recording is the committed fixture.
+    assert_eq!(
+        here,
+        std::fs::read_to_string(fixture_path("gbn-reorder")).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The parity property behind the corpus, over scenarios nobody
+    /// hand-picked: any small scenario, any seed, any mix of loss and
+    /// corruption — every supported engine combo produces the same
+    /// serialized transcript, and unsupported combos refuse.
+    #[test]
+    fn engine_axes_never_change_the_transcript(
+        protocol_idx in 0usize..4,
+        loss_pct in 0u32..30,
+        corrupt_pct in 0u32..15,
+        messages in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let (protocol, window, timeout) = [
+            (STOP_AND_WAIT, 1u32, 60u64),
+            (GO_BACK_N, 4, 100),
+            (SELECTIVE_REPEAT, 4, 100),
+            (BASELINE, 1, 60),
+        ][protocol_idx];
+        let link = LinkConfig::lossy(2, f64::from(loss_pct) / 100.0)
+            .with_corrupt(f64::from(corrupt_pct) / 100.0);
+        let scenario = Scenario::new(
+            ProtocolSpec::new(protocol)
+                .with_window(window)
+                .with_timeout(timeout)
+                .with_retries(200),
+            link,
+        )
+        .with_name(format!("prop-{protocol_idx}-{loss_pct}-{corrupt_pct}-{seed}"))
+        .with_traffic(TrafficPattern::messages(messages, 8))
+        .with_seed(seed)
+        .with_deadline(100_000);
+
+        let mut reference: Option<String> = None;
+        let mut replayed = 0usize;
+        for combo in engine_combos() {
+            let variant = with_combo(&scenario, combo);
+            if supported(&scenario, combo.2) {
+                let text = record(&variant).unwrap().to_json_string();
+                match &reference {
+                    Some(first) => prop_assert_eq!(
+                        first, &text,
+                        "combo {:?} diverged on {}", combo, scenario.name
+                    ),
+                    None => reference = Some(text),
+                }
+                replayed += 1;
+            } else {
+                prop_assert!(
+                    record(&variant).is_err(),
+                    "combo {:?} must refuse {}", combo, scenario.name
+                );
+            }
+        }
+        let expected = if protocol == STOP_AND_WAIT { 8 } else { 4 };
+        prop_assert_eq!(replayed, expected, "supported-combo count");
+    }
+}
+
+// Also used as a free sanity anchor: SimCore and FramePath appear in
+// `engine_combos()`; reference them so the import list stays honest.
+#[test]
+fn engine_combo_axes_cover_both_values_of_every_axis() {
+    let combos = engine_combos();
+    for core in [SimCore::Pooled, SimCore::Legacy] {
+        assert!(combos.iter().any(|c| c.0 == core));
+    }
+    for frame in [FramePath::Interpreted, FramePath::Compiled] {
+        assert!(combos.iter().any(|c| c.1 == frame));
+    }
+    for fsm in [FsmPath::Typestate, FsmPath::Compiled] {
+        assert!(combos.iter().any(|c| c.2 == fsm));
+    }
+}

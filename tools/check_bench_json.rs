@@ -4,16 +4,21 @@
 //! ```text
 //! cargo run -p netdsl-tools --bin check_bench_json -- \
 //!     [--expect <id>]... [--expect-benches <benches-dir>]... \
-//!     [--min-metric <id>:<metric>:<min>]... [dir]
+//!     [--expect-stages <id>]... [--min-metric <id>:<metric>:<min>]... [dir]
 //! ```
 //!
 //! Checks, per file: parses as a schema-valid
 //! [`BenchReport`] (which re-derives
 //! the `stats` blocks from the samples — a tampered or truncated
 //! artifact fails), the id matches the file name, the report carries at
-//! least one metric, and at least one metric carries samples.
+//! least one metric, at least one metric carries samples, and — always,
+//! no flag required — every metric carrying a `stage` axis conforms to
+//! the stage-attribution contract: the metric is named
+//! [`STAGE_METRIC`] and its label is one of the canonical [`STAGES`].
+//! A misspelt stage would otherwise fork the label space and silently
+//! break cross-commit, cross-harness stage diffs.
 //!
-//! Expectations come in two forms. `--expect e4_arq_goodput`
+//! Expectations come in three forms. `--expect e4_arq_goodput`
 //! (repeatable) names one required artifact id. `--expect-benches
 //! crates/bench/benches` **discovers** the expected ids from the bench
 //! target sources themselves — every `*.rs` file stem in the directory
@@ -23,6 +28,10 @@
 //! silently thinning the trajectory. Corollary: every `*.rs` file in
 //! the benches directory is treated as a harness; bench-support helper
 //! modules belong in the crate's `src/`, not alongside the targets.
+//! `--expect-stages E13` (repeatable) requires the named artifact to
+//! carry the full stage-attribution profile: a [`STAGE_METRIC`] series
+//! with non-empty samples for **every** canonical stage — the gate that
+//! keeps the engine harnesses' artifacts triage-capable.
 //!
 //! `--min-metric <id>:<metric>:<min>` (repeatable) additionally gates a
 //! performance claim: the named report must carry the named metric and
@@ -37,6 +46,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use netdsl_bench::report::BenchReport;
+use netdsl_bench::stages::{STAGES, STAGE_METRIC};
 
 /// Expected ids discovered from a benches directory: one per `*.rs`
 /// file stem.
@@ -78,8 +88,115 @@ fn parse_metric_floor(spec: &str) -> Result<MetricFloor, String> {
     })
 }
 
+/// Validates one artifact's text end to end: schema parse, filename/id
+/// agreement, non-emptiness, the stage-label contract, and any matching
+/// metric floors. Returns the parsed report plus human-readable gate
+/// confirmations on success, or everything wrong with it.
+fn validate_artifact(
+    name: &str,
+    text: &str,
+    floors: &[MetricFloor],
+) -> Result<(BenchReport, Vec<String>), Vec<String>> {
+    let report = match BenchReport::from_json_str(text) {
+        Ok(report) => report,
+        Err(e) => return Err(vec![format!("{name}: {e}")]),
+    };
+    let mut problems: Vec<String> = Vec::new();
+    let mut confirmations: Vec<String> = Vec::new();
+    if format!("BENCH_{}.json", report.id) != name {
+        problems.push(format!(
+            "{name}: id {:?} does not match file name",
+            report.id
+        ));
+    }
+    if report.metrics.is_empty() {
+        problems.push(format!("{name}: report carries no metrics"));
+    } else if report.metrics.iter().all(|m| m.samples.is_empty()) {
+        problems.push(format!("{name}: every metric is empty of samples"));
+    }
+    problems.extend(stage_label_problems(name, &report));
+    for floor in floors.iter().filter(|f| f.id == report.id) {
+        let means: Vec<f64> = report
+            .metrics
+            .iter()
+            .filter(|m| m.name == floor.metric && !m.samples.is_empty())
+            .map(|m| m.samples.iter().sum::<f64>() / m.samples.len() as f64)
+            .collect();
+        if means.is_empty() {
+            problems.push(format!(
+                "{name}: gated metric {:?} is missing or empty",
+                floor.metric
+            ));
+        } else if let Some(&low) = means
+            .iter()
+            .find(|&&mean| !(mean.is_finite() && mean >= floor.min))
+        {
+            problems.push(format!(
+                "{name}: {} mean {low:.3} is below the required {:.3}",
+                floor.metric, floor.min
+            ));
+        } else {
+            confirmations.push(format!(
+                "gate {name}: {} mean {:.3} ≥ {:.3}",
+                floor.metric,
+                means.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+                floor.min
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok((report, confirmations))
+    } else {
+        Err(problems)
+    }
+}
+
+/// The always-on half of the stage contract: any metric that claims a
+/// `stage` axis must be a [`STAGE_METRIC`] series labelled with a
+/// canonical stage.
+fn stage_label_problems(name: &str, report: &BenchReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    for m in &report.metrics {
+        let Some((_, label)) = m.axes.iter().find(|(axis, _)| axis == "stage") else {
+            continue;
+        };
+        if m.name != STAGE_METRIC {
+            problems.push(format!(
+                "{name}: metric {:?} carries a `stage` axis but only {STAGE_METRIC:?} may",
+                m.name
+            ));
+        }
+        if !STAGES.contains(&label.as_str()) {
+            problems.push(format!(
+                "{name}: unknown stage label {label:?} (canonical: {})",
+                STAGES.join(", ")
+            ));
+        }
+    }
+    problems
+}
+
+/// The opt-in half (`--expect-stages`): the report must carry a
+/// non-empty [`STAGE_METRIC`] series for every canonical stage.
+fn stage_coverage_problems(name: &str, report: &BenchReport) -> Vec<String> {
+    STAGES
+        .iter()
+        .filter(|stage| {
+            !report.metrics.iter().any(|m| {
+                m.name == STAGE_METRIC
+                    && !m.samples.is_empty()
+                    && m.axes
+                        .iter()
+                        .any(|(axis, label)| axis == "stage" && label == *stage)
+            })
+        })
+        .map(|stage| format!("{name}: no non-empty {STAGE_METRIC:?} series for stage {stage:?}"))
+        .collect()
+}
+
 fn main() -> ExitCode {
     let mut expected: Vec<String> = Vec::new();
+    let mut stage_expected: Vec<String> = Vec::new();
     let mut floors: Vec<MetricFloor> = Vec::new();
     let mut dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -112,6 +229,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--expect-stages" => match args.next() {
+                Some(id) => stage_expected.push(id),
+                None => {
+                    eprintln!("--expect-stages needs a report id");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--min-metric" => match args.next().as_deref().map(parse_metric_floor) {
                 Some(Ok(floor)) => floors.push(floor),
                 Some(Err(e)) => {
@@ -126,7 +250,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: check_bench_json [--expect <id>]... [--expect-benches <dir>]... \
-                     [--min-metric <id>:<metric>:<min>]... [dir]"
+                     [--expect-stages <id>]... [--min-metric <id>:<metric>:<min>]... [dir]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -142,7 +266,7 @@ fn main() -> ExitCode {
     let dir = dir.unwrap_or_else(|| PathBuf::from("bench-results"));
 
     let mut problems: Vec<String> = Vec::new();
-    let mut seen: Vec<String> = Vec::new();
+    let mut seen: Vec<BenchReport> = Vec::new();
     let entries = match std::fs::read_dir(&dir) {
         Ok(entries) => entries,
         Err(e) => {
@@ -174,73 +298,47 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let report = match BenchReport::from_json_str(&text) {
-            Ok(report) => report,
-            Err(e) => {
-                problems.push(format!("{name}: {e}"));
-                continue;
-            }
-        };
-        let problems_before = problems.len();
-        if format!("BENCH_{}.json", report.id) != name {
-            problems.push(format!(
-                "{name}: id {:?} does not match file name",
-                report.id
-            ));
-        }
-        if report.metrics.is_empty() {
-            problems.push(format!("{name}: report carries no metrics"));
-        } else if report.metrics.iter().all(|m| m.samples.is_empty()) {
-            problems.push(format!("{name}: every metric is empty of samples"));
-        }
-        for floor in floors.iter().filter(|f| f.id == report.id) {
-            let means: Vec<f64> = report
-                .metrics
-                .iter()
-                .filter(|m| m.name == floor.metric && !m.samples.is_empty())
-                .map(|m| m.samples.iter().sum::<f64>() / m.samples.len() as f64)
-                .collect();
-            if means.is_empty() {
-                problems.push(format!(
-                    "{name}: gated metric {:?} is missing or empty",
-                    floor.metric
-                ));
-            } else if let Some(&low) = means
-                .iter()
-                .find(|&&mean| !(mean.is_finite() && mean >= floor.min))
-            {
-                problems.push(format!(
-                    "{name}: {} mean {low:.3} is below the required {:.3}",
-                    floor.metric, floor.min
-                ));
-            } else {
+        match validate_artifact(name, &text, &floors) {
+            Ok((report, confirmations)) => {
+                for line in confirmations {
+                    println!("{line}");
+                }
+                let samples: usize = report.metrics.iter().map(|m| m.samples.len()).sum();
                 println!(
-                    "gate {name}: {} mean {:.3} ≥ {:.3}",
-                    floor.metric,
-                    means.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
-                    floor.min
+                    "ok   {name}: {} mode, {} metrics, {samples} samples",
+                    report.mode.as_str(),
+                    report.metrics.len()
                 );
+                seen.push(report);
             }
-        }
-        if problems.len() == problems_before {
-            let samples: usize = report.metrics.iter().map(|m| m.samples.len()).sum();
-            println!(
-                "ok   {name}: {} mode, {} metrics, {samples} samples",
-                report.mode.as_str(),
-                report.metrics.len()
-            );
-            seen.push(report.id);
+            Err(mut found) => problems.append(&mut found),
         }
     }
 
     for id in &expected {
-        if !seen.contains(id) {
+        if !seen.iter().any(|r| r.id == *id) {
             problems.push(format!("expected artifact BENCH_{id}.json is missing"));
         }
     }
 
+    for id in &stage_expected {
+        match seen.iter().find(|r| r.id == *id) {
+            Some(report) => {
+                let name = report.file_name();
+                let missing = stage_coverage_problems(&name, report);
+                if missing.is_empty() {
+                    println!("gate {name}: all {} stages attributed", STAGES.len());
+                }
+                problems.extend(missing);
+            }
+            None => problems.push(format!(
+                "stage-gated artifact BENCH_{id}.json was never validated"
+            )),
+        }
+    }
+
     for floor in &floors {
-        if !seen.contains(&floor.id) && !expected.contains(&floor.id) {
+        if !seen.iter().any(|r| r.id == floor.id) && !expected.contains(&floor.id) {
             problems.push(format!(
                 "gated artifact BENCH_{}.json was never validated",
                 floor.id
@@ -256,5 +354,149 @@ fn main() -> ExitCode {
             eprintln!("FAIL {p}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdsl_bench::report::Metric;
+
+    fn fixture(id: &str) -> BenchReport {
+        let mut r = BenchReport::new(id, "check_bench_json fixture");
+        r.push(
+            Metric::new("goodput", "bytes/1000ticks")
+                .with_axis("protocol", "SW")
+                .with_samples([10.5, 11.25, 13.0]),
+        );
+        r
+    }
+
+    fn with_stages(mut r: BenchReport) -> BenchReport {
+        for stage in STAGES {
+            r.push(
+                Metric::new(STAGE_METRIC, "ns/op")
+                    .with_axis("stage", stage)
+                    .with_samples([50.0, 60.0]),
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn parse_metric_floor_accepts_the_documented_form() {
+        let floor = parse_metric_floor("E13:campaign_speedup:1.5").unwrap();
+        assert_eq!(floor.id, "E13");
+        assert_eq!(floor.metric, "campaign_speedup");
+        assert_eq!(floor.min, 1.5);
+    }
+
+    #[test]
+    fn parse_metric_floor_rejects_wrong_arity_and_bad_numbers() {
+        assert!(parse_metric_floor("E13:campaign_speedup").is_err());
+        assert!(parse_metric_floor("E13:a:b:1.5").is_err());
+        assert!(parse_metric_floor("E13:campaign_speedup:fast").is_err());
+    }
+
+    #[test]
+    fn bench_stems_discovers_sorted_rs_stems_and_rejects_empty_dirs() {
+        let dir = std::env::temp_dir().join(format!("netdsl-stems-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for f in ["e2_b.rs", "e1_a.rs", "notes.txt"] {
+            std::fs::write(dir.join(f), "").unwrap();
+        }
+        assert_eq!(bench_stems(&dir).unwrap(), vec!["e1_a", "e2_b"]);
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(bench_stems(&empty).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        assert!(validate_artifact("BENCH_x.json", "{ not json", &[]).is_err());
+        // Schema-invalid (truncated stats) text also fails.
+        let text = fixture("x").to_json_string().replace("10.5", "99.5");
+        assert!(validate_artifact("BENCH_x.json", &text, &[]).is_err());
+    }
+
+    #[test]
+    fn filename_id_mismatch_and_empty_reports_are_rejected() {
+        let text = fixture("x").to_json_string();
+        let problems = validate_artifact("BENCH_y.json", &text, &[]).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("does not match")));
+
+        let mut empty = fixture("x");
+        empty.metrics.clear();
+        let problems = validate_artifact("BENCH_x.json", &empty.to_json_string(), &[]).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("no metrics")));
+    }
+
+    #[test]
+    fn metric_floors_gate_means() {
+        let text = fixture("x").to_json_string();
+        let passing = parse_metric_floor("x:goodput:11").unwrap();
+        let (_, confirmations) = validate_artifact("BENCH_x.json", &text, &[passing]).unwrap();
+        assert_eq!(confirmations.len(), 1, "passing gate is confirmed");
+        let failing = parse_metric_floor("x:goodput:12").unwrap();
+        let problems = validate_artifact("BENCH_x.json", &text, &[failing]).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("below the required")));
+        let absent = parse_metric_floor("x:latency:1").unwrap();
+        let problems = validate_artifact("BENCH_x.json", &text, &[absent]).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("missing or empty")));
+    }
+
+    #[test]
+    fn stage_labels_are_validated_unconditionally() {
+        let good = with_stages(fixture("x"));
+        assert!(validate_artifact("BENCH_x.json", &good.to_json_string(), &[]).is_ok());
+
+        let mut typo = fixture("x");
+        typo.push(
+            Metric::new(STAGE_METRIC, "ns/op")
+                .with_axis("stage", "encoed")
+                .with_sample(1.0),
+        );
+        let problems = validate_artifact("BENCH_x.json", &typo.to_json_string(), &[]).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("unknown stage label")));
+
+        let mut wrong_name = fixture("x");
+        wrong_name.push(
+            Metric::new("latency", "ns/op")
+                .with_axis("stage", "encode")
+                .with_sample(1.0),
+        );
+        let problems =
+            validate_artifact("BENCH_x.json", &wrong_name.to_json_string(), &[]).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("only")));
+    }
+
+    #[test]
+    fn stage_coverage_requires_every_stage_non_empty() {
+        let full = with_stages(fixture("x"));
+        assert!(stage_coverage_problems("BENCH_x.json", &full).is_empty());
+
+        // Missing one stage.
+        let mut partial = fixture("x");
+        for stage in &STAGES[..STAGES.len() - 1] {
+            partial.push(
+                Metric::new(STAGE_METRIC, "ns/op")
+                    .with_axis("stage", *stage)
+                    .with_sample(1.0),
+            );
+        }
+        let problems = stage_coverage_problems("BENCH_x.json", &partial);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains(STAGES[STAGES.len() - 1]));
+
+        // Present but empty of samples is not coverage.
+        let mut hollow = with_stages(fixture("x"));
+        for m in hollow.metrics.iter_mut().filter(|m| m.name == STAGE_METRIC) {
+            m.samples.clear();
+        }
+        assert_eq!(
+            stage_coverage_problems("BENCH_x.json", &hollow).len(),
+            STAGES.len()
+        );
     }
 }
