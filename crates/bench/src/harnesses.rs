@@ -11,7 +11,9 @@
 //! cell-for-cell with full-depth ones.
 
 use netdsl_netsim::campaign::{Campaign, Sweep};
-use netdsl_netsim::scenario::{FramePath, ProtocolSpec, TopologySpec, TrafficPattern};
+use netdsl_netsim::scenario::{
+    EngineConfig, FramePath, ProtocolSpec, TopologySpec, TrafficPattern,
+};
 use netdsl_netsim::{LinkConfig, SimCore};
 use netdsl_protocols::scenario::{GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
 
@@ -217,6 +219,10 @@ pub fn e11_campaign(quick: bool) -> Campaign {
 pub fn e12_campaign(quick: bool, path: FramePath) -> Campaign {
     let messages = pick(quick, 64, 16);
     let size = pick(quick, 256, 64);
+    let engine = EngineConfig {
+        frame_path: path,
+        ..EngineConfig::default()
+    };
     Campaign::new(format!("e12-{}", path.as_str()), 0xE12)
         .protocols(Sweep::grid([
             (
@@ -225,7 +231,7 @@ pub fn e12_campaign(quick: bool, path: FramePath) -> Campaign {
                     .with_window(8)
                     .with_timeout(120)
                     .with_retries(400)
-                    .with_frame_path(path),
+                    .with_engine(engine),
             ),
             (
                 "sr8",
@@ -233,7 +239,7 @@ pub fn e12_campaign(quick: bool, path: FramePath) -> Campaign {
                     .with_window(8)
                     .with_timeout(120)
                     .with_retries(400)
-                    .with_frame_path(path),
+                    .with_engine(engine),
             ),
         ]))
         .links(Sweep::grid([
@@ -260,13 +266,17 @@ pub fn e12_campaign(quick: bool, path: FramePath) -> Campaign {
 pub fn e13_campaign(quick: bool, core: SimCore) -> Campaign {
     let messages = pick(quick, 48, 12);
     let size = 512;
-    let proto = |name: &str, window: u32| {
+    let engine = EngineConfig {
+        sim_core: core,
+        frame_path: FramePath::Compiled,
+        ..EngineConfig::default()
+    };
+    let proto = move |name: &str, window: u32| {
         ProtocolSpec::new(name)
             .with_window(window)
             .with_timeout(150)
             .with_retries(400)
-            .with_frame_path(FramePath::Compiled)
-            .with_sim_core(core)
+            .with_engine(engine)
     };
     Campaign::new(format!("e13-{}", core.as_str()), 0xE13)
         .protocols(Sweep::grid([

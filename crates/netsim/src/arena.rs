@@ -69,6 +69,11 @@ pub struct PayloadArena {
     /// waiting to back a slot whose own buffer was stolen by
     /// [`detach`](PayloadArena::detach).
     spare: Vec<Vec<u8>>,
+    /// One past the highest slot index handed out since the last
+    /// [`reset`](PayloadArena::reset) — what the next reset keeps, so
+    /// its cost tracks this owner's actual usage rather than the
+    /// largest simulation that ever warmed the arena.
+    hwm: usize,
     stats: ArenaStats,
 }
 
@@ -95,7 +100,7 @@ impl PayloadArena {
     /// Pops a free slot (backing it with a spare buffer if its own was
     /// stolen) or grows the slab by one.
     fn grab_slot(&mut self) -> u32 {
-        if let Some(ix) = self.free.pop() {
+        let ix = if let Some(ix) = self.free.pop() {
             let slot = &mut self.slots[ix as usize];
             if slot.buf.capacity() == 0 {
                 if let Some(buf) = self.spare.pop() {
@@ -112,7 +117,9 @@ impl PayloadArena {
             });
             self.stats.slots_created += 1;
             ix
-        }
+        };
+        self.hwm = self.hwm.max(ix as usize + 1);
+        ix
     }
 
     /// Copies `bytes` into a recycled buffer and returns its handle.
@@ -251,8 +258,15 @@ impl PayloadArena {
     /// `RETAIN_BUF_BYTES` each; outliers are dropped) — how a campaign
     /// worker recycles one arena across scenarios. Any outstanding
     /// [`PayloadRef`] is invalidated.
+    ///
+    /// Retention is bounded by the *departing owner's* slot high-water
+    /// mark, not just the static cap: a reset costs O(slots this run
+    /// touched), and one multiplexed batch that grew the slab to
+    /// thousands of slots stops taxing every later small simulation on
+    /// the thread with an O(`RETAIN_SLOTS`) sweep (the slab re-shrinks
+    /// to the next owner's working set after one recycle generation).
     pub(crate) fn reset(&mut self) {
-        self.slots.truncate(Self::RETAIN_SLOTS);
+        self.slots.truncate(self.hwm.min(Self::RETAIN_SLOTS));
         for slot in &mut self.slots {
             slot.refs = 0;
             if slot.buf.capacity() > Self::RETAIN_BUF_BYTES {
@@ -263,6 +277,7 @@ impl PayloadArena {
             .retain(|buf| buf.capacity() <= Self::RETAIN_BUF_BYTES);
         self.free.clear();
         self.free.extend((0..self.slots.len() as u32).rev());
+        self.hwm = 0;
     }
 }
 
@@ -375,6 +390,31 @@ mod tests {
         });
         assert_eq!(a.stats().slots_created, created, "no new slot after reset");
         a.release(h);
+    }
+
+    #[test]
+    fn reset_retention_tracks_the_departing_owners_usage() {
+        // A large owner (a multiplexed batch) grows the slab; after its
+        // reset a small owner must not inherit — or keep re-paying for —
+        // the peak. One recycle generation later the slab is back to the
+        // small owner's working set.
+        let mut a = PayloadArena::new();
+        let handles: Vec<_> = (0..1000).map(|_| a.alloc(&[7; 16])).collect();
+        for h in handles {
+            a.release(h);
+        }
+        a.reset();
+        assert_eq!(a.slots.len(), 1000, "big owner's reset keeps its peak");
+        let h = a.alloc(&[1; 16]);
+        a.release(h);
+        a.reset();
+        assert_eq!(
+            a.slots.len(),
+            1,
+            "slab re-shrinks to the next owner's usage"
+        );
+        a.reset();
+        assert_eq!(a.slots.len(), 0, "an untouched arena retains nothing");
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   slots, so a run on 8 threads is bit-identical to a run on 1 (there
 //!   is a property test for this in `tests/campaign.rs`).
 //!
+//! Two execution modes share those properties. [`Campaign::run`]
+//! materialises the expansion and keeps every [`ScenarioRun`] — right
+//! for sweeps you want to slice afterwards. [`Campaign::run_streaming`]
+//! generates scenarios on demand ([`Campaign::scenario_at`]), hands
+//! work-stolen chunks to a [`BatchDriver`] (which may multiplex the
+//! chunk as sessions of one simulator), and folds outcomes into
+//! [`StreamAggregate`]s with a bounded raw-sample reservoir — right for
+//! 10⁶-scenario sweeps that must not hold 10⁶ results in memory.
+//!
 //! ```
 //! use netdsl_netsim::campaign::{Campaign, Sweep};
 //! use netdsl_netsim::scenario::ProtocolSpec;
@@ -44,8 +53,8 @@ use rand_chacha::ChaCha12Rng;
 
 use crate::link::LinkConfig;
 use crate::scenario::{
-    Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioError, ScenarioLabels, ScenarioResult,
-    TopologySpec, TrafficPattern,
+    EngineConfig, Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioError, ScenarioLabels,
+    ScenarioResult, TopologySpec, TrafficPattern,
 };
 use crate::stats::Aggregate;
 use crate::Tick;
@@ -123,14 +132,18 @@ pub fn derive_seed(base_seed: u64, axis_seed: u64) -> u64 {
     ChaCha12Rng::seed_from_u64(key).next_u64()
 }
 
-/// A declarative sweep over protocols × links × topologies × traffic ×
-/// seeds. See the [module docs](self) for the determinism contract.
+/// A declarative sweep over protocols × engines × links × topologies ×
+/// traffic × seeds. See the [module docs](self) for the determinism
+/// contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Campaign {
     name: String,
     base_seed: u64,
     deadline: Tick,
     protocols: Sweep<ProtocolSpec>,
+    /// `None` = engines not swept: scenarios keep whatever engine their
+    /// protocol spec carries, and the engine label is `"default"`.
+    engines: Option<Sweep<EngineConfig>>,
     links: Sweep<LinkConfig>,
     topologies: Sweep<TopologySpec>,
     traffic: Sweep<TrafficPattern>,
@@ -150,6 +163,7 @@ impl Campaign {
             protocols: Sweep {
                 entries: Vec::new(),
             },
+            engines: None,
             links: Sweep {
                 entries: Vec::new(),
             },
@@ -169,6 +183,19 @@ impl Campaign {
     #[must_use]
     pub fn protocols(mut self, protocols: Sweep<ProtocolSpec>) -> Self {
         self.protocols = protocols;
+        self
+    }
+
+    /// Sets the engine-configuration axis (builder style). Every
+    /// scenario cell then runs once per [`EngineConfig`] entry, with the
+    /// config applied over the protocol spec
+    /// ([`ProtocolSpec::with_engine`]) — so engine-product sweeps (e.g.
+    /// the golden-parity 8-combo loop over [`EngineConfig::all`]) stop
+    /// hand-rolling the cartesian product. Campaigns that never call
+    /// this keep their protocol specs' own engine settings untouched.
+    #[must_use]
+    pub fn engines(mut self, engines: Sweep<EngineConfig>) -> Self {
+        self.engines = Some(engines);
         self
     }
 
@@ -214,47 +241,90 @@ impl Campaign {
         self
     }
 
-    /// Expands the cartesian product into concrete scenarios, in a fixed
-    /// order (protocol-major, then link, topology, traffic, seed).
-    pub fn scenarios(&self) -> Vec<Scenario> {
-        let mut out = Vec::with_capacity(
-            self.protocols.len()
-                * self.links.len()
-                * self.topologies.len()
-                * self.traffic.len()
-                * self.seeds.len(),
+    /// Number of scenarios the cartesian product expands to, without
+    /// materialising any of them (an unset engine axis counts as one
+    /// implicit entry).
+    pub fn scenario_count(&self) -> usize {
+        self.protocols.len()
+            * self.engines.as_ref().map_or(1, Sweep::len)
+            * self.links.len()
+            * self.topologies.len()
+            * self.traffic.len()
+            * self.seeds.len()
+    }
+
+    /// Builds the `idx`-th scenario of the expansion on demand — the
+    /// streaming counterpart of [`Campaign::scenarios`]. The order is
+    /// fixed (protocol-major, then engine, link, topology, traffic,
+    /// seed), and `scenario_at(i)` equals `scenarios()[i]` for every
+    /// in-range index, so [`Campaign::run_streaming`] can sweep 10⁶
+    /// scenarios while only ever holding one worker chunk in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.scenario_count()`.
+    pub fn scenario_at(&self, idx: usize) -> Scenario {
+        assert!(
+            idx < self.scenario_count(),
+            "scenario index {idx} out of range ({} scenarios)",
+            self.scenario_count()
         );
-        for (proto_label, proto) in self.protocols.iter() {
-            for (link_label, link) in self.links.iter() {
-                for (topo_label, topo) in self.topologies.iter() {
-                    for (traffic_label, traffic) in self.traffic.iter() {
-                        for (seed_label, axis_seed) in self.seeds.iter() {
-                            out.push(Scenario {
-                                name: format!(
-                                    "{}/{proto_label}/{link_label}/{topo_label}/{traffic_label}/{seed_label}",
-                                    self.name
-                                ),
-                                protocol: proto.clone(),
-                                link: link.clone(),
-                                topology: *topo,
-                                traffic: *traffic,
-                                faults: self.faults.clone(),
-                                seed: derive_seed(self.base_seed, *axis_seed),
-                                deadline: self.deadline,
-                                labels: ScenarioLabels {
-                                    protocol: proto_label.clone(),
-                                    link: link_label.clone(),
-                                    topology: topo_label.clone(),
-                                    traffic: traffic_label.clone(),
-                                    seed: seed_label.clone(),
-                                },
-                            });
-                        }
-                    }
-                }
-            }
+        // Decompose innermost-axis-last: seeds vary fastest.
+        let mut rest = idx;
+        let si = rest % self.seeds.len();
+        rest /= self.seeds.len();
+        let tri = rest % self.traffic.len();
+        rest /= self.traffic.len();
+        let ti = rest % self.topologies.len();
+        rest /= self.topologies.len();
+        let li = rest % self.links.len();
+        rest /= self.links.len();
+        let engines_len = self.engines.as_ref().map_or(1, Sweep::len);
+        let ei = rest % engines_len;
+        rest /= engines_len;
+        let pi = rest;
+
+        let (proto_label, proto) = &self.protocols.entries[pi];
+        let engine = self.engines.as_ref().map(|e| &e.entries[ei]);
+        let (link_label, link) = &self.links.entries[li];
+        let (topo_label, topo) = &self.topologies.entries[ti];
+        let (traffic_label, traffic) = &self.traffic.entries[tri];
+        let (seed_label, axis_seed) = &self.seeds.entries[si];
+        let engine_label = engine.map_or("default", |(l, _)| l.as_str());
+        let protocol = match engine {
+            Some((_, config)) => proto.clone().with_engine(*config),
+            None => proto.clone(),
+        };
+        Scenario {
+            name: format!(
+                "{}/{proto_label}/{engine_label}/{link_label}/{topo_label}/{traffic_label}/{seed_label}",
+                self.name
+            ),
+            protocol,
+            link: link.clone(),
+            topology: *topo,
+            traffic: *traffic,
+            faults: self.faults.clone(),
+            seed: derive_seed(self.base_seed, *axis_seed),
+            deadline: self.deadline,
+            labels: ScenarioLabels {
+                protocol: proto_label.clone(),
+                engine: engine_label.to_string(),
+                link: link_label.clone(),
+                topology: topo_label.clone(),
+                traffic: traffic_label.clone(),
+                seed: seed_label.clone(),
+            },
         }
-        out
+    }
+
+    /// Expands the cartesian product into concrete scenarios, in a fixed
+    /// order (protocol-major, then engine, link, topology, traffic,
+    /// seed).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        (0..self.scenario_count())
+            .map(|i| self.scenario_at(i))
+            .collect()
     }
 
     /// Executes every scenario on `threads` worker threads (clamped to
@@ -311,6 +381,366 @@ impl Campaign {
                 })
                 .collect(),
         }
+    }
+
+    /// Executes the whole expansion without ever materialising it:
+    /// workers steal fixed-size chunks of scenario indices (atomic
+    /// counter), generate each chunk's scenarios on demand via
+    /// [`Campaign::scenario_at`], hand the chunk to the
+    /// [`BatchDriver`], and fold the outcomes into a per-chunk
+    /// [`StreamAggregate`] partial. After the workers join, partials
+    /// are merged **sequentially in chunk-index order**, so the report
+    /// is bit-identical across thread counts (f64 addition is folded
+    /// in one fixed order).
+    ///
+    /// Peak memory is `O(threads × chunk + raw_cap)` — one chunk of
+    /// scenarios per worker plus the bounded sample reservoirs — so a
+    /// 10⁶-scenario sweep runs on all cores without holding 10⁶
+    /// results, names, or samples.
+    pub fn run_streaming(
+        &self,
+        driver: &dyn BatchDriver,
+        threads: usize,
+        opts: StreamOptions,
+    ) -> StreamingReport {
+        let n = self.scenario_count();
+        let chunk = opts.chunk.max(1);
+        let chunks = n.div_ceil(chunk);
+        let partials: Mutex<Vec<Option<StreamPartial>>> = Mutex::new(vec![None; chunks]);
+        let next = AtomicUsize::new(0);
+
+        thread::scope(|scope| {
+            for _ in 0..threads.max(1).min(chunks.max(1)) {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, StreamPartial)> = Vec::new();
+                    let mut batch: Vec<Scenario> = Vec::with_capacity(chunk);
+                    loop {
+                        let c = next.fetch_add(1, Ordering::SeqCst);
+                        if c >= chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(n);
+                        batch.clear();
+                        batch.extend((lo..hi).map(|i| self.scenario_at(i)));
+                        local.push((c, run_chunk(driver, &batch, opts.raw_cap)));
+                    }
+                    let mut partials = partials.lock().expect("no poisoned workers");
+                    for (c, partial) in local {
+                        partials[c] = Some(partial);
+                    }
+                });
+            }
+        });
+
+        let mut report = StreamingReport::empty(self.name.clone(), opts.raw_cap);
+        for partial in partials.into_inner().expect("workers joined") {
+            report.merge_partial(&partial.expect("every chunk filled"));
+        }
+        report
+    }
+}
+
+/// Runs one chunk through the batch driver and folds the outcomes. The
+/// unknown-protocol check mirrors [`Campaign::run`]: scenarios the
+/// driver does not support become `UnknownProtocol` errors in place, and
+/// only the supported remainder reaches [`BatchDriver::run_batch`].
+fn run_chunk(driver: &dyn BatchDriver, batch: &[Scenario], raw_cap: usize) -> StreamPartial {
+    let mut outcomes: Vec<Option<Result<ScenarioResult, ScenarioError>>> =
+        (0..batch.len()).map(|_| None).collect();
+    let supported: Vec<usize> = (0..batch.len())
+        .filter(|&i| driver.supports(&batch[i].protocol.name))
+        .collect();
+    for (i, slot) in outcomes.iter_mut().enumerate() {
+        if !supported.contains(&i) {
+            *slot = Some(Err(ScenarioError::UnknownProtocol(
+                batch[i].protocol.name.clone(),
+            )));
+        }
+    }
+    if supported.len() == batch.len() {
+        let results = driver.run_batch(batch);
+        assert_eq!(results.len(), batch.len(), "run_batch preserves arity");
+        for (slot, result) in outcomes.iter_mut().zip(results) {
+            *slot = Some(result);
+        }
+    } else if !supported.is_empty() {
+        let sub: Vec<Scenario> = supported.iter().map(|&i| batch[i].clone()).collect();
+        let results = driver.run_batch(&sub);
+        assert_eq!(results.len(), sub.len(), "run_batch preserves arity");
+        for (&i, result) in supported.iter().zip(results) {
+            outcomes[i] = Some(result);
+        }
+    }
+    let mut partial = StreamPartial::new(raw_cap);
+    for (scenario, outcome) in batch.iter().zip(outcomes) {
+        partial.absorb(scenario, &outcome.expect("every outcome filled"));
+    }
+    partial
+}
+
+/// A driver that executes a whole chunk of scenarios in one call — e.g.
+/// by multiplexing them as concurrent sessions of one shared simulator.
+/// Streaming campaigns hand each stolen chunk to [`run_batch`] so the
+/// driver can amortise per-scenario setup across the chunk.
+///
+/// [`run_batch`]: BatchDriver::run_batch
+pub trait BatchDriver: Sync {
+    /// `true` if this driver knows how to execute the named protocol.
+    fn supports(&self, protocol: &str) -> bool;
+
+    /// Executes every scenario of the batch, returning outcomes in
+    /// batch order: `out[i]` belongs to `batch[i]`, and
+    /// `out.len() == batch.len()`.
+    fn run_batch(&self, batch: &[Scenario]) -> Vec<Result<ScenarioResult, ScenarioError>>;
+}
+
+/// Adapts a per-scenario [`ScenarioDriver`] into a [`BatchDriver`] that
+/// runs each scenario of the chunk independently — the baseline
+/// streaming path, and the reference the multiplexed driver is measured
+/// against in bench E15.
+#[derive(Debug, Clone, Copy)]
+pub struct SoloBatch<D>(pub D);
+
+impl<D: ScenarioDriver> BatchDriver for SoloBatch<D> {
+    fn supports(&self, protocol: &str) -> bool {
+        self.0.supports(protocol)
+    }
+
+    fn run_batch(&self, batch: &[Scenario]) -> Vec<Result<ScenarioResult, ScenarioError>> {
+        batch.iter().map(|s| self.0.run(s)).collect()
+    }
+}
+
+/// How a streaming run chunks work and bounds raw-sample memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Scenarios per work-stealing chunk (clamped to at least 1). The
+    /// chunk is also the batch handed to [`BatchDriver::run_batch`], so
+    /// it bounds how many sessions a multiplexing driver co-hosts.
+    pub chunk: usize,
+    /// Maximum raw samples retained per metric across the whole run
+    /// (the [`StreamAggregate`] reservoir bound).
+    pub raw_cap: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            chunk: 512,
+            raw_cap: 4096,
+        }
+    }
+}
+
+/// Streaming counterpart of [`Aggregate`]: exact count / sum / mean /
+/// min / max over *every* sample, plus a bounded reservoir holding the
+/// first `cap` samples in scenario order. Merging two aggregates keeps
+/// the exact moments exact and fills the reservoir up to the cap, so a
+/// 10⁶-run sweep retains `O(cap)` memory instead of `O(runs)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamAggregate {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    cap: usize,
+    reservoir: Vec<f64>,
+}
+
+impl StreamAggregate {
+    /// An empty aggregate retaining at most `cap` raw samples.
+    pub fn new(cap: usize) -> Self {
+        StreamAggregate {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            cap,
+            reservoir: Vec::new(),
+        }
+    }
+
+    /// Folds in one sample.
+    pub fn push(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+        if self.reservoir.len() < self.cap {
+            self.reservoir.push(sample);
+        }
+    }
+
+    /// Folds another aggregate into this one. Count/sum/min/max stay
+    /// exact; the reservoir takes `other`'s leading samples until the
+    /// cap is reached, so merging partials in chunk order preserves
+    /// "first `cap` samples in scenario order".
+    pub fn merge(&mut self, other: &StreamAggregate) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let room = self.cap.saturating_sub(self.reservoir.len());
+        self.reservoir
+            .extend(other.reservoir.iter().take(room).copied());
+    }
+
+    /// Samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum over every sample.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean over every sample (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The retained raw samples: the first `min(cap, count)` samples in
+    /// scenario order.
+    pub fn samples(&self) -> &[f64] {
+        &self.reservoir
+    }
+
+    /// The reservoir bound this aggregate was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+/// How many failing scenario names a streaming report retains.
+const ERROR_SAMPLE_CAP: usize = 16;
+
+/// Per-chunk fold of outcomes; merged sequentially in chunk order.
+#[derive(Debug, Clone)]
+struct StreamPartial {
+    executed: usize,
+    succeeded: usize,
+    failed: usize,
+    errors: usize,
+    goodput: StreamAggregate,
+    latency: StreamAggregate,
+    retransmits: StreamAggregate,
+    delivery: StreamAggregate,
+    error_sample: Vec<(String, String)>,
+}
+
+impl StreamPartial {
+    fn new(raw_cap: usize) -> Self {
+        StreamPartial {
+            executed: 0,
+            succeeded: 0,
+            failed: 0,
+            errors: 0,
+            goodput: StreamAggregate::new(raw_cap),
+            latency: StreamAggregate::new(raw_cap),
+            retransmits: StreamAggregate::new(raw_cap),
+            delivery: StreamAggregate::new(raw_cap),
+            error_sample: Vec::new(),
+        }
+    }
+
+    /// Mirrors [`Summary::of`]: goodput/latency/retransmits cover
+    /// successful runs only, delivery covers every executed run.
+    fn absorb(&mut self, scenario: &Scenario, outcome: &Result<ScenarioResult, ScenarioError>) {
+        self.executed += 1;
+        match outcome {
+            Ok(r) => {
+                self.delivery.push(r.delivery_ratio());
+                if r.success {
+                    self.succeeded += 1;
+                    self.goodput.push(r.goodput());
+                    self.latency.push(r.latency_per_message());
+                    self.retransmits.push(r.retransmit_rate());
+                } else {
+                    self.failed += 1;
+                }
+            }
+            Err(e) => {
+                self.errors += 1;
+                if self.error_sample.len() < ERROR_SAMPLE_CAP {
+                    self.error_sample
+                        .push((scenario.name.clone(), e.to_string()));
+                }
+            }
+        }
+    }
+}
+
+/// What a [`Campaign::run_streaming`] sweep produced: exact counts and
+/// streaming distributions, but no per-scenario records — memory stays
+/// bounded no matter how many scenarios ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingReport {
+    /// Name of the campaign that ran.
+    pub campaign: String,
+    /// Scenarios executed (the full expansion).
+    pub executed: usize,
+    /// Runs whose workload completed correctly.
+    pub succeeded: usize,
+    /// Runs that executed but did not complete the workload.
+    pub failed: usize,
+    /// Runs no driver could execute.
+    pub errors: usize,
+    /// Goodput distribution over successful runs.
+    pub goodput: StreamAggregate,
+    /// Per-message latency distribution over successful runs.
+    pub latency: StreamAggregate,
+    /// Retransmit-rate distribution over successful runs.
+    pub retransmits: StreamAggregate,
+    /// Delivery-ratio distribution over all executed runs.
+    pub delivery: StreamAggregate,
+    /// Up to 16 `(scenario name, error)` pairs, in scenario order.
+    pub error_sample: Vec<(String, String)>,
+}
+
+impl StreamingReport {
+    fn empty(campaign: String, raw_cap: usize) -> Self {
+        StreamingReport {
+            campaign,
+            executed: 0,
+            succeeded: 0,
+            failed: 0,
+            errors: 0,
+            goodput: StreamAggregate::new(raw_cap),
+            latency: StreamAggregate::new(raw_cap),
+            retransmits: StreamAggregate::new(raw_cap),
+            delivery: StreamAggregate::new(raw_cap),
+            error_sample: Vec::new(),
+        }
+    }
+
+    fn merge_partial(&mut self, partial: &StreamPartial) {
+        self.executed += partial.executed;
+        self.succeeded += partial.succeeded;
+        self.failed += partial.failed;
+        self.errors += partial.errors;
+        self.goodput.merge(&partial.goodput);
+        self.latency.merge(&partial.latency);
+        self.retransmits.merge(&partial.retransmits);
+        self.delivery.merge(&partial.delivery);
+        let room = ERROR_SAMPLE_CAP.saturating_sub(self.error_sample.len());
+        self.error_sample
+            .extend(partial.error_sample.iter().take(room).cloned());
     }
 }
 
@@ -474,14 +904,143 @@ mod tests {
     fn expansion_is_the_cartesian_product_in_fixed_order() {
         let scenarios = small_campaign().scenarios();
         assert_eq!(scenarios.len(), 2 * 2 * 3);
-        assert_eq!(scenarios[0].name, "t/p1/clean/duplex/default/s0");
-        assert_eq!(scenarios[11].name, "t/p2/dead/duplex/default/s2");
+        assert_eq!(scenarios[0].name, "t/p1/default/clean/duplex/default/s0");
+        assert_eq!(scenarios[11].name, "t/p2/default/dead/duplex/default/s2");
+        assert_eq!(scenarios[0].labels.engine, "default");
         // Common random numbers: same seed replicate → same derived seed
         // across protocols and links.
         assert_eq!(scenarios[0].seed, scenarios[3].seed);
         assert_eq!(scenarios[0].seed, scenarios[6].seed);
         // Different replicates differ.
         assert_ne!(scenarios[0].seed, scenarios[1].seed);
+    }
+
+    #[test]
+    fn engine_axis_multiplies_the_expansion_and_rewrites_the_spec() {
+        use crate::sim::SimCore;
+        let engines = Sweep::grid(
+            EngineConfig::all()
+                .into_iter()
+                .map(|cfg| (cfg.label(), cfg)),
+        );
+        let c = small_campaign().engines(engines);
+        let scenarios = c.scenarios();
+        assert_eq!(scenarios.len(), 2 * 8 * 2 * 3);
+        // The engine label sits between protocol and link, and the spec
+        // actually carries the swept config.
+        assert_eq!(
+            scenarios[0].name,
+            "t/p1/pooled/interpreted/typestate/clean/duplex/default/s0"
+        );
+        assert_eq!(scenarios[0].labels.engine, "pooled/interpreted/typestate");
+        assert_eq!(scenarios[0].protocol.engine(), EngineConfig::default());
+        let legacy = scenarios
+            .iter()
+            .find(|s| s.labels.engine.starts_with("legacy/"))
+            .expect("legacy engine cells exist");
+        assert_eq!(legacy.protocol.engine().sim_core, SimCore::Legacy);
+        // Engine is a non-seed axis: common random numbers hold across it.
+        assert_eq!(scenarios[0].seed, scenarios[6].seed);
+    }
+
+    #[test]
+    fn scenario_at_matches_the_materialised_expansion() {
+        let engines = Sweep::grid(
+            EngineConfig::all()
+                .into_iter()
+                .map(|cfg| (cfg.label(), cfg)),
+        );
+        for c in [small_campaign(), small_campaign().engines(engines)] {
+            let all = c.scenarios();
+            assert_eq!(all.len(), c.scenario_count());
+            for (i, scenario) in all.iter().enumerate() {
+                assert_eq!(*scenario, c.scenario_at(i), "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scenario_at_rejects_out_of_range_indices() {
+        let c = small_campaign();
+        let _ = c.scenario_at(c.scenario_count());
+    }
+
+    #[test]
+    fn streaming_matches_the_materialised_run() {
+        let c = small_campaign();
+        let report = c.run(&Echo, 2);
+        let summary = report.aggregate();
+        let streamed = c.run_streaming(&SoloBatch(Echo), 2, StreamOptions::default());
+        assert_eq!(streamed.executed, summary.runs);
+        assert_eq!(streamed.succeeded, summary.succeeded);
+        assert_eq!(streamed.failed, summary.failed);
+        assert_eq!(streamed.errors, summary.errors);
+        assert_eq!(streamed.goodput.count(), summary.goodput.count() as u64);
+        assert_eq!(streamed.delivery.count(), summary.delivery.count() as u64);
+        // With an uncapped reservoir the raw samples are exactly the
+        // materialised ones, in scenario order.
+        let goodput: Vec<f64> = report
+            .runs
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .filter(|r| r.success)
+            .map(|r| r.goodput())
+            .collect();
+        assert_eq!(streamed.goodput.samples(), &goodput[..]);
+    }
+
+    #[test]
+    fn streaming_is_bit_identical_across_thread_and_chunk_choices() {
+        let c = small_campaign();
+        let reference = c.run_streaming(&SoloBatch(Echo), 1, StreamOptions::default());
+        for threads in [2, 4, 8] {
+            for chunk in [1, 2, 5, 64] {
+                let opts = StreamOptions {
+                    chunk,
+                    ..StreamOptions::default()
+                };
+                assert_eq!(
+                    reference,
+                    c.run_streaming(&SoloBatch(Echo), threads, opts),
+                    "threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_caps_raw_samples_but_keeps_exact_moments() {
+        let c = small_campaign();
+        let opts = StreamOptions {
+            chunk: 3,
+            raw_cap: 2,
+        };
+        let capped = c.run_streaming(&SoloBatch(Echo), 4, opts);
+        let full = c.run_streaming(&SoloBatch(Echo), 1, StreamOptions::default());
+        assert_eq!(capped.delivery.count(), 12);
+        assert!(capped.delivery.samples().len() <= 2, "reservoir is bounded");
+        assert_eq!(capped.delivery.samples(), &full.delivery.samples()[..2]);
+        assert_eq!(capped.goodput.sum(), full.goodput.sum());
+        assert_eq!(capped.goodput.mean(), full.goodput.mean());
+        assert_eq!(capped.goodput.min(), full.goodput.min());
+        assert_eq!(capped.goodput.max(), full.goodput.max());
+    }
+
+    #[test]
+    fn streaming_surfaces_unknown_protocols_as_bounded_error_samples() {
+        let c = Campaign::new("e", 0)
+            .protocols(Sweep::single("bad", ProtocolSpec::new("unknown")))
+            .links(Sweep::single("clean", LinkConfig::reliable(1)))
+            .seeds(Sweep::seeds(40));
+        let streamed = c.run_streaming(&SoloBatch(Echo), 2, StreamOptions::default());
+        assert_eq!(streamed.errors, 40);
+        assert_eq!(streamed.executed, 40);
+        assert_eq!(streamed.error_sample.len(), 16, "error sample is bounded");
+        assert_eq!(
+            streamed.error_sample[0].0,
+            "e/bad/default/clean/duplex/default/s0"
+        );
     }
 
     #[test]

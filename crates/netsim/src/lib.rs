@@ -60,15 +60,19 @@ pub mod trace;
 mod wheel;
 
 pub use arena::{ArenaStats, PayloadArena, PayloadRef};
-pub use campaign::{Campaign, CampaignReport, Summary, Sweep};
+pub use campaign::{
+    BatchDriver, Campaign, CampaignReport, SoloBatch, StreamAggregate, StreamOptions,
+    StreamingReport, Summary, Sweep,
+};
 pub use golden::{
     GoldenEvent, GoldenEventKind, GoldenResult, GoldenScenario, GoldenTrace, Verdict,
 };
 pub use link::LinkConfig;
 pub use scenario::{
-    Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioResult, TopologySpec, TrafficPattern,
+    EngineConfig, EngineConfigError, Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioResult,
+    TopologySpec, TrafficPattern,
 };
-pub use sim::{Event, EventRef, LinkId, NodeId, SimCore, Simulator, TimerToken};
+pub use sim::{Event, EventRef, LinkId, NodeId, SessionId, SimCore, Simulator, TimerToken};
 pub use stats::{Aggregate, LinkStats};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEntry};

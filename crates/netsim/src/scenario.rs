@@ -78,6 +78,109 @@ impl FsmPath {
     }
 }
 
+/// One value naming the complete engine configuration: which simulator
+/// core, frame codec path and control-FSM engine a driver should run.
+///
+/// The three axes used to be set one builder at a time
+/// (`with_sim_core` / `with_frame_path` / `with_fsm_path`); collapsing
+/// them into a single value keeps the configuration coherent — a sweep
+/// cell, a golden replay and a bench harness all pass the same thing —
+/// and gives unsupported combinations one loud refusal path
+/// ([`EngineConfigError`]) instead of three scattered ones. All engine
+/// configurations of a given scenario are **behaviourally identical**
+/// (bit-identical transcripts, pinned by `tests/golden_parity.rs`);
+/// they differ only in cost, which is exactly why campaigns sweep them
+/// ([`Campaign::engines`](crate::campaign::Campaign::engines)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Which engine core the driver should run the simulation on.
+    pub sim_core: SimCore,
+    /// Which frame codec path endpoints should use.
+    pub frame_path: FramePath,
+    /// Which control-FSM engine endpoints should use.
+    pub fsm_path: FsmPath,
+}
+
+impl EngineConfig {
+    /// An explicit configuration (the `Default` impl is the pooled /
+    /// interpreted / typestate engine).
+    pub fn new(sim_core: SimCore, frame_path: FramePath, fsm_path: FsmPath) -> Self {
+        EngineConfig {
+            sim_core,
+            frame_path,
+            fsm_path,
+        }
+    }
+
+    /// The full engine product: every `SimCore` × `FramePath` ×
+    /// `FsmPath` combination (8 total), in a fixed order (core-major,
+    /// then frame path, then FSM path). This is the canonical
+    /// enumeration sweeps and the golden-parity suite iterate instead
+    /// of hand-rolling the cartesian product.
+    pub fn all() -> Vec<EngineConfig> {
+        let mut combos = Vec::with_capacity(8);
+        for sim_core in [SimCore::Pooled, SimCore::Legacy] {
+            for frame_path in [FramePath::Interpreted, FramePath::Compiled] {
+                for fsm_path in [FsmPath::Typestate, FsmPath::Compiled] {
+                    combos.push(EngineConfig {
+                        sim_core,
+                        frame_path,
+                        fsm_path,
+                    });
+                }
+            }
+        }
+        combos
+    }
+
+    /// Canonical axis label, axes joined by `/` (e.g.
+    /// `"pooled/interpreted/typestate"`).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.sim_core.as_str(),
+            self.frame_path.as_str(),
+            self.fsm_path.as_str()
+        )
+    }
+}
+
+/// The one loud refusal for engine configurations a driver cannot
+/// honour (e.g. [`FsmPath::Compiled`] for a protocol without a reified
+/// control FSM). Drivers construct this from their single validation
+/// point instead of formatting ad-hoc refusal strings at every call
+/// site; it converts into [`ScenarioError::Unsupported`] so existing
+/// error plumbing is untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfigError {
+    /// The protocol that refused the configuration.
+    pub protocol: String,
+    /// The configuration that was refused.
+    pub config: EngineConfig,
+    /// Why the driver cannot honour it.
+    pub reason: String,
+}
+
+impl fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protocol {:?} cannot run engine config [{}]: {}",
+            self.protocol,
+            self.config.label(),
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
+impl From<EngineConfigError> for ScenarioError {
+    fn from(e: EngineConfigError) -> Self {
+        ScenarioError::Unsupported(e.to_string())
+    }
+}
+
 /// Which protocol a driver should run, plus its tuning knobs.
 ///
 /// The `name` is a driver-defined key (e.g. `netdsl-protocols`'
@@ -121,25 +224,66 @@ impl ProtocolSpec {
         }
     }
 
-    /// Selects the frame codec path (builder style).
+    /// Selects the complete engine configuration in one step (builder
+    /// style) — the canonical way to pick the simulator core, frame
+    /// codec path and control-FSM engine together.
     #[must_use]
-    pub fn with_frame_path(mut self, frame_path: FramePath) -> Self {
-        self.frame_path = frame_path;
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.sim_core = engine.sim_core;
+        self.frame_path = engine.frame_path;
+        self.fsm_path = engine.fsm_path;
         self
+    }
+
+    /// The engine configuration this spec currently carries.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            sim_core: self.sim_core,
+            frame_path: self.frame_path,
+            fsm_path: self.fsm_path,
+        }
+    }
+
+    /// Selects the frame codec path (builder style).
+    ///
+    /// Deprecated in favour of [`ProtocolSpec::with_engine`], which sets
+    /// all three engine axes coherently; kept as a thin delegate for
+    /// callers that genuinely vary one axis.
+    #[must_use]
+    pub fn with_frame_path(self, frame_path: FramePath) -> Self {
+        let engine = EngineConfig {
+            frame_path,
+            ..self.engine()
+        };
+        self.with_engine(engine)
     }
 
     /// Selects the control-FSM engine (builder style).
+    ///
+    /// Deprecated in favour of [`ProtocolSpec::with_engine`], which sets
+    /// all three engine axes coherently; kept as a thin delegate for
+    /// callers that genuinely vary one axis.
     #[must_use]
-    pub fn with_fsm_path(mut self, fsm_path: FsmPath) -> Self {
-        self.fsm_path = fsm_path;
-        self
+    pub fn with_fsm_path(self, fsm_path: FsmPath) -> Self {
+        let engine = EngineConfig {
+            fsm_path,
+            ..self.engine()
+        };
+        self.with_engine(engine)
     }
 
     /// Selects the engine core (builder style).
+    ///
+    /// Deprecated in favour of [`ProtocolSpec::with_engine`], which sets
+    /// all three engine axes coherently; kept as a thin delegate for
+    /// callers that genuinely vary one axis.
     #[must_use]
-    pub fn with_sim_core(mut self, sim_core: SimCore) -> Self {
-        self.sim_core = sim_core;
-        self
+    pub fn with_sim_core(self, sim_core: SimCore) -> Self {
+        let engine = EngineConfig {
+            sim_core,
+            ..self.engine()
+        };
+        self.with_engine(engine)
     }
 
     /// Sets the window size (builder style).
@@ -288,6 +432,9 @@ impl Fault {
 pub struct ScenarioLabels {
     /// Protocol-axis label.
     pub protocol: String,
+    /// Engine-axis label (`"default"` when the campaign did not sweep
+    /// engines).
+    pub engine: String,
     /// Link-axis label.
     pub link: String,
     /// Topology-axis label.
@@ -580,6 +727,49 @@ mod tests {
             set.run(&sc),
             Err(ScenarioError::UnknownProtocol("c".into()))
         );
+    }
+
+    #[test]
+    fn engine_config_covers_the_full_product_without_duplicates() {
+        let all = EngineConfig::all();
+        assert_eq!(all.len(), 8, "2 cores × 2 frame paths × 2 FSM paths");
+        let mut labels: Vec<String> = all.iter().map(EngineConfig::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8, "labels are unique");
+        assert_eq!(all[0], EngineConfig::default(), "product starts at default");
+        assert_eq!(
+            EngineConfig::default().label(),
+            "pooled/interpreted/typestate"
+        );
+    }
+
+    #[test]
+    fn with_engine_and_single_axis_delegates_agree() {
+        let engine = EngineConfig::new(SimCore::Legacy, FramePath::Compiled, FsmPath::Compiled);
+        let direct = ProtocolSpec::new("x").with_engine(engine);
+        let delegated = ProtocolSpec::new("x")
+            .with_sim_core(SimCore::Legacy)
+            .with_frame_path(FramePath::Compiled)
+            .with_fsm_path(FsmPath::Compiled);
+        assert_eq!(direct, delegated);
+        assert_eq!(direct.engine(), engine);
+    }
+
+    #[test]
+    fn engine_config_error_is_loud_and_converts() {
+        let err = EngineConfigError {
+            protocol: "go-back-n".into(),
+            config: EngineConfig::default(),
+            reason: "no compiled control-FSM driver".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("go-back-n"), "{text}");
+        assert!(text.contains("pooled/interpreted/typestate"), "{text}");
+        assert!(matches!(
+            ScenarioError::from(err),
+            ScenarioError::Unsupported(_)
+        ));
     }
 
     #[test]

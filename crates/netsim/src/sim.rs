@@ -18,6 +18,13 @@
 //! [`Simulator::step`]) still works and is what one-off tests use; the
 //! handle API ([`Simulator::send_ref`], [`Simulator::step_ref`]) is the
 //! allocation-free path the protocol pump drives.
+//!
+//! One simulator can also host many **multiplexed sessions**
+//! ([`SessionId`]): each session owns its RNG stream, nodes, and links
+//! (struct-of-arrays state plus a per-session connection table), while
+//! all sessions share the wheel, the arena, and virtual time. Batch
+//! pumps drain whole ticks at once with [`Simulator::drain_tick`]; see
+//! `docs/SESSIONS.md` for the parity argument.
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -52,6 +59,25 @@ pub struct LinkId(pub(crate) usize);
 
 impl LinkId {
     /// The raw index of this link.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifies one multiplexed session inside a [`Simulator`].
+///
+/// A session is an isolated slice of one simulator: its own ChaCha RNG
+/// stream, its own nodes and links (the per-session connection table),
+/// sharing only the timer wheel, the payload arena, and virtual time
+/// with its co-resident sessions. Because impairment randomness is
+/// drawn per session and event order is total in `(at, seq)`, each
+/// session's transcript is bit-identical to running it alone — see
+/// `docs/SESSIONS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub(crate) usize);
+
+impl SessionId {
+    /// The raw index of this session.
     pub fn index(self) -> usize {
         self.0
     }
@@ -150,6 +176,7 @@ pub enum EventRef {
 struct Link {
     from: NodeId,
     to: NodeId,
+    session: SessionId,
     config: LinkConfig,
     stats: LinkStats,
 }
@@ -223,12 +250,24 @@ thread_local! {
     /// this thread — how a campaign worker runs thousands of scenarios
     /// without re-growing either structure. Capacities persist; all
     /// contents are reset between owners.
+    ///
+    /// The pool is **shard-aware by construction**: checkout is a
+    /// `pop` (exclusive ownership transfer), so any number of pooled
+    /// simulators alive on one thread at once — e.g. a multiplexed
+    /// driver holding one simulator per [`SimCore`] group, or a golden
+    /// recorder nested inside a campaign worker — each hold disjoint
+    /// structures and never observe each other's state. There is a
+    /// regression test for exactly this
+    /// (`two_live_pooled_simulators_on_one_thread_stay_disjoint`).
     static CORE_POOL: RefCell<Vec<(PayloadArena, TimerWheel<Pending>)>> =
         const { RefCell::new(Vec::new()) };
 }
 
-/// Warm cores retained per thread (campaign workers hold one simulator
-/// at a time; a few extra cover nested helper simulations).
+/// Warm cores retained **per thread**, however many simulators each
+/// worker creates or holds alive — returning a core to a full pool
+/// just drops it. Sized so a worker holding a few concurrent
+/// simulators (multiplexed shards, nested helper simulations) still
+/// recycles all of them.
 const CORE_POOL_CAP: usize = 8;
 
 /// Golden-trace capture state, boxed behind an `Option` so the hot path
@@ -250,11 +289,22 @@ pub struct Simulator {
     queue: Queue,
     arena: PayloadArena,
     core: SimCore,
-    nodes: usize,
+    /// Struct-of-arrays session state: `rngs[s]` is session `s`'s
+    /// impairment RNG stream, `session_links[s]` its connection table,
+    /// `node_sessions[n]` the owning session of node `n`. Session 0
+    /// always exists (seeded by the constructor), so a simulator that
+    /// never calls [`Simulator::add_session`] behaves exactly as the
+    /// single-session engine always did.
+    rngs: Vec<ChaCha12Rng>,
+    node_sessions: Vec<SessionId>,
+    session_links: Vec<Vec<LinkId>>,
     links: Vec<Link>,
-    rng: ChaCha12Rng,
     trace: Trace,
-    cancelled_timers: Vec<(NodeId, TimerToken)>,
+    /// Pending lazy timer cancellations, indexed by node so lookup cost
+    /// scales with one node's in-flight cancels (a handful) rather than
+    /// with every co-hosted session's — the difference between O(1) and
+    /// O(sessions) per timer pop in a multiplexed batch.
+    node_cancels: Vec<Vec<TimerToken>>,
     golden: Option<Box<GoldenLog>>,
 }
 
@@ -290,11 +340,12 @@ impl Simulator {
             queue,
             arena,
             core,
-            nodes: 0,
+            rngs: vec![ChaCha12Rng::seed_from_u64(seed)],
+            node_sessions: Vec::new(),
+            session_links: vec![Vec::new()],
             links: Vec::new(),
-            rng: ChaCha12Rng::seed_from_u64(seed),
             trace: Trace::new(),
-            cancelled_timers: Vec::new(),
+            node_cancels: Vec::new(),
             golden: None,
         }
     }
@@ -347,33 +398,108 @@ impl Simulator {
         self.time
     }
 
-    /// Adds a node and returns its id.
+    /// Opens a new multiplexed session with its own ChaCha RNG stream
+    /// and returns its id. Nodes added via
+    /// [`Simulator::add_node_for`] and links between them belong to the
+    /// session; impairment randomness for those links is drawn from the
+    /// session's stream, so each session replays bit-identically to a
+    /// standalone simulator seeded the same way.
+    pub fn add_session(&mut self, seed: u64) -> SessionId {
+        let id = SessionId(self.rngs.len());
+        self.rngs.push(ChaCha12Rng::seed_from_u64(seed));
+        self.session_links.push(Vec::new());
+        id
+    }
+
+    /// Session 0: the one the constructor seeds, which every
+    /// session-unaware call ([`Simulator::add_node`]) targets.
+    pub fn default_session(&self) -> SessionId {
+        SessionId(0)
+    }
+
+    /// Number of sessions (always ≥ 1).
+    pub fn session_count(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Adds a node owned by the default session and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.nodes);
-        self.nodes += 1;
+        self.add_node_for(self.default_session())
+    }
+
+    /// Adds a node owned by `session` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this simulator.
+    pub fn add_node_for(&mut self, session: SessionId) -> NodeId {
+        assert!(
+            session.0 < self.rngs.len(),
+            "session {} does not exist ({} sessions)",
+            session.0,
+            self.rngs.len()
+        );
+        let id = NodeId(self.node_sessions.len());
+        self.node_sessions.push(session);
         id
     }
 
     /// Number of nodes created so far.
     pub fn node_count(&self) -> usize {
-        self.nodes
+        self.node_sessions.len()
     }
 
-    /// Adds a unidirectional link `from → to`.
+    /// The session a node belongs to.
+    pub fn node_session(&self, node: NodeId) -> SessionId {
+        self.node_sessions[node.0]
+    }
+
+    /// The session a link belongs to (that of its endpoints).
+    pub fn link_session(&self, link: LinkId) -> SessionId {
+        self.links[link.0].session
+    }
+
+    /// The connection table of one session: its links, in creation
+    /// order.
+    pub fn session_links(&self, session: SessionId) -> &[LinkId] {
+        &self.session_links[session.0]
+    }
+
+    /// Counters of one session's links folded into one [`LinkStats`] —
+    /// what the multiplexed driver records per scenario.
+    pub fn session_stats(&self, session: SessionId) -> LinkStats {
+        self.session_links[session.0]
+            .iter()
+            .fold(LinkStats::default(), |acc, l| {
+                acc.merge(self.links[l.0].stats)
+            })
+    }
+
+    /// Adds a unidirectional link `from → to`. The link joins its
+    /// endpoints' session and draws impairment randomness from that
+    /// session's RNG stream.
     ///
     /// # Panics
     ///
-    /// Panics if `config` carries probabilities outside `[0, 1]` — a
-    /// configuration bug, not a runtime condition.
+    /// Panics if `config` carries probabilities outside `[0, 1]`, or if
+    /// `from` and `to` belong to different sessions — both are
+    /// configuration bugs, not runtime conditions.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
         assert!(config.is_valid(), "link probabilities must lie in [0, 1]");
+        let session = self.node_sessions[from.0];
+        assert_eq!(
+            session, self.node_sessions[to.0],
+            "links cannot cross sessions"
+        );
         let id = LinkId(self.links.len());
         self.links.push(Link {
             from,
             to,
+            session,
             config,
             stats: LinkStats::default(),
         });
+        self.session_links[session.0].push(id);
         id
     }
 
@@ -532,7 +658,7 @@ impl Simulator {
     ///
     /// Returns `true` if at least one copy was scheduled for delivery.
     pub fn send_ref(&mut self, link: LinkId, payload: PayloadRef) -> bool {
-        let (loss, duplicate, corrupt, delay, jitter, to) = {
+        let (loss, duplicate, corrupt, delay, jitter, to, session) = {
             let l = &self.links[link.0];
             (
                 l.config.loss,
@@ -541,6 +667,7 @@ impl Simulator {
                 l.config.delay,
                 l.config.jitter,
                 l.to,
+                l.session,
             )
         };
         self.links[link.0].stats.sent += 1;
@@ -554,7 +681,7 @@ impl Simulator {
             self.push_golden(GoldenEventKind::Sent, link, wire);
         }
 
-        if self.rng.random_bool(loss) {
+        if self.rngs[session.0].random_bool(loss) {
             self.links[link.0].stats.lost += 1;
             self.trace.record(TraceEntry::Lost {
                 at: self.time,
@@ -572,7 +699,7 @@ impl Simulator {
         // engine cloned here). The copy is scheduled first, exactly as
         // the original engine did, so RNG draw order and event seq
         // assignment — and therefore whole transcripts — are unchanged.
-        if self.rng.random_bool(duplicate) {
+        if self.rngs[session.0].random_bool(duplicate) {
             self.links[link.0].stats.duplicated += 1;
             let copy = self.arena.retain(&payload);
             self.schedule_delivery(link, to, corrupt, delay, jitter, copy);
@@ -592,11 +719,12 @@ impl Simulator {
         jitter: Tick,
         frame: PayloadRef,
     ) {
+        let session = self.links[link.0].session;
         let len = self.arena.get(&frame).len();
         let mut frame = frame;
-        if len > 0 && self.rng.random_bool(corrupt) {
-            let byte = self.rng.random_range(0..len);
-            let bit = self.rng.random_range(0..8u8);
+        if len > 0 && self.rngs[session.0].random_bool(corrupt) {
+            let byte = self.rngs[session.0].random_range(0..len);
+            let bit = self.rngs[session.0].random_range(0..8u8);
             // Copy-on-write: corrupting one duplicate must not touch
             // the other copy's bytes.
             frame = self.arena.make_unique(frame);
@@ -611,7 +739,7 @@ impl Simulator {
             }
         }
         let extra = if jitter > 0 {
-            self.rng.random_range(0..=jitter)
+            self.rngs[session.0].random_range(0..=jitter)
         } else {
             0
         };
@@ -635,9 +763,66 @@ impl Simulator {
     /// Cancels all pending timers for `node` carrying `token`.
     ///
     /// Cancellation is lazy: the events stay queued but are skipped when
-    /// popped, which keeps cancellation O(1).
+    /// popped, which keeps cancellation O(1). The pending set is kept
+    /// per node, so the pop-time check stays proportional to one node's
+    /// few outstanding cancels no matter how many sessions the
+    /// simulator co-hosts.
     pub fn cancel_timer(&mut self, node: NodeId, token: TimerToken) {
-        self.cancelled_timers.push((node, token));
+        let ix = node.index();
+        if self.node_cancels.len() <= ix {
+            self.node_cancels.resize_with(ix + 1, Vec::new);
+        }
+        self.node_cancels[ix].push(token);
+    }
+
+    /// Removes one pending lazy cancellation for `(node, token)` and
+    /// reports whether one existed. Batch pumps call this at dispatch
+    /// time: a handler earlier in the same tick batch may have
+    /// cancelled a timer that [`Simulator::drain_tick`] had already
+    /// popped, and in a standalone run that cancellation would have
+    /// landed before the timer's pop — so consuming it here (and
+    /// dropping the timer event) exactly restores the lazy-cancel
+    /// semantics of [`Simulator::step_ref`].
+    pub fn consume_cancellation(&mut self, node: NodeId, token: TimerToken) -> bool {
+        let Some(list) = self.node_cancels.get_mut(node.index()) else {
+            return false;
+        };
+        if let Some(idx) = list.iter().position(|&t| t == token) {
+            list.swap_remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Shared delivery bookkeeping of [`Simulator::step_ref`] and
+    /// [`Simulator::drain_tick`]: counters, trace, golden capture.
+    fn note_frame_delivery(&mut self, at: Tick, link: LinkId, payload: &PayloadRef) {
+        self.links[link.0].stats.delivered += 1;
+        self.trace.record(TraceEntry::Delivered {
+            at,
+            link,
+            bytes: self.arena.get(payload).len(),
+        });
+        if self.golden.is_some() {
+            let wire = self.arena.get(payload).to_vec();
+            let idx = self.push_golden(GoldenEventKind::Delivered, link, wire);
+            self.golden.as_mut().unwrap().last_delivery = Some(idx);
+        }
+    }
+
+    /// Retracts one delivery from a link's counters. Batch pumps call
+    /// this for frames [`Simulator::drain_tick`] popped whose session
+    /// had already stopped earlier in the same tick (done, or past its
+    /// deadline): a standalone run would never have popped them, so the
+    /// retraction keeps per-session [`LinkStats`] identical to
+    /// standalone. The trace entry is not retracted — the trace is
+    /// observational and documents what the shared engine actually
+    /// popped.
+    pub fn skip_delivery(&mut self, link: LinkId) {
+        let stats = &mut self.links[link.0].stats;
+        debug_assert!(stats.delivered > 0, "no delivery to retract");
+        stats.delivered -= 1;
     }
 
     /// Advances to the next event and returns it with the frame payload
@@ -649,17 +834,7 @@ impl Simulator {
             self.time = at;
             match what {
                 Pending::Frame { link, to, payload } => {
-                    self.links[link.0].stats.delivered += 1;
-                    self.trace.record(TraceEntry::Delivered {
-                        at,
-                        link,
-                        bytes: self.arena.get(&payload).len(),
-                    });
-                    if self.golden.is_some() {
-                        let wire = self.arena.get(&payload).to_vec();
-                        let idx = self.push_golden(GoldenEventKind::Delivered, link, wire);
-                        self.golden.as_mut().unwrap().last_delivery = Some(idx);
-                    }
+                    self.note_frame_delivery(at, link, &payload);
                     return Some(EventRef::Frame {
                         node: to,
                         link,
@@ -667,12 +842,7 @@ impl Simulator {
                     });
                 }
                 Pending::Timer { node, token } => {
-                    if let Some(idx) = self
-                        .cancelled_timers
-                        .iter()
-                        .position(|&(n, t)| n == node && t == token)
-                    {
-                        self.cancelled_timers.swap_remove(idx);
+                    if self.consume_cancellation(node, token) {
                         continue;
                     }
                     return Some(EventRef::Timer { node, token });
@@ -680,6 +850,53 @@ impl Simulator {
             }
         }
         None
+    }
+
+    /// Pops **every** event of the next occupied tick into `out` (which
+    /// is cleared first) and returns that tick, or `None` when the
+    /// simulation has quiesced. This is the batched delivery path of
+    /// the multiplexed driver: one drain serves all sessions with
+    /// events due at that tick, in global `(at, seq)` order — the exact
+    /// order a [`Simulator::step_ref`] loop would have produced —
+    /// without touching the queue once per event consumer.
+    ///
+    /// Already-cancelled timers are consumed and skipped exactly as in
+    /// `step_ref`; cancellations issued *while dispatching* the batch
+    /// are the caller's to honour via
+    /// [`Simulator::consume_cancellation`]. Virtual time lands on the
+    /// returned tick and never moves past it.
+    pub fn drain_tick(&mut self, out: &mut Vec<EventRef>) -> Option<Tick> {
+        out.clear();
+        let mut tick: Option<Tick> = None;
+        loop {
+            match (self.queue.peek_at(), tick) {
+                (None, _) => break,
+                (Some(at), Some(t)) if at > t => break,
+                _ => {}
+            }
+            let (at, what) = self.queue.pop().expect("peeked entry pops");
+            debug_assert!(at >= self.time, "time never runs backwards");
+            self.time = at;
+            match what {
+                Pending::Frame { link, to, payload } => {
+                    self.note_frame_delivery(at, link, &payload);
+                    out.push(EventRef::Frame {
+                        node: to,
+                        link,
+                        payload,
+                    });
+                    tick = Some(at);
+                }
+                Pending::Timer { node, token } => {
+                    if self.consume_cancellation(node, token) {
+                        continue;
+                    }
+                    out.push(EventRef::Timer { node, token });
+                    tick = Some(at);
+                }
+            }
+        }
+        tick
     }
 
     /// Advances to the next event and returns it with an owned payload,
@@ -1108,6 +1325,218 @@ mod tests {
         sim.step();
         sim.annotate_delivery(crate::golden::Verdict::Valid, 1);
         assert!(sim.take_golden_events().is_empty());
+    }
+
+    /// Runs a lossy unidirectional workload and logs `(at, payload)` of
+    /// every delivery — the standalone reference transcript for the
+    /// session-isolation tests.
+    fn standalone_transcript(seed: u64, tag: u8) -> Vec<(Tick, Vec<u8>)> {
+        let mut sim = Simulator::new(seed);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::harsh(5));
+        for i in 0..100u8 {
+            sim.send(ab, vec![tag, i]);
+        }
+        let mut log = Vec::new();
+        while let Some(Event::Frame { payload, .. }) = sim.step() {
+            log.push((sim.now(), payload));
+        }
+        log
+    }
+
+    #[test]
+    fn sessions_replay_bit_identically_to_standalone_simulators() {
+        // Two sessions with different seeds multiplexed on one
+        // simulator: each session's transcript must equal the
+        // standalone run with its seed, regardless of the co-resident.
+        let mut sim = Simulator::new(31);
+        let s2 = sim.add_session(77);
+        let a1 = sim.add_node();
+        let b1 = sim.add_node();
+        let a2 = sim.add_node_for(s2);
+        let b2 = sim.add_node_for(s2);
+        let l1 = sim.add_link(a1, b1, LinkConfig::harsh(5));
+        let l2 = sim.add_link(a2, b2, LinkConfig::harsh(5));
+        // Interleave sends so the queues genuinely mix.
+        for i in 0..100u8 {
+            sim.send(l1, vec![1, i]);
+            sim.send(l2, vec![2, i]);
+        }
+        let mut logs: [Vec<(Tick, Vec<u8>)>; 2] = [Vec::new(), Vec::new()];
+        while let Some(Event::Frame { payload, link, .. }) = sim.step() {
+            let idx = if link == l1 { 0 } else { 1 };
+            logs[idx].push((sim.now(), payload));
+        }
+        assert_eq!(logs[0], standalone_transcript(31, 1));
+        assert_eq!(logs[1], standalone_transcript(77, 2));
+        assert_eq!(sim.session_count(), 2);
+        assert_eq!(sim.node_session(a2), s2);
+        assert_eq!(sim.link_session(l2), s2);
+        assert_eq!(sim.session_links(s2), &[l2]);
+        assert_eq!(sim.session_stats(s2).sent, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross sessions")]
+    fn links_cannot_cross_sessions() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let s2 = sim.add_session(1);
+        let b = sim.add_node_for(s2);
+        sim.add_link(a, b, LinkConfig::reliable(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn foreign_session_ids_are_rejected() {
+        let mut sim = Simulator::new(0);
+        sim.add_node_for(SessionId(3));
+    }
+
+    #[test]
+    fn drain_tick_pops_whole_ticks_in_step_order() {
+        // Replay the same schedule through step_ref and drain_tick: the
+        // batched path must produce the same events in the same order,
+        // grouped by tick, and leave time on the drained tick.
+        let build = || {
+            let mut sim = Simulator::new(5);
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let ab = sim.add_link(a, b, LinkConfig::reliable(4));
+            sim.send(ab, vec![1]);
+            sim.send(ab, vec![2]);
+            sim.set_timer(a, 4, 9);
+            sim.set_timer(b, 6, 8);
+            sim
+        };
+        let mut reference = build();
+        let mut expected = Vec::new();
+        while let Some(ev) = reference.step_ref() {
+            expected.push((reference.now(), describe(&reference, ev)));
+        }
+
+        let mut sim = build();
+        let mut batch = Vec::new();
+        let mut got = Vec::new();
+        let mut ticks = Vec::new();
+        while let Some(tick) = sim.drain_tick(&mut batch) {
+            assert_eq!(sim.now(), tick, "time lands on the drained tick");
+            ticks.push(tick);
+            for ev in batch.drain(..) {
+                got.push((tick, describe(&sim, ev)));
+            }
+        }
+        assert_eq!(got, expected);
+        assert_eq!(ticks, vec![4, 6], "one drain per occupied tick");
+        assert!(sim.is_quiescent());
+        assert!(sim.drain_tick(&mut batch).is_none());
+    }
+
+    /// Renders an event as a comparable tuple, consuming any payload.
+    fn describe(sim: &Simulator, ev: EventRef) -> (usize, Vec<u8>) {
+        match ev {
+            EventRef::Frame { payload, .. } => (0, sim.payload(&payload).to_vec()),
+            EventRef::Timer { token, .. } => (1, vec![token as u8]),
+        }
+    }
+
+    #[test]
+    fn drain_tick_skips_cancelled_timers_across_tick_boundaries() {
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.set_timer(n, 5, 1);
+        sim.set_timer(n, 5, 2);
+        sim.set_timer(n, 9, 3);
+        sim.cancel_timer(n, 1);
+        sim.cancel_timer(n, 3);
+        let mut batch = Vec::new();
+        assert_eq!(sim.drain_tick(&mut batch), Some(5));
+        assert_eq!(batch.len(), 1, "cancelled timer skipped inside the tick");
+        assert!(matches!(batch[0], EventRef::Timer { token: 2, .. }));
+        assert_eq!(
+            sim.drain_tick(&mut batch),
+            None,
+            "a fully-cancelled tick never surfaces"
+        );
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn consume_cancellation_removes_exactly_one_entry() {
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.cancel_timer(n, 7);
+        assert!(sim.consume_cancellation(n, 7));
+        assert!(!sim.consume_cancellation(n, 7), "entry was consumed");
+    }
+
+    #[test]
+    fn skip_delivery_retracts_one_delivered_count() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(1));
+        sim.send(ab, vec![1]);
+        sim.step();
+        assert_eq!(sim.link_stats(ab).delivered, 1);
+        sim.skip_delivery(ab);
+        assert_eq!(sim.link_stats(ab).delivered, 0);
+        assert_eq!(sim.link_stats(ab).sent, 1, "only delivery is retracted");
+    }
+
+    #[test]
+    fn two_live_pooled_simulators_on_one_thread_stay_disjoint() {
+        // The multiplexed driver holds one simulator per core group, so
+        // two pooled simulators can be alive on one worker thread at
+        // once. Checkout is a pop: they must own disjoint structures.
+        let work = |sim: &mut Simulator, tag: u8| {
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let ab = sim.add_link(a, b, LinkConfig::reliable(1));
+            sim.send(ab, vec![tag; 64]);
+        };
+        // Warm the pool with two cores.
+        {
+            let mut w1 = Simulator::new(1);
+            let mut w2 = Simulator::new(2);
+            work(&mut w1, 0);
+            work(&mut w2, 0);
+            while w1.step().is_some() {}
+            while w2.step().is_some() {}
+        }
+        let mut s1 = Simulator::new(1);
+        let mut s2 = Simulator::new(2);
+        work(&mut s1, 1);
+        work(&mut s2, 2);
+        // Each simulator sees only its own in-flight payload.
+        assert_eq!(s1.arena().live(), 1);
+        assert_eq!(s2.arena().live(), 1);
+        let Some(Event::Frame { payload, .. }) = s1.step() else {
+            panic!("s1 delivers its own frame");
+        };
+        assert_eq!(payload, vec![1; 64]);
+        let Some(Event::Frame { payload, .. }) = s2.step() else {
+            panic!("s2 delivers its own frame");
+        };
+        assert_eq!(payload, vec![2; 64]);
+        assert!(s1.step().is_none());
+        assert!(s2.step().is_none());
+    }
+
+    #[test]
+    fn core_pool_is_bounded_per_thread() {
+        // Dropping more pooled simulators than the cap retains only
+        // CORE_POOL_CAP cores on this thread; the rest are dropped.
+        let _hold: Vec<Simulator> = (0..CORE_POOL_CAP + 4)
+            .map(|i| Simulator::new(i as u64))
+            .collect();
+        drop(_hold);
+        let pooled = CORE_POOL.with(|pool| pool.borrow().len());
+        assert!(
+            pooled <= CORE_POOL_CAP,
+            "pool holds {pooled} cores, cap is {CORE_POOL_CAP}"
+        );
     }
 
     #[test]

@@ -17,6 +17,19 @@ pub struct Io<'a> {
     out_link: LinkId,
 }
 
+impl<'a> Io<'a> {
+    /// Builds the handle for one endpoint callback. Crate-internal: the
+    /// pump loops ([`Duplex`], [`crate::multiplex`]) wrap every dispatch
+    /// in one of these.
+    pub(crate) fn new(sim: &'a mut Simulator, node: NodeId, out_link: LinkId) -> Io<'a> {
+        Io {
+            sim,
+            node,
+            out_link,
+        }
+    }
+}
+
 impl Io<'_> {
     /// Transmits a frame on this endpoint's outgoing link.
     pub fn send(&mut self, frame: Vec<u8>) {

@@ -22,7 +22,12 @@
 //!   simulator;
 //! * [`scenario`] — the [`SuiteDriver`](scenario::SuiteDriver) that
 //!   plugs this whole suite into declarative
-//!   [`netdsl_netsim::campaign`] sweeps.
+//!   [`netdsl_netsim::campaign`] sweeps;
+//! * [`multiplex`] — the
+//!   [`MultiSessionDriver`](multiplex::MultiSessionDriver) that runs
+//!   whole batches of scenarios as sessions of **one** shared
+//!   simulator, bit-identical to standalone runs (the million-session
+//!   path of streaming campaigns).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +41,7 @@ pub mod gbn;
 pub mod golden;
 pub mod handshake;
 pub mod ipv4;
+pub mod multiplex;
 pub mod scenario;
 pub mod sr;
 pub mod tftp;

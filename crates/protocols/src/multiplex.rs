@@ -1,0 +1,727 @@
+//! Multiplexed session driver: many scenarios, **one** simulator.
+//!
+//! [`SuiteDriver`](crate::scenario::SuiteDriver) builds a fresh
+//! [`Simulator`] — arena, timer wheel, RNG — per scenario. That is the
+//! right shape for isolation, but a campaign of a million tiny sessions
+//! pays the world-construction cost a million times and keeps only two
+//! nodes busy per wheel. [`MultiSessionDriver`] instead runs a whole
+//! batch of scenarios as *sessions* of a single simulator: every session
+//! gets its own node pair, duplex links and seeded RNG stream (see
+//! [`Simulator::add_session`]), while the timer wheel, payload arena and
+//! event queue are shared. One [`Simulator::drain_tick`] then serves
+//! every session with events due at that tick.
+//!
+//! **Parity is the contract.** Each session's transcript — frame bytes,
+//! timer firings, retransmission counts, elapsed ticks, link counters —
+//! is bit-identical to what a standalone [`SuiteDriver`] run of the same
+//! scenario produces. The per-session RNG streams make impairment draws
+//! independent of batch composition; global `(at, seq)` dispatch order
+//! preserves each session's relative event order; and two retraction
+//! hooks ([`Simulator::skip_delivery`],
+//! [`Simulator::consume_cancellation`]) undo the places where batched
+//! draining pops events a standalone pump would never have seen.
+//! `tests/golden_parity.rs` replays the committed fixture corpus through
+//! this driver and diffs transcripts byte-for-byte.
+//!
+//! [`SuiteDriver`]: crate::scenario::SuiteDriver
+
+use netdsl_netsim::campaign::BatchDriver;
+use netdsl_netsim::scenario::{
+    Fault, FaultDirection, FsmPath, Scenario, ScenarioError, ScenarioResult, TopologySpec,
+};
+use netdsl_netsim::{EventRef, LinkId, NodeId, SessionId, SimCore, Simulator, Tick, TimerToken};
+
+use crate::arq::compiled::FsmSender;
+use crate::arq::session::{SwReceiver, SwSender};
+use crate::baseline::{CReceiver, CSender};
+use crate::driver::{Endpoint, Io};
+use crate::gbn::{GbnReceiver, GbnSender};
+use crate::scenario::{validate_engine, BASELINE, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
+use crate::sr::{SrReceiver, SrSender};
+
+/// One session's pair of endpoints, type-erased so a batch can mix
+/// protocols. The `a`/`b` split mirrors [`Duplex`](crate::driver::Duplex):
+/// `a` is the sender side (transmits on the session's A→B link), `b` the
+/// receiver side.
+pub trait SessionEndpoints {
+    /// Kicks off the A endpoint (called once, before any event).
+    fn start_a(&mut self, io: &mut Io<'_>);
+    /// Kicks off the B endpoint.
+    fn start_b(&mut self, io: &mut Io<'_>);
+    /// A frame arrived at the A endpoint.
+    fn frame_a(&mut self, frame: &[u8], io: &mut Io<'_>);
+    /// A frame arrived at the B endpoint.
+    fn frame_b(&mut self, frame: &[u8], io: &mut Io<'_>);
+    /// A timer fired on the A endpoint's node.
+    fn timer_a(&mut self, token: TimerToken, io: &mut Io<'_>);
+    /// A timer fired on the B endpoint's node.
+    fn timer_b(&mut self, token: TimerToken, io: &mut Io<'_>);
+    /// `true` once both endpoints need no more events.
+    fn done(&self) -> bool;
+    /// `(sender_succeeded, frames_sent, retransmissions)`. `ab_sent` is
+    /// the session's A→B link send counter, for endpoints (the baseline)
+    /// that keep no counters of their own.
+    fn outcome(&self, ab_sent: u64) -> (bool, u64, u64);
+    /// The messages the sender offered.
+    fn offered(&self) -> &[Vec<u8>];
+    /// The messages the receiver delivered, in order.
+    fn delivered(&self) -> &[Vec<u8>];
+}
+
+/// The one [`SessionEndpoints`] implementation: two concrete endpoints
+/// plus plain-function extractors, mirroring how
+/// [`drive_duplex`](crate::scenario::drive_duplex) parameterises its
+/// result fold (monomorphic per endpoint pair, no captures).
+pub struct Pair<A, B> {
+    a: A,
+    b: B,
+    stats: fn(&A, &B, u64) -> (bool, u64, u64),
+    offered: fn(&A) -> &[Vec<u8>],
+    delivered: fn(&B) -> &[Vec<u8>],
+}
+
+impl<A: Endpoint, B: Endpoint> Pair<A, B> {
+    /// Bundles two endpoints with their outcome extractors.
+    pub fn new(
+        a: A,
+        b: B,
+        stats: fn(&A, &B, u64) -> (bool, u64, u64),
+        offered: fn(&A) -> &[Vec<u8>],
+        delivered: fn(&B) -> &[Vec<u8>],
+    ) -> Self {
+        Pair {
+            a,
+            b,
+            stats,
+            offered,
+            delivered,
+        }
+    }
+}
+
+impl<A: Endpoint, B: Endpoint> SessionEndpoints for Pair<A, B> {
+    fn start_a(&mut self, io: &mut Io<'_>) {
+        self.a.start(io);
+    }
+    fn start_b(&mut self, io: &mut Io<'_>) {
+        self.b.start(io);
+    }
+    fn frame_a(&mut self, frame: &[u8], io: &mut Io<'_>) {
+        self.a.on_frame(frame, io);
+    }
+    fn frame_b(&mut self, frame: &[u8], io: &mut Io<'_>) {
+        self.b.on_frame(frame, io);
+    }
+    fn timer_a(&mut self, token: TimerToken, io: &mut Io<'_>) {
+        self.a.on_timer(token, io);
+    }
+    fn timer_b(&mut self, token: TimerToken, io: &mut Io<'_>) {
+        self.b.on_timer(token, io);
+    }
+    fn done(&self) -> bool {
+        self.a.done() && self.b.done()
+    }
+    fn outcome(&self, ab_sent: u64) -> (bool, u64, u64) {
+        (self.stats)(&self.a, &self.b, ab_sent)
+    }
+    fn offered(&self) -> &[Vec<u8>] {
+        (self.offered)(&self.a)
+    }
+    fn delivered(&self) -> &[Vec<u8>] {
+        (self.delivered)(&self.b)
+    }
+}
+
+/// Builds the suite endpoints for one scenario, exactly as
+/// [`SuiteDriver`](crate::scenario::SuiteDriver) would — same
+/// constructors, same engine-axis handling, same
+/// [`validate_engine`] refusal.
+pub fn suite_session(scenario: &Scenario) -> Result<Box<dyn SessionEndpoints>, ScenarioError> {
+    let spec = &scenario.protocol;
+    validate_engine(spec)?;
+    let messages = scenario.traffic.generate();
+    let n = messages.len();
+    match spec.name.as_str() {
+        STOP_AND_WAIT => match spec.fsm_path {
+            FsmPath::Typestate => Ok(Box::new(Pair::new(
+                SwSender::new(messages, spec.timeout, spec.max_retries)
+                    .with_frame_path(spec.frame_path),
+                SwReceiver::new(n).with_frame_path(spec.frame_path),
+                |a, _, _| {
+                    let s = a.stats();
+                    (a.succeeded(), s.frames_sent, s.retransmissions)
+                },
+                SwSender::messages,
+                SwReceiver::delivered,
+            ))),
+            FsmPath::Compiled => Ok(Box::new(Pair::new(
+                FsmSender::new(messages, spec.timeout, spec.max_retries)
+                    .with_frame_path(spec.frame_path),
+                SwReceiver::new(n).with_frame_path(spec.frame_path),
+                |a, _, _| {
+                    let s = a.stats();
+                    (a.succeeded(), s.frames_sent, s.retransmissions)
+                },
+                FsmSender::messages,
+                SwReceiver::delivered,
+            ))),
+        },
+        GO_BACK_N => Ok(Box::new(Pair::new(
+            GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                .with_frame_path(spec.frame_path),
+            GbnReceiver::new(n).with_frame_path(spec.frame_path),
+            |a, _, _| {
+                let s = a.stats();
+                (a.succeeded(), s.frames_sent, s.retransmissions)
+            },
+            GbnSender::messages,
+            GbnReceiver::delivered,
+        ))),
+        SELECTIVE_REPEAT => Ok(Box::new(Pair::new(
+            SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                .with_frame_path(spec.frame_path),
+            SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
+            |a, _, _| {
+                let s = a.stats();
+                (a.succeeded(), s.frames_sent, s.retransmissions)
+            },
+            SrSender::messages,
+            SrReceiver::delivered,
+        ))),
+        BASELINE => Ok(Box::new(Pair::new(
+            CSender::new(messages, spec.timeout, spec.max_retries),
+            CReceiver::new(n),
+            // The baseline keeps no counters (that is its point);
+            // recover them from the data-direction link counter.
+            |a, b, ab_sent| {
+                (
+                    a.succeeded(),
+                    ab_sent,
+                    ab_sent.saturating_sub(b.delivered().len() as u64),
+                )
+            },
+            CSender::messages,
+            CReceiver::delivered,
+        ))),
+        other => Err(ScenarioError::UnknownProtocol(other.to_string())),
+    }
+}
+
+/// Per-session pump bookkeeping inside a batch.
+struct Slot {
+    pair: Box<dyn SessionEndpoints>,
+    node_a: NodeId,
+    node_b: NodeId,
+    link_ab: LinkId,
+    link_ba: LinkId,
+    deadline: Tick,
+    /// Sorted, pre-filtered to `at < deadline` (faults at or past the
+    /// deadline can never influence a dispatched event).
+    faults: Vec<Fault>,
+    next_fault: usize,
+    /// The session's own clock: the tick of its last dispatched event —
+    /// exactly what a standalone run's `Simulator::now` would read.
+    now: Tick,
+    closed: bool,
+    session: SessionId,
+}
+
+impl Slot {
+    /// Post-dispatch bookkeeping, the multiplexed equivalent of one
+    /// `pump_with_faults` boundary check: advance the session clock,
+    /// apply every fault boundary the event crossed (standalone applies
+    /// a fault after the first event *past* it, so strictly `at < now`),
+    /// and close the session once both endpoints are done or the event
+    /// landed past the deadline (standalone dispatches exactly one event
+    /// past the boundary before breaking).
+    fn settle(&mut self, sim: &mut Simulator, open: &mut usize) {
+        self.now = sim.now();
+        while let Some(fault) = self.faults.get(self.next_fault) {
+            if fault.at >= self.now {
+                break;
+            }
+            match fault.direction {
+                FaultDirection::Forward => sim.reconfigure_link(self.link_ab, fault.config.clone()),
+                FaultDirection::Reverse => sim.reconfigure_link(self.link_ba, fault.config.clone()),
+                FaultDirection::Both => {
+                    sim.reconfigure_link(self.link_ab, fault.config.clone());
+                    sim.reconfigure_link(self.link_ba, fault.config.clone());
+                }
+            }
+            self.next_fault += 1;
+        }
+        if self.pair.done() || self.now > self.deadline {
+            self.closed = true;
+            *open -= 1;
+        }
+    }
+
+    /// Folds the session's outcome into the driver-independent result
+    /// shape, mirroring `drive_duplex` field for field (link counters
+    /// come from the session's own links, not the shared total).
+    fn result(&self, sim: &Simulator) -> ScenarioResult {
+        let ab_sent = sim.link_stats(self.link_ab).sent;
+        let (sender_succeeded, frames_sent, retransmissions) = self.pair.outcome(ab_sent);
+        let offered = self.pair.offered();
+        let delivered = self.pair.delivered();
+        ScenarioResult {
+            success: sender_succeeded && delivered == offered,
+            elapsed: self.now,
+            messages_offered: offered.len() as u64,
+            messages_delivered: delivered.len() as u64,
+            payload_bytes: delivered.iter().map(|m| m.len() as u64).sum(),
+            frames_sent,
+            retransmissions,
+            link: sim.session_stats(self.session),
+        }
+    }
+}
+
+/// [`BatchDriver`] that multiplexes a batch of duplex suite scenarios
+/// onto shared simulators — one per engine core present in the batch,
+/// since [`SimCore`] decides the simulator's construction. Results come
+/// back in batch order, bit-identical to standalone
+/// [`SuiteDriver`](crate::scenario::SuiteDriver) runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MultiSessionDriver;
+
+impl MultiSessionDriver {
+    /// A new driver (stateless — every batch is self-contained).
+    pub fn new() -> Self {
+        MultiSessionDriver
+    }
+}
+
+/// Scenario-level validation shared with the solo driver: duplex
+/// topology, known protocol, supported engine configuration.
+fn validate(scenario: &Scenario) -> Result<(), ScenarioError> {
+    if scenario.topology != TopologySpec::Duplex {
+        return Err(ScenarioError::UnsupportedTopology(format!(
+            "{} runs duplex topologies only, got {:?}",
+            scenario.protocol.name, scenario.topology
+        )));
+    }
+    if !matches!(
+        scenario.protocol.name.as_str(),
+        STOP_AND_WAIT | GO_BACK_N | SELECTIVE_REPEAT | BASELINE
+    ) {
+        return Err(ScenarioError::UnknownProtocol(
+            scenario.protocol.name.clone(),
+        ));
+    }
+    validate_engine(&scenario.protocol)?;
+    Ok(())
+}
+
+impl BatchDriver for MultiSessionDriver {
+    fn supports(&self, protocol: &str) -> bool {
+        matches!(
+            protocol,
+            STOP_AND_WAIT | GO_BACK_N | SELECTIVE_REPEAT | BASELINE
+        )
+    }
+
+    fn run_batch(&self, batch: &[Scenario]) -> Vec<Result<ScenarioResult, ScenarioError>> {
+        let mut results: Vec<Option<Result<ScenarioResult, ScenarioError>>> =
+            batch.iter().map(|_| None).collect();
+        // Scenarios that fail validation error in place; the rest group
+        // by engine core (batch order preserved within a group).
+        let mut pooled = Vec::new();
+        let mut legacy = Vec::new();
+        for (i, scenario) in batch.iter().enumerate() {
+            match validate(scenario) {
+                Err(e) => results[i] = Some(Err(e)),
+                Ok(()) => match scenario.protocol.sim_core {
+                    SimCore::Pooled => pooled.push(i),
+                    SimCore::Legacy => legacy.push(i),
+                },
+            }
+        }
+        for (core, group) in [(SimCore::Pooled, pooled), (SimCore::Legacy, legacy)] {
+            if !group.is_empty() {
+                run_group(core, &group, batch, &mut results);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot is filled"))
+            .collect()
+    }
+}
+
+/// Runs one core's worth of validated scenarios as sessions of a single
+/// simulator and writes each result into its original batch slot.
+fn run_group(
+    core: SimCore,
+    group: &[usize],
+    batch: &[Scenario],
+    results: &mut [Option<Result<ScenarioResult, ScenarioError>>],
+) {
+    // A legacy-core batch is a measurement baseline, same as
+    // `drive_duplex`: it runs the byte-at-a-time reference checksum.
+    // Values are identical either way, so parity is unaffected.
+    let legacy = core == SimCore::Legacy;
+    let restore_fast_path = legacy && !netdsl_wire::checksum::set_reference_mode(true);
+
+    // World building: the first scenario seeds the constructor (its RNG
+    // stream is session 0), every further scenario is an added session.
+    // Node ids are dense and allocated here in order, so a flat vector
+    // maps any event's node straight to its slot.
+    let mut sim = Simulator::with_core(batch[group[0]].seed, core);
+    let mut slots: Vec<Slot> = Vec::with_capacity(group.len());
+    let mut node_slot: Vec<usize> = Vec::with_capacity(group.len() * 2);
+    for (k, &i) in group.iter().enumerate() {
+        let scenario = &batch[i];
+        let session = if k == 0 {
+            sim.default_session()
+        } else {
+            sim.add_session(scenario.seed)
+        };
+        let node_a = sim.add_node_for(session);
+        let node_b = sim.add_node_for(session);
+        debug_assert_eq!(node_a.index(), node_slot.len());
+        node_slot.push(k);
+        node_slot.push(k);
+        let (link_ab, link_ba) = sim.add_duplex(node_a, node_b, scenario.link.clone());
+        slots.push(Slot {
+            pair: suite_session(scenario).expect("scenario validated before grouping"),
+            node_a,
+            node_b,
+            link_ab,
+            link_ba,
+            deadline: scenario.deadline,
+            faults: scenario
+                .sorted_faults()
+                .into_iter()
+                .filter(|f| f.at < scenario.deadline)
+                .collect(),
+            next_fault: 0,
+            now: 0,
+            closed: false,
+            session,
+        });
+    }
+
+    // Start phase: all starts happen at tick 0, before any event is
+    // popped — just as each standalone run starts its endpoints before
+    // pumping. Sessions that need no events (empty transfers) close
+    // immediately with elapsed 0.
+    let mut open = slots.len();
+    for slot in &mut slots {
+        slot.pair
+            .start_a(&mut Io::new(&mut sim, slot.node_a, slot.link_ab));
+        slot.pair
+            .start_b(&mut Io::new(&mut sim, slot.node_b, slot.link_ba));
+        if slot.pair.done() {
+            slot.closed = true;
+            open -= 1;
+        }
+    }
+
+    // Batched pump: one wheel pop per tick drains every session's due
+    // events in global (at, seq) order — the exact relative order each
+    // session's standalone pump would have produced. Events belonging
+    // to sessions that closed earlier (done, or past their deadline)
+    // are events a standalone run would never have popped: retract the
+    // delivery count / consume the cancellation and drop them.
+    let recycle = core == SimCore::Pooled;
+    let mut events: Vec<EventRef> = Vec::new();
+    while open > 0 && sim.drain_tick(&mut events).is_some() {
+        for event in events.drain(..) {
+            match event {
+                EventRef::Frame {
+                    node,
+                    link,
+                    payload,
+                } => {
+                    let slot = &mut slots[node_slot[node.index()]];
+                    if slot.closed {
+                        sim.skip_delivery(link);
+                        sim.release_payload(payload);
+                        continue;
+                    }
+                    let frame = sim.detach_payload(payload);
+                    if node == slot.node_a {
+                        slot.pair
+                            .frame_a(&frame, &mut Io::new(&mut sim, slot.node_a, slot.link_ab));
+                    } else {
+                        slot.pair
+                            .frame_b(&frame, &mut Io::new(&mut sim, slot.node_b, slot.link_ba));
+                    }
+                    if recycle {
+                        sim.recycle_payload(frame);
+                    }
+                    slot.settle(&mut sim, &mut open);
+                }
+                EventRef::Timer { node, token } => {
+                    let slot = &mut slots[node_slot[node.index()]];
+                    if slot.closed {
+                        sim.consume_cancellation(node, token);
+                        continue;
+                    }
+                    if sim.consume_cancellation(node, token) {
+                        continue;
+                    }
+                    if node == slot.node_a {
+                        slot.pair
+                            .timer_a(token, &mut Io::new(&mut sim, slot.node_a, slot.link_ab));
+                    } else {
+                        slot.pair
+                            .timer_b(token, &mut Io::new(&mut sim, slot.node_b, slot.link_ba));
+                    }
+                    slot.settle(&mut sim, &mut open);
+                }
+            }
+        }
+    }
+    if restore_fast_path {
+        netdsl_wire::checksum::set_reference_mode(false);
+    }
+
+    for (k, &i) in group.iter().enumerate() {
+        results[i] = Some(Ok(slots[k].result(&sim)));
+    }
+}
+
+/// Runs **one** prepared session through the multiplexed world-building
+/// path (session table, [`Simulator::add_node_for`], session-inferred
+/// links) on its own simulator, pumping event-at-a-time via
+/// [`Simulator::step_ref`]. The golden recorder uses this: batched
+/// draining pops a whole tick before dispatching, which would misattach
+/// per-delivery annotations, while the stepped pump preserves the exact
+/// pop-dispatch-annotate interleaving of a standalone run. With
+/// `record` on, the simulator captures the golden transcript; the
+/// returned simulator still holds it.
+pub fn run_session_stepped(
+    scenario: &Scenario,
+    pair: &mut dyn SessionEndpoints,
+    record: bool,
+) -> (ScenarioResult, Simulator) {
+    let mut sim = Simulator::with_core(scenario.seed, scenario.protocol.sim_core);
+    let session = sim.default_session();
+    let node_a = sim.add_node_for(session);
+    let node_b = sim.add_node_for(session);
+    let (link_ab, link_ba) = sim.add_duplex(node_a, node_b, scenario.link.clone());
+    if record {
+        sim.record_golden(true);
+    }
+    pair.start_a(&mut Io::new(&mut sim, node_a, link_ab));
+    pair.start_b(&mut Io::new(&mut sim, node_b, link_ba));
+
+    let faults: Vec<Fault> = scenario
+        .sorted_faults()
+        .into_iter()
+        .filter(|f| f.at < scenario.deadline)
+        .collect();
+    let mut next_fault = 0;
+    let recycle = sim.core() == SimCore::Pooled;
+    while !pair.done() && sim.now() <= scenario.deadline {
+        let Some(event) = sim.step_ref() else {
+            break;
+        };
+        match event {
+            EventRef::Frame { node, payload, .. } => {
+                let frame = sim.detach_payload(payload);
+                if node == node_a {
+                    pair.frame_a(&frame, &mut Io::new(&mut sim, node_a, link_ab));
+                } else {
+                    pair.frame_b(&frame, &mut Io::new(&mut sim, node_b, link_ba));
+                }
+                if recycle {
+                    sim.recycle_payload(frame);
+                }
+            }
+            EventRef::Timer { node, token } => {
+                if node == node_a {
+                    pair.timer_a(token, &mut Io::new(&mut sim, node_a, link_ab));
+                } else {
+                    pair.timer_b(token, &mut Io::new(&mut sim, node_b, link_ba));
+                }
+            }
+        }
+        while let Some(fault) = faults.get(next_fault) {
+            if fault.at >= sim.now() {
+                break;
+            }
+            match fault.direction {
+                FaultDirection::Forward => sim.reconfigure_link(link_ab, fault.config.clone()),
+                FaultDirection::Reverse => sim.reconfigure_link(link_ba, fault.config.clone()),
+                FaultDirection::Both => {
+                    sim.reconfigure_link(link_ab, fault.config.clone());
+                    sim.reconfigure_link(link_ba, fault.config.clone());
+                }
+            }
+            next_fault += 1;
+        }
+    }
+
+    let elapsed = sim.now();
+    let ab_sent = sim.link_stats(link_ab).sent;
+    let (sender_succeeded, frames_sent, retransmissions) = pair.outcome(ab_sent);
+    let offered = pair.offered();
+    let delivered = pair.delivered();
+    let result = ScenarioResult {
+        success: sender_succeeded && delivered == offered,
+        elapsed,
+        messages_offered: offered.len() as u64,
+        messages_delivered: delivered.len() as u64,
+        payload_bytes: delivered.iter().map(|m| m.len() as u64).sum(),
+        frames_sent,
+        retransmissions,
+        link: sim.session_stats(session),
+    };
+    (result, sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SuiteDriver;
+    use netdsl_netsim::scenario::{
+        EngineConfig, FramePath, ProtocolSpec, ScenarioDriver, TrafficPattern,
+    };
+    use netdsl_netsim::LinkConfig;
+
+    /// A deliberately heterogeneous batch: every protocol, varied
+    /// impairments, both engine cores, both frame paths, a compiled
+    /// FSM, a fault schedule and a deadline-bound lossy session.
+    fn mixed_batch() -> Vec<Scenario> {
+        let mk = |name: &str, window: u32, link: LinkConfig, seed: u64| {
+            Scenario::new(
+                ProtocolSpec::new(name).with_window(window).with_timeout(90),
+                link,
+            )
+            .with_traffic(TrafficPattern::messages(8, 16))
+            .with_seed(seed)
+        };
+        let mut batch = vec![
+            mk(STOP_AND_WAIT, 1, LinkConfig::lossy(3, 0.2), 7),
+            mk(GO_BACK_N, 4, LinkConfig::reliable(3).with_corrupt(0.15), 8),
+            mk(
+                SELECTIVE_REPEAT,
+                4,
+                LinkConfig::reliable(2).with_jitter(8),
+                9,
+            ),
+            mk(BASELINE, 1, LinkConfig::reliable(3).with_duplicate(0.3), 10),
+            mk(STOP_AND_WAIT, 1, LinkConfig::lossy(4, 0.3), 11)
+                .with_fault(netdsl_netsim::Fault::partition(40))
+                .with_fault(netdsl_netsim::Fault::repair(1_000, 4)),
+            // Total loss + finite deadline: exercises the past-deadline
+            // close and the skip_delivery retraction path.
+            mk(STOP_AND_WAIT, 1, LinkConfig::lossy(3, 1.0), 12).with_deadline(600),
+        ];
+        batch[1].protocol = batch[1].protocol.clone().with_engine(EngineConfig {
+            frame_path: FramePath::Compiled,
+            ..EngineConfig::default()
+        });
+        batch[2].protocol = batch[2].protocol.clone().with_engine(EngineConfig {
+            sim_core: SimCore::Legacy,
+            ..EngineConfig::default()
+        });
+        batch[4].protocol = batch[4].protocol.clone().with_engine(EngineConfig {
+            fsm_path: FsmPath::Compiled,
+            ..EngineConfig::default()
+        });
+        batch
+    }
+
+    #[test]
+    fn batched_sessions_match_solo_runs_bit_for_bit() {
+        let batch = mixed_batch();
+        let solo = SuiteDriver::new();
+        let expected: Vec<_> = batch.iter().map(|s| solo.run(s).unwrap()).collect();
+        let got = MultiSessionDriver::new().run_batch(&batch);
+        for ((scenario, want), got) in batch.iter().zip(&expected).zip(got) {
+            assert_eq!(
+                &got.unwrap(),
+                want,
+                "{}: multiplexed diverges",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn many_identical_sessions_do_not_perturb_each_other() {
+        // 64 copies of one lossy scenario in a shared simulator must all
+        // reproduce the standalone result — the per-session RNG streams
+        // are what isolates them.
+        let base = mixed_batch().remove(0);
+        let want = SuiteDriver::new().run(&base).unwrap();
+        let batch: Vec<_> = std::iter::repeat_with(|| base.clone()).take(64).collect();
+        for got in MultiSessionDriver::new().run_batch(&batch) {
+            assert_eq!(got.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn invalid_scenarios_error_in_place_without_poisoning_the_batch() {
+        let mut batch = mixed_batch();
+        let good = batch[0].clone();
+        batch[1] = good.clone().with_topology(TopologySpec::Line { nodes: 3 });
+        batch[3] = Scenario::new(ProtocolSpec::new("nonesuch"), LinkConfig::reliable(3));
+        // Compiled FSM on go-back-n: no driver, must refuse.
+        batch[2] = Scenario::new(
+            ProtocolSpec::new(GO_BACK_N)
+                .with_window(4)
+                .with_engine(EngineConfig {
+                    fsm_path: FsmPath::Compiled,
+                    ..EngineConfig::default()
+                }),
+            LinkConfig::reliable(3),
+        );
+        let results = MultiSessionDriver::new().run_batch(&batch);
+        assert!(matches!(
+            results[1],
+            Err(ScenarioError::UnsupportedTopology(_))
+        ));
+        assert!(matches!(results[2], Err(ScenarioError::Unsupported(_))));
+        assert!(matches!(results[3], Err(ScenarioError::UnknownProtocol(_))));
+        let want = SuiteDriver::new().run(&batch[0]).unwrap();
+        assert_eq!(
+            *results[0].as_ref().unwrap(),
+            want,
+            "valid slots unaffected"
+        );
+    }
+
+    #[test]
+    fn stepped_single_session_matches_the_solo_driver() {
+        let solo = SuiteDriver::new();
+        for scenario in mixed_batch() {
+            let mut pair = suite_session(&scenario).unwrap();
+            let (got, _) = run_session_stepped(&scenario, pair.as_mut(), false);
+            let want = solo.run(&scenario).unwrap();
+            assert_eq!(got, want, "{}: stepped path diverges", scenario.name);
+        }
+    }
+
+    #[test]
+    fn batch_results_come_back_in_batch_order() {
+        // Interleave cores so the two groups scatter back into slots.
+        let base = mixed_batch().remove(0);
+        let batch: Vec<_> = (0..10)
+            .map(|i| {
+                let mut s = base.clone().with_seed(100 + i as u64);
+                if i % 2 == 1 {
+                    s.protocol = s.protocol.clone().with_engine(EngineConfig {
+                        sim_core: SimCore::Legacy,
+                        ..EngineConfig::default()
+                    });
+                }
+                s
+            })
+            .collect();
+        let solo = SuiteDriver::new();
+        let got = MultiSessionDriver::new().run_batch(&batch);
+        for (scenario, got) in batch.iter().zip(got) {
+            assert_eq!(
+                got.unwrap(),
+                solo.run(scenario).unwrap(),
+                "{}",
+                scenario.name
+            );
+        }
+    }
+}

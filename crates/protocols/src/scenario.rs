@@ -26,8 +26,8 @@
 //! ```
 
 use netdsl_netsim::scenario::{
-    Fault, FaultDirection, FsmPath, ProtocolSpec, Scenario, ScenarioDriver, ScenarioError,
-    ScenarioResult, TopologySpec,
+    EngineConfigError, Fault, FaultDirection, FsmPath, ProtocolSpec, Scenario, ScenarioDriver,
+    ScenarioError, ScenarioResult, TopologySpec,
 };
 use netdsl_netsim::Tick;
 
@@ -162,20 +162,25 @@ pub fn drive_duplex<A: Endpoint, B: Endpoint>(
     }
 }
 
-/// Refuses [`FsmPath::Compiled`] for protocols that have no compiled
-/// control-FSM driver. Only stop-and-wait has a reified §3.4 spec to
-/// lower; silently falling back to the typestate engine would let a
-/// sweep label a cell "compiled" while measuring something else — the
-/// same honesty rule the driver applies to fault schedules.
-pub(crate) fn refuse_compiled_fsm(spec: &ProtocolSpec) -> Result<(), ScenarioError> {
-    match spec.fsm_path {
-        FsmPath::Typestate => Ok(()),
-        FsmPath::Compiled => Err(ScenarioError::Unsupported(format!(
-            "{} has no compiled control-FSM driver (fsm_path = {})",
-            spec.name,
-            spec.fsm_path.as_str()
-        ))),
+/// Validates a protocol spec's engine configuration — the **single**
+/// refusal path for unsupported axis combinations, shared by the suite
+/// driver, the golden recorder, and the multiplexed driver.
+///
+/// Today the only invalid combination is [`FsmPath::Compiled`] on a
+/// protocol other than [`STOP_AND_WAIT`]: only the §3.4 spec is
+/// reified and lowered to a transition table, and silently falling
+/// back to the typestate engine would let a sweep label a cell
+/// "compiled" while measuring something else — the same honesty rule
+/// the driver applies to fault schedules.
+pub fn validate_engine(spec: &ProtocolSpec) -> Result<(), EngineConfigError> {
+    if spec.fsm_path == FsmPath::Compiled && spec.name != STOP_AND_WAIT {
+        return Err(EngineConfigError {
+            protocol: spec.name.clone(),
+            config: spec.engine(),
+            reason: "only stop-and-wait has a compiled control-FSM driver".to_string(),
+        });
     }
+    Ok(())
 }
 
 impl ScenarioDriver for SuiteDriver {
@@ -194,6 +199,7 @@ impl ScenarioDriver for SuiteDriver {
             )));
         }
         let spec = &scenario.protocol;
+        validate_engine(spec)?;
         // Generated once and moved into the sender, which serves as the
         // offered-message store for the result comparison — no
         // per-scenario clone of the whole transfer.
@@ -231,57 +237,48 @@ impl ScenarioDriver for SuiteDriver {
                     SwReceiver::delivered,
                 )),
             },
-            GO_BACK_N => {
-                refuse_compiled_fsm(spec)?;
-                Ok(drive_duplex(
-                    scenario,
-                    GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                        .with_frame_path(spec.frame_path),
-                    GbnReceiver::new(n).with_frame_path(spec.frame_path),
-                    |d| {
-                        let s = d.a().stats();
-                        (d.a().succeeded(), s.frames_sent, s.retransmissions)
-                    },
-                    GbnSender::messages,
-                    GbnReceiver::delivered,
-                ))
-            }
-            SELECTIVE_REPEAT => {
-                refuse_compiled_fsm(spec)?;
-                Ok(drive_duplex(
-                    scenario,
-                    SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                        .with_frame_path(spec.frame_path),
-                    SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
-                    |d| {
-                        let s = d.a().stats();
-                        (d.a().succeeded(), s.frames_sent, s.retransmissions)
-                    },
-                    SrSender::messages,
-                    SrReceiver::delivered,
-                ))
-            }
-            BASELINE => {
-                refuse_compiled_fsm(spec)?;
-                Ok(drive_duplex(
-                    scenario,
-                    CSender::new(messages, spec.timeout, spec.max_retries),
-                    CReceiver::new(n),
-                    |d| {
-                        // The baseline sender keeps no counters (that is
-                        // its point); recover frame counts from the
-                        // data-direction link: every `sent` there is a
-                        // data frame, and anything beyond one per
-                        // delivered message was a retransmission.
-                        let frames_sent = d.sim().link_stats(d.link_ab()).sent;
-                        let retransmissions =
-                            frames_sent.saturating_sub(d.b().delivered().len() as u64);
-                        (d.a().succeeded(), frames_sent, retransmissions)
-                    },
-                    CSender::messages,
-                    CReceiver::delivered,
-                ))
-            }
+            GO_BACK_N => Ok(drive_duplex(
+                scenario,
+                GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                    .with_frame_path(spec.frame_path),
+                GbnReceiver::new(n).with_frame_path(spec.frame_path),
+                |d| {
+                    let s = d.a().stats();
+                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
+                },
+                GbnSender::messages,
+                GbnReceiver::delivered,
+            )),
+            SELECTIVE_REPEAT => Ok(drive_duplex(
+                scenario,
+                SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
+                    .with_frame_path(spec.frame_path),
+                SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
+                |d| {
+                    let s = d.a().stats();
+                    (d.a().succeeded(), s.frames_sent, s.retransmissions)
+                },
+                SrSender::messages,
+                SrReceiver::delivered,
+            )),
+            BASELINE => Ok(drive_duplex(
+                scenario,
+                CSender::new(messages, spec.timeout, spec.max_retries),
+                CReceiver::new(n),
+                |d| {
+                    // The baseline sender keeps no counters (that is
+                    // its point); recover frame counts from the
+                    // data-direction link: every `sent` there is a
+                    // data frame, and anything beyond one per
+                    // delivered message was a retransmission.
+                    let frames_sent = d.sim().link_stats(d.link_ab()).sent;
+                    let retransmissions =
+                        frames_sent.saturating_sub(d.b().delivered().len() as u64);
+                    (d.a().succeeded(), frames_sent, retransmissions)
+                },
+                CSender::messages,
+                CReceiver::delivered,
+            )),
             other => Err(ScenarioError::UnknownProtocol(other.to_string())),
         }
     }
@@ -290,7 +287,7 @@ impl ScenarioDriver for SuiteDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netdsl_netsim::scenario::{ProtocolSpec, TrafficPattern};
+    use netdsl_netsim::scenario::{EngineConfig, ProtocolSpec, TrafficPattern};
     use netdsl_netsim::LinkConfig;
 
     fn base(name: &str) -> Scenario {
@@ -359,10 +356,10 @@ mod tests {
         for name in [STOP_AND_WAIT, GO_BACK_N, SELECTIVE_REPEAT] {
             let interpreted = base(name);
             let mut compiled = base(name);
-            compiled.protocol = compiled
-                .protocol
-                .clone()
-                .with_frame_path(FramePath::Compiled);
+            compiled.protocol = compiled.protocol.clone().with_engine(EngineConfig {
+                frame_path: FramePath::Compiled,
+                ..EngineConfig::default()
+            });
             let ri = driver.run(&interpreted).unwrap();
             let rc = driver.run(&compiled).unwrap();
             assert_eq!(ri, rc, "{name}: frame paths diverge");
@@ -380,7 +377,10 @@ mod tests {
         for seed in [3, 11, 42] {
             let typestate = base(STOP_AND_WAIT).with_seed(seed);
             let mut compiled = base(STOP_AND_WAIT).with_seed(seed);
-            compiled.protocol = compiled.protocol.clone().with_fsm_path(FsmPath::Compiled);
+            compiled.protocol = compiled.protocol.clone().with_engine(EngineConfig {
+                fsm_path: FsmPath::Compiled,
+                ..EngineConfig::default()
+            });
             let rt = driver.run(&typestate).unwrap();
             let rc = driver.run(&compiled).unwrap();
             assert_eq!(rt, rc, "seed {seed}: fsm paths diverge");
@@ -395,7 +395,10 @@ mod tests {
         let driver = SuiteDriver::new();
         for name in [GO_BACK_N, SELECTIVE_REPEAT, BASELINE] {
             let mut scenario = base(name);
-            scenario.protocol = scenario.protocol.clone().with_fsm_path(FsmPath::Compiled);
+            scenario.protocol = scenario.protocol.clone().with_engine(EngineConfig {
+                fsm_path: FsmPath::Compiled,
+                ..EngineConfig::default()
+            });
             assert!(
                 matches!(driver.run(&scenario), Err(ScenarioError::Unsupported(_))),
                 "{name} must refuse FsmPath::Compiled"

@@ -107,23 +107,28 @@ fn engine_cores_produce_identical_campaign_reports() {
     // campaign — faults, duplication, corruption, jitter included —
     // must come out bit-for-bit the same on both.
     use netdsl::netsim::SimCore;
+    use netdsl::scenario::EngineConfig;
     let with_core = |core: SimCore| {
+        let engine = EngineConfig {
+            sim_core: core,
+            ..EngineConfig::default()
+        };
         acceptance_campaign(23)
             .protocols(Sweep::grid([
-                ("sw", ProtocolSpec::new(STOP_AND_WAIT).with_sim_core(core)),
+                ("sw", ProtocolSpec::new(STOP_AND_WAIT).with_engine(engine)),
                 (
                     "gbn8",
                     ProtocolSpec::new(GO_BACK_N)
                         .with_window(8)
                         .with_retries(400)
-                        .with_sim_core(core),
+                        .with_engine(engine),
                 ),
                 (
                     "sr8",
                     ProtocolSpec::new(SELECTIVE_REPEAT)
                         .with_window(8)
                         .with_retries(400)
-                        .with_sim_core(core),
+                        .with_engine(engine),
                 ),
             ]))
             .fault(Fault::partition(400))

@@ -2,13 +2,18 @@
 //! `tests/golden/` is the behavioural contract of the whole engine.
 //!
 //! Every fixture is replayed under the **full engine-axis product** —
-//! `SimCore` (pooled / legacy) × `FramePath` (interpreted / compiled) ×
-//! `FsmPath` (typestate / compiled), 8 combinations — and each
-//! supported combination must reproduce the committed transcript
-//! **byte-for-byte**: same events at the same ticks, same wire bytes,
-//! same verdicts, same endpoint-state digests, same serialized JSON.
-//! Combinations a protocol refuses (a compiled control FSM exists only
-//! for stop-and-wait) must refuse loudly, not fall back silently.
+//! [`EngineConfig::all`]: `SimCore` (pooled / legacy) × `FramePath`
+//! (interpreted / compiled) × `FsmPath` (typestate / compiled), 8
+//! combinations — and each supported combination must reproduce the
+//! committed transcript **byte-for-byte**: same events at the same
+//! ticks, same wire bytes, same verdicts, same endpoint-state digests,
+//! same serialized JSON. Combinations a protocol refuses (a compiled
+//! control FSM exists only for stop-and-wait) must refuse loudly, not
+//! fall back silently. The same bar applies to the **multiplexed**
+//! execution path: every fixture also replays through the session-table
+//! recorder (`record_multiplexed`) and the batched
+//! [`MultiSessionDriver`], and a 10k-session streaming campaign must be
+//! bit-identical across worker-thread counts.
 //!
 //! A property test widens the net beyond the committed corpus: random
 //! small scenarios across all four protocols and random impairments
@@ -23,10 +28,14 @@ use std::path::PathBuf;
 
 use proptest::prelude::*;
 
+use netdsl::campaign::{BatchDriver, Campaign, StreamOptions, Sweep};
 use netdsl::netsim::{GoldenTrace, LinkConfig, SimCore};
-use netdsl::protocols::golden::{corpus, engine_combos, record, with_combo};
+use netdsl::protocols::golden::{corpus, record, record_multiplexed, with_combo};
+use netdsl::protocols::multiplex::MultiSessionDriver;
 use netdsl::protocols::scenario::{BASELINE, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
-use netdsl::scenario::{FramePath, FsmPath, ProtocolSpec, Scenario, TrafficPattern};
+use netdsl::scenario::{
+    EngineConfig, FramePath, FsmPath, ProtocolSpec, Scenario, ScenarioDriver, TrafficPattern,
+};
 
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -36,8 +45,8 @@ fn fixture_path(name: &str) -> PathBuf {
 
 /// Only stop-and-wait has a compiled control FSM; everything else must
 /// refuse `FsmPath::Compiled`.
-fn supported(scenario: &Scenario, fsm: FsmPath) -> bool {
-    fsm == FsmPath::Typestate || scenario.protocol.name == STOP_AND_WAIT
+fn supported(scenario: &Scenario, config: EngineConfig) -> bool {
+    config.fsm_path == FsmPath::Typestate || scenario.protocol.name == STOP_AND_WAIT
 }
 
 #[test]
@@ -63,7 +72,7 @@ fn corpus_spans_every_protocol_and_impairment() {
 #[test]
 fn committed_corpus_replays_byte_identically_under_every_engine_combo() {
     let fixtures = corpus();
-    let combos = engine_combos();
+    let combos = EngineConfig::all();
     assert_eq!(combos.len(), 8, "2 cores × 2 frame paths × 2 FSM paths");
     for scenario in &fixtures {
         let path = fixture_path(&scenario.name);
@@ -86,24 +95,86 @@ fn committed_corpus_replays_byte_identically_under_every_engine_combo() {
 
         for &combo in &combos {
             let variant = with_combo(scenario, combo);
-            if supported(scenario, combo.2) {
+            if supported(scenario, combo) {
                 let replay = record(&variant).unwrap_or_else(|e| {
-                    panic!("{} under {combo:?}: recording failed: {e}", scenario.name)
+                    panic!(
+                        "{} under [{}]: recording failed: {e}",
+                        scenario.name,
+                        combo.label()
+                    )
                 });
                 assert_eq!(
                     replay.to_json_string(),
                     committed,
-                    "{} under {combo:?}: transcript drifted from the committed fixture",
-                    scenario.name
+                    "{} under [{}]: transcript drifted from the committed fixture",
+                    scenario.name,
+                    combo.label()
                 );
             } else {
                 assert!(
                     record(&variant).is_err(),
-                    "{} under {combo:?}: must refuse loudly, not fall back",
-                    scenario.name
+                    "{} under [{}]: must refuse loudly, not fall back",
+                    scenario.name,
+                    combo.label()
                 );
             }
         }
+    }
+}
+
+#[test]
+fn committed_corpus_replays_byte_identically_through_the_multiplexed_path() {
+    // The session-table world (Simulator sessions, session-owned nodes
+    // and links) must transcribe every fixture exactly as the committed
+    // Duplex recording did, under every supported engine combo — the
+    // N=1 anchor that pins the multiplexed driver to standalone
+    // semantics.
+    for scenario in &corpus() {
+        let committed = std::fs::read_to_string(fixture_path(&scenario.name)).unwrap();
+        for combo in EngineConfig::all() {
+            let variant = with_combo(scenario, combo);
+            if supported(scenario, combo) {
+                let replay = record_multiplexed(&variant).unwrap_or_else(|e| {
+                    panic!(
+                        "{} under [{}]: multiplexed recording failed: {e}",
+                        scenario.name,
+                        combo.label()
+                    )
+                });
+                assert_eq!(
+                    replay.to_json_string(),
+                    committed,
+                    "{} under [{}]: multiplexed transcript drifted",
+                    scenario.name,
+                    combo.label()
+                );
+            } else {
+                assert!(
+                    record_multiplexed(&variant).is_err(),
+                    "{} under [{}]: multiplexed recorder must refuse too",
+                    scenario.name,
+                    combo.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_fixture_corpus_matches_solo_results() {
+    // The whole corpus as ONE batch of sessions sharing a simulator:
+    // every per-scenario result must equal the standalone driver's.
+    let fixtures = corpus();
+    let solo = netdsl::protocols::scenario::SuiteDriver::new();
+    let batched = MultiSessionDriver::new().run_batch(&fixtures);
+    for (scenario, got) in fixtures.iter().zip(batched) {
+        let want = solo.run(scenario).unwrap();
+        assert_eq!(
+            got.unwrap(),
+            want,
+            "{}: batched session diverges from the solo run",
+            scenario.name
+        );
     }
 }
 
@@ -128,13 +199,100 @@ fn recording_is_identical_across_threads() {
     );
 }
 
+#[test]
+fn streaming_ten_thousand_sessions_is_bit_identical_across_worker_counts() {
+    // A 10_000-scenario campaign (4 protocols × 2 links × 1250 seeds)
+    // streamed through the multiplexed driver must produce the same
+    // report — every moment, every extremum, every raw sample, every
+    // error string — no matter how many worker threads ran it or how
+    // the chunks interleaved.
+    let campaign = Campaign::new("mux-determinism", 41)
+        .protocols(Sweep::grid([
+            (
+                "sw",
+                ProtocolSpec::new(STOP_AND_WAIT)
+                    .with_timeout(40)
+                    .with_retries(50),
+            ),
+            (
+                "gbn",
+                ProtocolSpec::new(GO_BACK_N)
+                    .with_window(4)
+                    .with_timeout(60)
+                    .with_retries(50),
+            ),
+            (
+                "sr",
+                ProtocolSpec::new(SELECTIVE_REPEAT)
+                    .with_window(4)
+                    .with_timeout(60)
+                    .with_retries(50),
+            ),
+            (
+                "base",
+                ProtocolSpec::new(BASELINE)
+                    .with_timeout(40)
+                    .with_retries(50),
+            ),
+        ]))
+        .links(Sweep::grid([
+            ("clean", LinkConfig::reliable(2)),
+            ("lossy", LinkConfig::lossy(2, 0.15)),
+        ]))
+        .traffic(Sweep::grid([("tiny", TrafficPattern::messages(2, 8))]))
+        .seeds(Sweep::seeds(1250));
+    assert_eq!(campaign.scenario_count(), 10_000);
+
+    let driver = MultiSessionDriver::new();
+    let opts = StreamOptions {
+        chunk: 512,
+        raw_cap: 2048,
+    };
+    let reference = campaign.run_streaming(&driver, 1, opts);
+    assert_eq!(reference.executed, 10_000);
+    assert!(
+        reference.succeeded > 9_000,
+        "tiny transfers overwhelmingly succeed, got {}",
+        reference.succeeded
+    );
+    for threads in [2, 8] {
+        let report = campaign.run_streaming(&driver, threads, opts);
+        assert_eq!(
+            report, reference,
+            "streaming report differs at {threads} worker threads"
+        );
+    }
+    // Chunk geometry changes which sessions share a simulator and the
+    // floating-point summation order, but never any per-scenario result:
+    // counts and extrema must match exactly, moments to rounding.
+    let rechunked = campaign.run_streaming(
+        &driver,
+        4,
+        StreamOptions {
+            chunk: 640,
+            raw_cap: 2048,
+        },
+    );
+    assert_eq!(rechunked.executed, reference.executed);
+    assert_eq!(rechunked.succeeded, reference.succeeded);
+    assert_eq!(rechunked.failed, reference.failed);
+    assert_eq!(rechunked.goodput.min(), reference.goodput.min());
+    assert_eq!(rechunked.goodput.max(), reference.goodput.max());
+    let (a, b) = (rechunked.goodput.mean(), reference.goodput.mean());
+    assert!(
+        ((a - b) / b).abs() < 1e-12,
+        "chunk geometry changed results beyond summation rounding: {a} vs {b}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// The parity property behind the corpus, over scenarios nobody
     /// hand-picked: any small scenario, any seed, any mix of loss and
     /// corruption — every supported engine combo produces the same
-    /// serialized transcript, and unsupported combos refuse.
+    /// serialized transcript (through the Duplex *and* the multiplexed
+    /// recorder), and unsupported combos refuse.
     #[test]
     fn engine_axes_never_change_the_transcript(
         protocol_idx in 0usize..4,
@@ -165,14 +323,20 @@ proptest! {
 
         let mut reference: Option<String> = None;
         let mut replayed = 0usize;
-        for combo in engine_combos() {
+        for combo in EngineConfig::all() {
             let variant = with_combo(&scenario, combo);
-            if supported(&scenario, combo.2) {
+            if supported(&scenario, combo) {
                 let text = record(&variant).unwrap().to_json_string();
+                let multiplexed = record_multiplexed(&variant).unwrap().to_json_string();
+                prop_assert_eq!(
+                    &text, &multiplexed,
+                    "combo [{}] multiplexed recorder diverged on {}",
+                    combo.label(), scenario.name
+                );
                 match &reference {
                     Some(first) => prop_assert_eq!(
                         first, &text,
-                        "combo {:?} diverged on {}", combo, scenario.name
+                        "combo [{}] diverged on {}", combo.label(), scenario.name
                     ),
                     None => reference = Some(text),
                 }
@@ -180,7 +344,7 @@ proptest! {
             } else {
                 prop_assert!(
                     record(&variant).is_err(),
-                    "combo {:?} must refuse {}", combo, scenario.name
+                    "combo [{}] must refuse {}", combo.label(), scenario.name
                 );
             }
         }
@@ -190,17 +354,17 @@ proptest! {
 }
 
 // Also used as a free sanity anchor: SimCore and FramePath appear in
-// `engine_combos()`; reference them so the import list stays honest.
+// `EngineConfig::all()`; reference them so the import list stays honest.
 #[test]
 fn engine_combo_axes_cover_both_values_of_every_axis() {
-    let combos = engine_combos();
+    let combos = EngineConfig::all();
     for core in [SimCore::Pooled, SimCore::Legacy] {
-        assert!(combos.iter().any(|c| c.0 == core));
+        assert!(combos.iter().any(|c| c.sim_core == core));
     }
     for frame in [FramePath::Interpreted, FramePath::Compiled] {
-        assert!(combos.iter().any(|c| c.1 == frame));
+        assert!(combos.iter().any(|c| c.frame_path == frame));
     }
     for fsm in [FsmPath::Typestate, FsmPath::Compiled] {
-        assert!(combos.iter().any(|c| c.2 == fsm));
+        assert!(combos.iter().any(|c| c.fsm_path == fsm));
     }
 }
