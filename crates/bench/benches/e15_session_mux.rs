@@ -40,7 +40,7 @@ use netdsl_bench::report::{self, BenchReport, Metric};
 use netdsl_bench::stages;
 use netdsl_netsim::campaign::{BatchDriver, Campaign, SoloBatch, StreamOptions, Sweep};
 use netdsl_netsim::scenario::{EngineConfig, ProtocolSpec, Scenario, TrafficPattern};
-use netdsl_netsim::{LinkConfig, SimCore};
+use netdsl_netsim::{LinkConfig, LogProgress, SimCore};
 use netdsl_protocols::multiplex::MultiSessionDriver;
 use netdsl_protocols::scenario::{
     SuiteDriver, BASELINE, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT,
@@ -219,8 +219,12 @@ fn main() {
         chunk: 4096,
         raw_cap: 1024,
     };
+    // A million sessions take a while: a throttled progress sink logs
+    // one line a second (chunks done, cells/s, reservoir occupancy,
+    // per-shard counts) so the run is watchable instead of silent.
+    let progress = LogProgress::new("e15-stream");
     let start = Instant::now();
-    let streamed = stream.run_streaming(&mux, threads, opts);
+    let streamed = stream.run_streaming_with(&mux, threads, opts, &progress);
     let stream_rate = STREAM_SESSIONS as f64 / start.elapsed().as_secs_f64();
     assert_eq!(streamed.executed, STREAM_SESSIONS, "every cell executed");
     assert_eq!(streamed.errors, 0, "no streaming cell may error");

@@ -44,10 +44,12 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
+use netdsl_obs::{NullProgress, ProgressSink, ProgressUpdate};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -403,15 +405,41 @@ impl Campaign {
         threads: usize,
         opts: StreamOptions,
     ) -> StreamingReport {
+        self.run_streaming_with(driver, threads, opts, &NullProgress)
+    }
+
+    /// [`Campaign::run_streaming`] with a live [`ProgressSink`]: the
+    /// executing worker reports after every finished chunk (chunks and
+    /// cells done, aggregate cells/s, reservoir bound, per-worker cell
+    /// counts), and one final `done` update follows the sequential
+    /// merge. Progress is observational only — the report is
+    /// bit-identical to [`Campaign::run_streaming`] whatever the sink
+    /// does, and the plain entry point is exactly this with
+    /// [`NullProgress`].
+    pub fn run_streaming_with(
+        &self,
+        driver: &dyn BatchDriver,
+        threads: usize,
+        opts: StreamOptions,
+        sink: &dyn ProgressSink,
+    ) -> StreamingReport {
         let n = self.scenario_count();
         let chunk = opts.chunk.max(1);
         let chunks = n.div_ceil(chunk);
+        let workers = threads.max(1).min(chunks.max(1));
         let partials: Mutex<Vec<Option<StreamPartial>>> = Mutex::new(vec![None; chunks]);
         let next = AtomicUsize::new(0);
+        let chunks_done = AtomicUsize::new(0);
+        let cells_done = AtomicUsize::new(0);
+        let shard_cells: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let started = Instant::now();
 
         thread::scope(|scope| {
-            for _ in 0..threads.max(1).min(chunks.max(1)) {
-                scope.spawn(|| {
+            for w in 0..workers {
+                let (partials, next) = (&partials, &next);
+                let (chunks_done, cells_done, shard_cells) =
+                    (&chunks_done, &cells_done, &shard_cells);
+                scope.spawn(move || {
                     let mut local: Vec<(usize, StreamPartial)> = Vec::new();
                     let mut batch: Vec<Scenario> = Vec::with_capacity(chunk);
                     loop {
@@ -424,6 +452,31 @@ impl Campaign {
                         batch.clear();
                         batch.extend((lo..hi).map(|i| self.scenario_at(i)));
                         local.push((c, run_chunk(driver, &batch, opts.raw_cap)));
+                        shard_cells[w].fetch_add((hi - lo) as u64, Ordering::Relaxed);
+                        let done_cells =
+                            cells_done.fetch_add(hi - lo, Ordering::SeqCst) + (hi - lo);
+                        let done_chunks = chunks_done.fetch_add(1, Ordering::SeqCst) + 1;
+                        let elapsed = started.elapsed().as_secs_f64();
+                        sink.progress(&ProgressUpdate {
+                            chunks_done: done_chunks,
+                            chunks_total: chunks,
+                            cells_done: done_cells,
+                            cells_total: n,
+                            cells_per_sec: if elapsed > 0.0 {
+                                done_cells as f64 / elapsed
+                            } else {
+                                0.0
+                            },
+                            // Merge-bound estimate; the final update
+                            // carries the exact occupancy.
+                            reservoir: done_cells.min(opts.raw_cap),
+                            raw_cap: opts.raw_cap,
+                            shard_cells: shard_cells
+                                .iter()
+                                .map(|s| s.load(Ordering::Relaxed))
+                                .collect(),
+                            done: false,
+                        });
                     }
                     let mut partials = partials.lock().expect("no poisoned workers");
                     for (c, partial) in local {
@@ -437,6 +490,25 @@ impl Campaign {
         for partial in partials.into_inner().expect("workers joined") {
             report.merge_partial(&partial.expect("every chunk filled"));
         }
+        let elapsed = started.elapsed().as_secs_f64();
+        sink.progress(&ProgressUpdate {
+            chunks_done: chunks,
+            chunks_total: chunks,
+            cells_done: n,
+            cells_total: n,
+            cells_per_sec: if elapsed > 0.0 {
+                n as f64 / elapsed
+            } else {
+                0.0
+            },
+            reservoir: report.delivery.samples().len(),
+            raw_cap: opts.raw_cap,
+            shard_cells: shard_cells
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect(),
+            done: true,
+        });
         report
     }
 }
@@ -988,6 +1060,46 @@ mod tests {
             .map(|r| r.goodput())
             .collect();
         assert_eq!(streamed.goodput.samples(), &goodput[..]);
+    }
+
+    #[test]
+    fn streaming_progress_reports_every_chunk_and_a_final_merge() {
+        struct Collect(Mutex<Vec<ProgressUpdate>>);
+        impl ProgressSink for Collect {
+            fn progress(&self, update: &ProgressUpdate) {
+                self.0.lock().unwrap().push(update.clone());
+            }
+        }
+        let c = small_campaign();
+        let opts = StreamOptions {
+            chunk: 5,
+            ..StreamOptions::default()
+        };
+        let sink = Collect(Mutex::new(Vec::new()));
+        let observed = c.run_streaming_with(&SoloBatch(Echo), 3, opts, &sink);
+        assert_eq!(
+            observed,
+            c.run_streaming(&SoloBatch(Echo), 3, opts),
+            "progress is observational only"
+        );
+        let updates = sink.0.into_inner().unwrap();
+        let chunks = c.scenario_count().div_ceil(5);
+        assert_eq!(updates.len(), chunks + 1, "one per chunk plus the merge");
+        let last = updates.last().unwrap();
+        assert!(last.done, "final update closes the run");
+        assert_eq!(last.cells_done, c.scenario_count());
+        assert_eq!(last.chunks_done, chunks);
+        assert_eq!(
+            last.shard_cells.iter().sum::<u64>(),
+            c.scenario_count() as u64,
+            "every cell is attributed to a worker shard"
+        );
+        assert_eq!(
+            last.reservoir,
+            observed.delivery.samples().len(),
+            "final update carries exact reservoir occupancy"
+        );
+        assert!(updates.iter().rev().skip(1).all(|u| !u.done));
     }
 
     #[test]

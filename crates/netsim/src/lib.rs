@@ -68,6 +68,9 @@ pub use golden::{
     GoldenEvent, GoldenEventKind, GoldenResult, GoldenScenario, GoldenTrace, Verdict,
 };
 pub use link::LinkConfig;
+pub use netdsl_obs::{
+    FlightKind, FlightRecording, LogProgress, NullProgress, ObsConfig, ProgressSink, ProgressUpdate,
+};
 pub use scenario::{
     EngineConfig, EngineConfigError, Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioResult,
     TopologySpec, TrafficPattern,

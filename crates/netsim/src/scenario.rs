@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+use netdsl_obs::ObsConfig;
+
 use crate::link::LinkConfig;
 use crate::sim::SimCore;
 use crate::stats::LinkStats;
@@ -99,17 +101,31 @@ pub struct EngineConfig {
     pub frame_path: FramePath,
     /// Which control-FSM engine endpoints should use.
     pub fsm_path: FsmPath,
+    /// What the engine should observe while running ([`ObsConfig`]).
+    /// Unlike the three engine axes this is **not** a parity axis — it
+    /// must never change a run's transcript or result (pinned by the
+    /// flight-parity suite, overhead measured by bench E16) — so
+    /// [`EngineConfig::label`] and golden fixtures ignore it.
+    pub obs: ObsConfig,
 }
 
 impl EngineConfig {
     /// An explicit configuration (the `Default` impl is the pooled /
-    /// interpreted / typestate engine).
+    /// interpreted / typestate engine with observability off).
     pub fn new(sim_core: SimCore, frame_path: FramePath, fsm_path: FsmPath) -> Self {
         EngineConfig {
             sim_core,
             frame_path,
             fsm_path,
+            obs: ObsConfig::default(),
         }
+    }
+
+    /// Selects the observability configuration (builder style).
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The full engine product: every `SimCore` × `FramePath` ×
@@ -126,6 +142,7 @@ impl EngineConfig {
                         sim_core,
                         frame_path,
                         fsm_path,
+                        obs: ObsConfig::default(),
                     });
                 }
             }
@@ -207,11 +224,16 @@ pub struct ProtocolSpec {
     /// like [`frame_path`](ProtocolSpec::frame_path), this exists so
     /// campaigns can put pure engine cost on an axis (experiment E13).
     pub sim_core: SimCore,
+    /// What the driver's simulator should observe while running. Not a
+    /// parity axis (see [`EngineConfig::obs`]): drivers install it with
+    /// `Simulator::set_obs`, and it never changes the transcript.
+    pub obs: ObsConfig,
 }
 
 impl ProtocolSpec {
     /// A spec for `name` with default tuning (window 1, timeout 150,
-    /// 200 retries, interpreted frame path, pooled engine core).
+    /// 200 retries, interpreted frame path, pooled engine core,
+    /// observability off).
     pub fn new(name: impl Into<String>) -> Self {
         ProtocolSpec {
             name: name.into(),
@@ -221,6 +243,7 @@ impl ProtocolSpec {
             frame_path: FramePath::default(),
             fsm_path: FsmPath::default(),
             sim_core: SimCore::default(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -232,6 +255,7 @@ impl ProtocolSpec {
         self.sim_core = engine.sim_core;
         self.frame_path = engine.frame_path;
         self.fsm_path = engine.fsm_path;
+        self.obs = engine.obs;
         self
     }
 
@@ -241,7 +265,15 @@ impl ProtocolSpec {
             sim_core: self.sim_core,
             frame_path: self.frame_path,
             fsm_path: self.fsm_path,
+            obs: self.obs,
         }
+    }
+
+    /// Selects the observability configuration (builder style).
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Selects the frame codec path (builder style).

@@ -30,6 +30,9 @@ use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use netdsl_obs::{
+    Counter, FlightEvent, FlightKind, FlightRecorder, FlightRecording, Histogram, ObsConfig,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -270,6 +273,19 @@ thread_local! {
 /// recycles all of them.
 const CORE_POOL_CAP: usize = 8;
 
+/// Engine metrics (`netdsl-obs`). The statics are inert until
+/// [`netdsl_obs::set_metrics_enabled`] turns the registry on — each
+/// update is then one thread-sharded relaxed add, so the hot path stays
+/// allocation-free (pinned by `tests/alloc_zero.rs`).
+static FRAMES_SENT: Counter = Counter::new("sim.frames_sent");
+static FRAMES_DELIVERED: Counter = Counter::new("sim.frames_delivered");
+static FRAMES_DROPPED: Counter = Counter::new("sim.frames_dropped");
+static FRAMES_CORRUPTED: Counter = Counter::new("sim.frames_corrupted");
+static TIMERS_SET: Counter = Counter::new("sim.timers_set");
+static TIMERS_FIRED: Counter = Counter::new("sim.timers_fired");
+static TIMERS_CANCELLED: Counter = Counter::new("sim.timers_cancelled");
+static FRAME_BYTES: Histogram = Histogram::new("sim.frame_bytes");
+
 /// Golden-trace capture state, boxed behind an `Option` so the hot path
 /// pays one predictable branch when recording is off (the default).
 #[derive(Debug, Default)]
@@ -306,6 +322,9 @@ pub struct Simulator {
     /// O(sessions) per timer pop in a multiplexed batch.
     node_cancels: Vec<Vec<TimerToken>>,
     golden: Option<Box<GoldenLog>>,
+    /// Flight recorder, boxed behind an `Option` like golden capture:
+    /// the hot path pays one branch when no recorder is installed.
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl Simulator {
@@ -347,6 +366,48 @@ impl Simulator {
             trace: Trace::new(),
             node_cancels: Vec::new(),
             golden: None,
+            flight: None,
+        }
+    }
+
+    /// Installs a scenario's observability request: turns the
+    /// process-wide metric registry on when asked (enabling is sticky —
+    /// see [`ObsConfig::metrics`]) and installs or removes the flight
+    /// recorder. Telemetry never changes behaviour: transcripts, RNG
+    /// draws and results are identical with or without it (pinned by
+    /// the flight-parity suite; overhead measured by bench E16).
+    pub fn set_obs(&mut self, cfg: ObsConfig) {
+        if cfg.metrics {
+            netdsl_obs::set_metrics_enabled(true);
+        }
+        self.flight = cfg
+            .flight
+            .then(|| Box::new(FlightRecorder::new(cfg.flight_cap())));
+    }
+
+    /// Removes the flight recorder, returning what it captured (or
+    /// `None` when none was installed).
+    pub fn take_flight(&mut self) -> Option<FlightRecording> {
+        self.flight.take().map(|r| r.into_recording())
+    }
+
+    /// Records a protocol-level flight event (`ArqTimeout`,
+    /// `Retransmit`, `CodecReject`, …) stamped with the current virtual
+    /// time and `node` as the subject. A no-op without a recorder —
+    /// endpoints can call this unconditionally.
+    pub fn flight_protocol_event(&mut self, kind: FlightKind, node: NodeId, detail: u64) {
+        self.flight_record(kind, node.index() as u64, detail);
+    }
+
+    #[inline]
+    fn flight_record(&mut self, kind: FlightKind, subject: u64, detail: u64) {
+        if let Some(f) = &mut self.flight {
+            f.record(FlightEvent {
+                at: self.time,
+                kind,
+                subject,
+                detail,
+            });
         }
     }
 
@@ -670,12 +731,16 @@ impl Simulator {
                 l.session,
             )
         };
+        let len = self.arena.get(&payload).len();
         self.links[link.0].stats.sent += 1;
         self.trace.record(TraceEntry::Sent {
             at: self.time,
             link,
-            bytes: self.arena.get(&payload).len(),
+            bytes: len,
         });
+        FRAMES_SENT.incr();
+        FRAME_BYTES.observe(len as u64);
+        self.flight_record(FlightKind::Send, link.index() as u64, len as u64);
         if self.golden.is_some() {
             let wire = self.arena.get(&payload).to_vec();
             self.push_golden(GoldenEventKind::Sent, link, wire);
@@ -687,6 +752,8 @@ impl Simulator {
                 at: self.time,
                 link,
             });
+            FRAMES_DROPPED.incr();
+            self.flight_record(FlightKind::Drop, link.index() as u64, 0);
             if self.golden.is_some() {
                 self.push_golden(GoldenEventKind::Lost, link, Vec::new());
             }
@@ -734,6 +801,8 @@ impl Simulator {
                 at: self.time,
                 link,
             });
+            FRAMES_CORRUPTED.incr();
+            self.flight_record(FlightKind::Corrupt, link.index() as u64, 0);
             if self.golden.is_some() {
                 self.push_golden(GoldenEventKind::Corrupted, link, Vec::new());
             }
@@ -757,6 +826,8 @@ impl Simulator {
     /// Schedules a timer event for `node` to fire `delay` ticks from now.
     pub fn set_timer(&mut self, node: NodeId, delay: Tick, token: TimerToken) {
         let at = self.time + delay;
+        TIMERS_SET.incr();
+        self.flight_record(FlightKind::TimerSet, node.index() as u64, token);
         self.push(at, Pending::Timer { node, token });
     }
 
@@ -772,6 +843,8 @@ impl Simulator {
         if self.node_cancels.len() <= ix {
             self.node_cancels.resize_with(ix + 1, Vec::new);
         }
+        TIMERS_CANCELLED.incr();
+        self.flight_record(FlightKind::TimerCancel, ix as u64, token);
         self.node_cancels[ix].push(token);
     }
 
@@ -798,12 +871,15 @@ impl Simulator {
     /// Shared delivery bookkeeping of [`Simulator::step_ref`] and
     /// [`Simulator::drain_tick`]: counters, trace, golden capture.
     fn note_frame_delivery(&mut self, at: Tick, link: LinkId, payload: &PayloadRef) {
+        let len = self.arena.get(payload).len();
         self.links[link.0].stats.delivered += 1;
         self.trace.record(TraceEntry::Delivered {
             at,
             link,
-            bytes: self.arena.get(payload).len(),
+            bytes: len,
         });
+        FRAMES_DELIVERED.incr();
+        self.flight_record(FlightKind::Deliver, link.index() as u64, len as u64);
         if self.golden.is_some() {
             let wire = self.arena.get(payload).to_vec();
             let idx = self.push_golden(GoldenEventKind::Delivered, link, wire);
@@ -845,6 +921,8 @@ impl Simulator {
                     if self.consume_cancellation(node, token) {
                         continue;
                     }
+                    TIMERS_FIRED.incr();
+                    self.flight_record(FlightKind::TimerFire, node.index() as u64, token);
                     return Some(EventRef::Timer { node, token });
                 }
             }
@@ -868,6 +946,7 @@ impl Simulator {
     pub fn drain_tick(&mut self, out: &mut Vec<EventRef>) -> Option<Tick> {
         out.clear();
         let mut tick: Option<Tick> = None;
+        let mut timers: u64 = 0;
         loop {
             match (self.queue.peek_at(), tick) {
                 (None, _) => break,
@@ -891,10 +970,17 @@ impl Simulator {
                     if self.consume_cancellation(node, token) {
                         continue;
                     }
+                    TIMERS_FIRED.incr();
+                    self.flight_record(FlightKind::TimerFire, node.index() as u64, token);
                     out.push(EventRef::Timer { node, token });
+                    timers += 1;
                     tick = Some(at);
                 }
             }
+        }
+        if tick.is_some() && self.flight.is_some() {
+            let frames = out.len() as u64 - timers;
+            self.flight_record(FlightKind::DrainBatch, frames, timers);
         }
         tick
     }
@@ -1313,6 +1399,80 @@ mod tests {
         assert_eq!(events[1].verdict, Some(Verdict::Valid));
         assert_eq!(events[1].digest, Some(0x1234));
         assert!(sim.take_golden_events().is_empty(), "log was drained");
+    }
+
+    #[test]
+    fn flight_recorder_mirrors_the_golden_hook_sites() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(2));
+        sim.set_obs(ObsConfig::off().with_flight_capacity(64));
+        sim.send(ab, vec![1, 2, 3]);
+        sim.set_timer(a, 5, 9);
+        sim.cancel_timer(a, 9);
+        while sim.step().is_some() {}
+        let rec = sim.take_flight().expect("recorder installed");
+        let kinds: Vec<FlightKind> = rec.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FlightKind::Send,
+                FlightKind::TimerSet,
+                FlightKind::TimerCancel,
+                FlightKind::Deliver,
+            ],
+            "cancelled timer never fires"
+        );
+        assert_eq!(rec.events[0].subject, ab.index() as u64);
+        assert_eq!(rec.events[0].detail, 3, "send carries payload bytes");
+        assert_eq!(rec.events[3].at, 2, "delivery stamped at delivery time");
+        assert!(sim.take_flight().is_none(), "take removes the recorder");
+    }
+
+    #[test]
+    fn drain_tick_records_one_batch_summary_event() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(4));
+        sim.set_obs(ObsConfig::off().with_flight());
+        sim.send(ab, vec![1]);
+        sim.send(ab, vec![2]);
+        sim.set_timer(a, 4, 9);
+        let mut batch = Vec::new();
+        assert_eq!(sim.drain_tick(&mut batch), Some(4));
+        for ev in batch.drain(..) {
+            if let EventRef::Frame { payload, .. } = ev {
+                sim.release_payload(payload);
+            }
+        }
+        let rec = sim.take_flight().unwrap();
+        let last = rec.events.last().unwrap();
+        assert_eq!(last.kind, FlightKind::DrainBatch);
+        assert_eq!((last.subject, last.detail), (2, 1), "2 frames + 1 timer");
+    }
+
+    #[test]
+    fn observability_does_not_change_the_transcript() {
+        let run = |obs: ObsConfig| {
+            let mut sim = Simulator::new(42);
+            sim.set_obs(obs);
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let ab = sim.add_link(a, b, LinkConfig::harsh(5));
+            let mut log = Vec::new();
+            for i in 0..100u8 {
+                sim.send(ab, vec![i; 8]);
+            }
+            while let Some(Event::Frame { payload, .. }) = sim.step() {
+                log.push((sim.now(), payload));
+            }
+            log
+        };
+        let plain = run(ObsConfig::off());
+        assert_eq!(plain, run(ObsConfig::off().with_flight()));
+        assert_eq!(plain, run(ObsConfig::off().with_flight_capacity(4)));
     }
 
     #[test]

@@ -241,6 +241,14 @@ impl Trace {
         self.recorded
     }
 
+    /// Entries evicted from the ring so far (recorded minus retained) —
+    /// how much history a bounded trace has silently let go, so
+    /// triage tooling can say "the ring wrapped" instead of presenting
+    /// a truncated window as the whole run.
+    pub fn dropped_entries(&self) -> u64 {
+        self.recorded - self.entries.len() as u64
+    }
+
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.recorded == 0
@@ -316,6 +324,23 @@ mod tests {
             })
             .collect();
         assert_eq!(ats, vec![2, 3, 4], "oldest first, newest kept");
+    }
+
+    #[test]
+    fn dropped_entries_counts_ring_evictions() {
+        let mut t = Trace::with_capacity(3);
+        assert_eq!(t.dropped_entries(), 0);
+        for i in 0..5 {
+            t.record(TraceEntry::Sent {
+                at: i,
+                link: LinkId(0),
+                bytes: 1,
+            });
+        }
+        assert_eq!(t.dropped_entries(), 2, "5 recorded, 3 retained");
+        assert_eq!(t.recorded() - t.len() as u64, t.dropped_entries());
+        let unfull = Trace::new();
+        assert_eq!(unfull.dropped_entries(), 0);
     }
 
     #[test]

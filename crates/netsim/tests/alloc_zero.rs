@@ -107,6 +107,41 @@ fn frame_hot_path_is_allocation_free_once_warm() {
 }
 
 #[test]
+fn frame_hot_path_stays_allocation_free_with_metrics_enabled() {
+    // Observability must not cost the alloc_zero invariant: with the
+    // global metric switch on, every hot-path update lands in a
+    // pre-sized thread-local shard cell. The only allocation metrics
+    // ever perform is lazy registration (one Vec push per metric,
+    // process-wide), which the warm-up pump absorbs here. Thread-count
+    // invariance of the cross-shard snapshot merge is pinned in the
+    // obs crate's own suite.
+    let _serial = SERIAL
+        .lock()
+        .expect("counter tests never panic while locked");
+    netdsl_obs::set_metrics_enabled(true);
+    let mut sim = Simulator::with_core(3, SimCore::Pooled);
+    sim.set_trace_capacity(64);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    let ab = sim.add_link(a, b, LinkConfig::reliable(5));
+
+    pump(&mut sim, ab, a, 200);
+
+    let before = allocations();
+    pump(&mut sim, ab, a, 1_000);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "metrics-enabled hot path allocated {} times across 1000 frames",
+        after - before
+    );
+    let snap = netdsl_obs::snapshot();
+    let sent = snap.counter("sim.frames_sent").unwrap_or(0);
+    assert!(sent >= 1_200, "counters should have observed the pump");
+}
+
+#[test]
 fn legacy_core_allocates_per_frame_for_contrast() {
     // The baseline the arena replaced: every send allocates an owned
     // buffer. This guards the test harness itself — if the counter

@@ -8,12 +8,19 @@
 //! typed transition.
 
 use netdsl_netsim::scenario::FramePath;
-use netdsl_netsim::TimerToken;
+use netdsl_netsim::{FlightKind, TimerToken};
+use netdsl_obs::Counter;
 
 use crate::driver::{Endpoint, Io};
 
 use super::typestate::{new_sender, Finish, Ok_, Retry, Send, Sender, Timeout, ValidAck};
 use super::{send_ack, send_data, typestate, ArqFrame};
+
+/// ARQ-level metrics (`netdsl-obs`): inert until the registry is
+/// enabled, one sharded relaxed add each otherwise.
+static ARQ_TIMEOUTS: Counter = Counter::new("arq.timeouts");
+static ARQ_RETRANSMISSIONS: Counter = Counter::new("arq.retransmissions");
+static ARQ_FRAMES_REJECTED: Counter = Counter::new("arq.frames_rejected");
 
 /// Retransmission statistics for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -176,6 +183,8 @@ impl Endpoint for SwSender {
         };
         // TIMEOUT : Wait → TimedOut.
         let timed_out = machine.step(Timeout);
+        ARQ_TIMEOUTS.incr();
+        io.flight_event(FlightKind::ArqTimeout, self.attempt);
         if timed_out.data().retries >= self.max_retries {
             self.st = St::Failed(timed_out);
             return;
@@ -183,6 +192,8 @@ impl Endpoint for SwSender {
         // RETRY : TimedOut → Ready, then relaunch (retransmission).
         let ready = timed_out.step(Retry);
         self.stats.retransmissions += 1;
+        ARQ_RETRANSMISSIONS.incr();
+        io.flight_event(FlightKind::Retransmit, self.stats.retransmissions);
         self.st = St::Ready(ready);
         self.launch(io);
     }
@@ -260,18 +271,23 @@ impl Endpoint for SwReceiver {
                     send_ack(io, self.path, seq);
                     self.acks_sent += 1;
                     self.rejected += 1;
+                    ARQ_FRAMES_REJECTED.incr();
                 } else {
                     self.rejected += 1;
+                    ARQ_FRAMES_REJECTED.incr();
                 }
             }
             Ok(ArqFrame::Ack { .. }) => {
                 self.rejected += 1; // acks don't belong at the receiver
+                ARQ_FRAMES_REJECTED.incr();
             }
             Err(_) => {
                 // Checksum/structure failure: the declarative validation
                 // rejected the frame before any protocol processing —
                 // §3.4 item 2 in action.
                 self.rejected += 1;
+                ARQ_FRAMES_REJECTED.incr();
+                io.flight_event(FlightKind::CodecReject, frame.len() as u64);
             }
         }
     }

@@ -74,6 +74,15 @@ impl Io<'_> {
     pub fn annotate_golden(&mut self, verdict: netdsl_netsim::Verdict, digest: u64) {
         self.sim.annotate_delivery(verdict, digest);
     }
+
+    /// Records a protocol-level flight event (ARQ timeout, retransmit,
+    /// codec reject, …) with this endpoint's node as the subject. A
+    /// no-op unless the scenario installed a flight recorder
+    /// ([`netdsl_netsim::ObsConfig`]), so endpoints call it
+    /// unconditionally.
+    pub fn flight_event(&mut self, kind: netdsl_netsim::FlightKind, detail: u64) {
+        self.sim.flight_protocol_event(kind, self.node, detail);
+    }
 }
 
 /// A protocol participant driven by frames and timers.

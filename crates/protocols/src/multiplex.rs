@@ -29,7 +29,10 @@ use netdsl_netsim::campaign::BatchDriver;
 use netdsl_netsim::scenario::{
     Fault, FaultDirection, FsmPath, Scenario, ScenarioError, ScenarioResult, TopologySpec,
 };
-use netdsl_netsim::{EventRef, LinkId, NodeId, SessionId, SimCore, Simulator, Tick, TimerToken};
+use netdsl_netsim::{
+    EventRef, LinkId, NodeId, ObsConfig, SessionId, SimCore, Simulator, Tick, TimerToken,
+};
+use netdsl_obs::{Counter, Gauge};
 
 use crate::arq::compiled::FsmSender;
 use crate::arq::session::{SwReceiver, SwSender};
@@ -38,6 +41,9 @@ use crate::driver::{Endpoint, Io};
 use crate::gbn::{GbnReceiver, GbnSender};
 use crate::scenario::{validate_engine, BASELINE, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
 use crate::sr::{SrReceiver, SrSender};
+
+static MUX_SESSIONS_RUN: Counter = Counter::new("mux.sessions_run");
+static MUX_OPEN_SESSIONS: Gauge = Gauge::new("mux.open_sessions");
 
 /// One session's pair of endpoints, type-erased so a batch can mix
 /// protocols. The `a`/`b` split mirrors [`Duplex`](crate::driver::Duplex):
@@ -402,6 +408,16 @@ fn run_group(
         });
     }
 
+    // The simulator is shared, so it observes the union of what the
+    // member scenarios ask for (flight capacity takes the max). Metric
+    // updates outside this function self-gate, so the two batch-level
+    // instruments below are unconditional.
+    let obs = group
+        .iter()
+        .fold(ObsConfig::off(), |acc, &i| acc.union(batch[i].protocol.obs));
+    sim.set_obs(obs);
+    MUX_SESSIONS_RUN.add(group.len() as u64);
+
     // Start phase: all starts happen at tick 0, before any event is
     // popped — just as each standalone run starts its endpoints before
     // pumping. Sessions that need no events (empty transfers) close
@@ -426,6 +442,10 @@ fn run_group(
     // delivery count / consume the cancellation and drop them.
     let recycle = core == SimCore::Pooled;
     let mut events: Vec<EventRef> = Vec::new();
+    // Gauge of in-flight sessions, updated by delta so concurrent
+    // groups on other threads compose instead of clobbering.
+    MUX_OPEN_SESSIONS.add(open as i64);
+    let mut last_open = open;
     while open > 0 && sim.drain_tick(&mut events).is_some() {
         for event in events.drain(..) {
             match event {
@@ -473,7 +493,12 @@ fn run_group(
                 }
             }
         }
+        if open != last_open {
+            MUX_OPEN_SESSIONS.add(open as i64 - last_open as i64);
+            last_open = open;
+        }
     }
+    MUX_OPEN_SESSIONS.add(-(last_open as i64));
     if restore_fast_path {
         netdsl_wire::checksum::set_reference_mode(false);
     }
@@ -505,6 +530,7 @@ pub fn run_session_stepped(
     if record {
         sim.record_golden(true);
     }
+    sim.set_obs(scenario.protocol.obs);
     pair.start_a(&mut Io::new(&mut sim, node_a, link_ab));
     pair.start_b(&mut Io::new(&mut sim, node_b, link_ba));
 

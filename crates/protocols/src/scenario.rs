@@ -123,6 +123,7 @@ pub fn drive_duplex<A: Endpoint, B: Endpoint>(
         a,
         b,
     );
+    duplex.sim_mut().set_obs(scenario.protocol.obs);
     // A legacy-core scenario is a measurement baseline: it reconstructs
     // the whole pre-simcore hot path, including the byte-at-a-time
     // checksum engine the optimised one is property-tested against.

@@ -15,6 +15,7 @@
 //! | [`core`] | `netdsl-core` | the DSL: packet specs, witnesses, typestate & reified FSMs |
 //! | [`codec`] | `netdsl-codec` | compiled codec engine: flat IR + zero-copy batch interpreter |
 //! | [`verify`] | `netdsl-verify` | model checker + behavioural test generation |
+//! | [`obs`] | `netdsl-obs` | telemetry: metric registry, flight recorder, progress sinks |
 //! | [`netsim`] | `netdsl-netsim` | deterministic network simulator |
 //! | [`protocols`] | `netdsl-protocols` | ARQ (§3.4), GBN, SR, handshake, IPv4, UDP, TFTP, baseline |
 //! | [`adapt`] | `netdsl-adapt` | fuzzy QoS, trust routing, adaptive timers |
@@ -140,6 +141,23 @@ pub use netdsl_core as core;
 /// sim.recycle_payload(bytes);
 /// ```
 pub use netdsl_netsim as netsim;
+
+/// Homegrown telemetry: a static metric registry (counters, gauges,
+/// log-bucketed histograms; zero steady-state allocation, deterministic
+/// cross-thread snapshots), a bounded flight recorder of structured
+/// engine events, and campaign progress sinks. Scenarios opt in via
+/// [`netsim::ObsConfig`] — telemetry is **not** a parity axis and never
+/// changes a transcript. See `docs/OBSERVABILITY.md`.
+///
+/// ```
+/// use netdsl::obs::{set_metrics_enabled, snapshot, Counter};
+/// static DOC_HITS: Counter = Counter::new("doc.hits");
+/// set_metrics_enabled(true);
+/// DOC_HITS.incr();
+/// assert!(DOC_HITS.value() >= 1);
+/// assert!(snapshot().counter("doc.hits").is_some());
+/// ```
+pub use netdsl_obs as obs;
 
 /// Declarative scenario campaigns: labelled sweeps over protocols ×
 /// links × topologies × traffic × seeds, expanded to a grid and run in
