@@ -25,5 +25,5 @@ pub mod timers;
 pub mod trust;
 
 pub use fuzzy::{FuzzyController, FuzzySet, MediaAdapter};
-pub use timers::RtoEstimator;
+pub use timers::{ArqRto, PolicyRto, RtoEstimator};
 pub use trust::TrustTable;

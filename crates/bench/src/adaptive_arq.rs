@@ -3,12 +3,12 @@
 //!
 //! Identical protocol behaviour to
 //! [`netdsl_protocols::arq::session::SwSender`], but the retransmission
-//! timeout comes from [`RtoEstimator`] (RFC 6298 smoothing + Karn +
-//! backoff) instead of a fixed constant. Lives here because it composes
-//! the `protocols` and `adapt` crates, which deliberately do not depend
-//! on each other.
+//! timeout comes from [`ArqRto`] (RFC 6298 smoothing + Karn + backoff,
+//! the same adapter the suite senders use under
+//! `RetransmitPolicy::AdaptiveRto`) instead of a fixed constant.
+//! Predates that policy axis; kept as the standalone E8 vehicle.
 
-use netdsl_adapt::timers::RtoEstimator;
+use netdsl_adapt::ArqRto;
 use netdsl_netsim::{LinkConfig, TimerToken};
 use netdsl_protocols::arq::session::{SenderStats, SwReceiver};
 use netdsl_protocols::arq::ArqFrame;
@@ -21,9 +21,7 @@ pub struct AdaptiveSwSender {
     next_msg: usize,
     seq: u8,
     waiting: bool,
-    sent_at: u64,
-    was_retransmitted: bool,
-    rto: RtoEstimator,
+    rto: ArqRto,
     max_retries: u32,
     retries: u32,
     attempt: u64,
@@ -39,9 +37,7 @@ impl AdaptiveSwSender {
             next_msg: 0,
             seq: 0,
             waiting: false,
-            sent_at: 0,
-            was_retransmitted: false,
-            rto: RtoEstimator::new(initial_rto, 4, 100_000),
+            rto: ArqRto::new(initial_rto, 4, 100_000),
             max_retries,
             retries: 0,
             attempt: 0,
@@ -60,8 +56,8 @@ impl AdaptiveSwSender {
         !self.failed && self.next_msg >= self.messages.len()
     }
 
-    /// The estimator (for post-run inspection).
-    pub fn estimator(&self) -> &RtoEstimator {
+    /// The adaptive timer (for post-run inspection).
+    pub fn estimator(&self) -> &ArqRto {
         &self.rto
     }
 
@@ -84,12 +80,10 @@ impl AdaptiveSwSender {
         self.stats.frames_sent += 1;
         if retransmit {
             self.stats.retransmissions += 1;
-        } else {
-            self.sent_at = io.now();
         }
-        // Karn's algorithm: the flag sticks until the next fresh send
-        // (cleared in `on_frame` before launching the following message).
-        self.was_retransmitted |= retransmit;
+        // Karn's rule lives in the adapter: a retransmission poisons the
+        // in-flight RTT measurement until the next fresh send.
+        self.rto.on_send(io.now(), retransmit);
         self.attempt += 1;
         self.waiting = true;
         io.set_timer(self.rto.rto(), self.attempt);
@@ -112,18 +106,14 @@ impl Endpoint for AdaptiveSwSender {
             return;
         }
         io.cancel_timer(self.attempt);
-        // RTT sampling with Karn's algorithm: only unambiguous samples.
-        if self.was_retransmitted {
-            self.rto.on_ambiguous_sample();
-        } else {
-            self.rto.on_sample(io.now() - self.sent_at);
-        }
+        // RTT sampling with Karn's algorithm: only unambiguous samples
+        // (the adapter discards the measurement after a retransmission).
+        self.rto.on_ack(io.now());
         self.stats.delivered += 1;
         self.seq = self.seq.wrapping_add(1);
         self.next_msg += 1;
         self.retries = 0;
         self.waiting = false;
-        self.was_retransmitted = false;
         self.launch(io, false);
     }
 

@@ -51,6 +51,7 @@
 pub mod arena;
 pub mod campaign;
 pub mod golden;
+pub mod invariants;
 pub mod link;
 pub mod scenario;
 pub mod sim;
@@ -67,13 +68,15 @@ pub use campaign::{
 pub use golden::{
     GoldenEvent, GoldenEventKind, GoldenResult, GoldenScenario, GoldenTrace, Verdict,
 };
+pub use invariants::{check_delivery, check_result, InvariantReport};
 pub use link::LinkConfig;
 pub use netdsl_obs::{
     FlightKind, FlightRecording, LogProgress, NullProgress, ObsConfig, ProgressSink, ProgressUpdate,
 };
 pub use scenario::{
-    EngineConfig, EngineConfigError, Fault, ProtocolSpec, Scenario, ScenarioDriver, ScenarioResult,
-    TopologySpec, TrafficPattern,
+    apply_fault, EngineConfig, EngineConfigError, Fault, FaultAction, FaultKind, FaultNode,
+    FaultPlan, FaultWorld, PlannedFault, ProtocolSpec, RetransmitPolicy, Scenario, ScenarioDriver,
+    ScenarioResult, TopologySpec, TrafficPattern,
 };
 pub use sim::{Event, EventRef, LinkId, NodeId, SessionId, SimCore, Simulator, TimerToken};
 pub use stats::{Aggregate, LinkStats};

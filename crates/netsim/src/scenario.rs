@@ -19,7 +19,7 @@ use std::fmt;
 use netdsl_obs::ObsConfig;
 
 use crate::link::LinkConfig;
-use crate::sim::SimCore;
+use crate::sim::{LinkId, NodeId, SimCore, Simulator};
 use crate::stats::LinkStats;
 use crate::Tick;
 
@@ -198,6 +198,43 @@ impl From<EngineConfigError> for ScenarioError {
     }
 }
 
+/// How an ARQ sender schedules retransmissions.
+///
+/// This is a **protocol tuning knob** on [`ProtocolSpec`], deliberately
+/// *not* an [`EngineConfig`] axis: engine axes are behaviour-preserving
+/// (every combination replays the same transcript), whereas the
+/// retransmit policy genuinely changes timer behaviour. The default
+/// [`RetransmitPolicy::Fixed`] is bit-identical to the pre-policy
+/// engine, which is what keeps the committed golden fixtures valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetransmitPolicy {
+    /// Every retransmission timer is armed with the constant
+    /// [`ProtocolSpec::timeout`] — the original behaviour.
+    #[default]
+    Fixed,
+    /// Jacobson SRTT/RTTVAR estimation with Karn's rule and capped
+    /// exponential backoff (implemented once in `netdsl-adapt`'s
+    /// `timers` module). The initial RTO is [`ProtocolSpec::timeout`];
+    /// subsequent RTOs are clamped to `[min_rto, max_rto]`.
+    /// Deterministic — driven entirely by virtual time.
+    AdaptiveRto {
+        /// Lower clamp for the computed RTO, in ticks.
+        min_rto: Tick,
+        /// Upper clamp (backoff cap), in ticks.
+        max_rto: Tick,
+    },
+}
+
+impl RetransmitPolicy {
+    /// Canonical axis label (`"fixed"` / `"adaptive-rto"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RetransmitPolicy::Fixed => "fixed",
+            RetransmitPolicy::AdaptiveRto { .. } => "adaptive-rto",
+        }
+    }
+}
+
 /// Which protocol a driver should run, plus its tuning knobs.
 ///
 /// The `name` is a driver-defined key (e.g. `netdsl-protocols`'
@@ -228,6 +265,9 @@ pub struct ProtocolSpec {
     /// parity axis (see [`EngineConfig::obs`]): drivers install it with
     /// `Simulator::set_obs`, and it never changes the transcript.
     pub obs: ObsConfig,
+    /// How ARQ senders schedule retransmissions (fixed timeout vs
+    /// adaptive RTO — see [`RetransmitPolicy`]).
+    pub retransmit: RetransmitPolicy,
 }
 
 impl ProtocolSpec {
@@ -244,6 +284,7 @@ impl ProtocolSpec {
             fsm_path: FsmPath::default(),
             sim_core: SimCore::default(),
             obs: ObsConfig::default(),
+            retransmit: RetransmitPolicy::default(),
         }
     }
 
@@ -338,6 +379,13 @@ impl ProtocolSpec {
         self.max_retries = max_retries;
         self
     }
+
+    /// Selects the retransmission policy (builder style).
+    #[must_use]
+    pub fn with_retransmit(mut self, retransmit: RetransmitPolicy) -> Self {
+        self.retransmit = retransmit;
+        self
+    }
 }
 
 /// The shape of the simulated network.
@@ -422,28 +470,130 @@ pub enum FaultDirection {
     Both,
 }
 
-/// A scheduled mid-run link reconfiguration: at tick `at`, the affected
-/// direction(s) switch to `config`. A total partition is a fault whose
-/// config loses everything; a repair is a later fault back to a clean
-/// config.
+/// Which endpoint of a duplex scenario a node-level fault hits.
+///
+/// Scenarios are protocol-agnostic data, so node faults name the
+/// endpoint *role* (`A` is the sender side, `B` the receiver side);
+/// drivers resolve the role to a concrete
+/// [`NodeId`] through [`FaultWorld`].
+///
+/// [`NodeId`]: crate::sim::NodeId
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultNode {
+    /// The initiating (sender) endpoint.
+    A,
+    /// The responding (receiver) endpoint.
+    B,
+}
+
+impl FaultNode {
+    /// Canonical label (`"a"` / `"b"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultNode::A => "a",
+            FaultNode::B => "b",
+        }
+    }
+}
+
+/// What a scheduled [`Fault`] does when it takes effect.
+///
+/// The compound kinds ([`FaultKind::Flap`], [`FaultKind::Burst`])
+/// describe *schedules*; [`FaultPlan::from_scenario`] expands them into
+/// primitive [`FaultAction`]s before a driver ever sees them, so every
+/// driver applies the exact same action sequence (solo ≡ multiplexed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Reconfigure the affected direction(s) to `config` — the original
+    /// fault primitive (partition, repair, impairment change).
+    Link {
+        /// Affected direction(s).
+        direction: FaultDirection,
+        /// The link configuration in force from the fault tick onward.
+        config: LinkConfig,
+    },
+    /// A periodic up/down schedule: `count` cycles, each `down_for`
+    /// ticks on the `down` config followed by `up_for` ticks back on
+    /// the scenario's base link config.
+    Flap {
+        /// Affected direction(s).
+        direction: FaultDirection,
+        /// Link configuration during the down phase of each cycle.
+        down: LinkConfig,
+        /// Ticks each down phase lasts.
+        down_for: Tick,
+        /// Ticks each recovered phase lasts before the next cycle.
+        up_for: Tick,
+        /// Number of down/up cycles.
+        count: u32,
+    },
+    /// A bounded impairment burst: `config` holds for `duration` ticks,
+    /// then the direction(s) revert to the scenario's base link config.
+    /// Corruption and duplication storms are bursts whose config sets
+    /// the corresponding probabilities high.
+    Burst {
+        /// Affected direction(s).
+        direction: FaultDirection,
+        /// Link configuration during the burst.
+        config: LinkConfig,
+        /// Ticks the burst lasts.
+        duration: Tick,
+    },
+    /// The endpoint goes dark: frames already in flight toward it are
+    /// dropped on arrival, its pending timers are retracted, and it
+    /// processes nothing until a matching [`FaultKind::Restart`].
+    Crash {
+        /// Which endpoint crashes.
+        node: FaultNode,
+    },
+    /// The endpoint comes back with **total state loss**: the driver
+    /// resets the endpoint to its freshly-constructed protocol state
+    /// and starts it again (events scheduled before the crash stay
+    /// retracted).
+    Restart {
+        /// Which endpoint restarts.
+        node: FaultNode,
+    },
+    /// From the fault tick on, every timer the endpoint arms runs at
+    /// `numer`/`denom` of its nominal duration (applied at timer-set
+    /// time, so already-armed timers are unaffected). `5/4` models a
+    /// clock running 25 % slow (timeouts stretch), `1/2` one running
+    /// fast.
+    ClockSkew {
+        /// Which endpoint's clock skews.
+        node: FaultNode,
+        /// Tick-rate multiplier numerator (≥ 1).
+        numer: u32,
+        /// Tick-rate multiplier denominator (≥ 1).
+        denom: u32,
+    },
+}
+
+/// A scheduled mid-run fault: at tick `at`, `kind` takes effect. The
+/// original link-reconfiguration fault survives as [`FaultKind::Link`]
+/// (and the [`Fault::both`] / [`Fault::partition`] / [`Fault::repair`]
+/// constructors), joined by node crash/restart, link flap schedules,
+/// impairment bursts and per-node clock skew. See `docs/FAULTS.md`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fault {
     /// Virtual time at which the fault takes effect.
     pub at: Tick,
-    /// Affected direction(s).
-    pub direction: FaultDirection,
-    /// The link configuration in force from `at` onward.
-    pub config: LinkConfig,
+    /// What happens.
+    pub kind: FaultKind,
 }
 
 impl Fault {
-    /// A fault hitting both directions at `at`.
-    pub fn both(at: Tick, config: LinkConfig) -> Self {
+    /// A link fault hitting `direction` at `at`.
+    pub fn link(at: Tick, direction: FaultDirection, config: LinkConfig) -> Self {
         Fault {
             at,
-            direction: FaultDirection::Both,
-            config,
+            kind: FaultKind::Link { direction, config },
         }
+    }
+
+    /// A link fault hitting both directions at `at`.
+    pub fn both(at: Tick, config: LinkConfig) -> Self {
+        Fault::link(at, FaultDirection::Both, config)
     }
 
     /// A total two-way partition starting at `at` (loss 1.0, delay kept
@@ -455,6 +605,320 @@ impl Fault {
     /// A two-way repair to a clean link at `at`.
     pub fn repair(at: Tick, delay: Tick) -> Self {
         Fault::both(at, LinkConfig::reliable(delay))
+    }
+
+    /// A flap schedule starting at `at`: `count` cycles of `down_for`
+    /// ticks on `down`, each followed by `up_for` ticks back on the
+    /// scenario's base link config.
+    pub fn flap(
+        at: Tick,
+        direction: FaultDirection,
+        down: LinkConfig,
+        down_for: Tick,
+        up_for: Tick,
+        count: u32,
+    ) -> Self {
+        assert!(count > 0, "a flap schedule needs at least one cycle");
+        assert!(
+            down_for > 0,
+            "a flap's down phase must last at least a tick"
+        );
+        Fault {
+            at,
+            kind: FaultKind::Flap {
+                direction,
+                down,
+                down_for,
+                up_for,
+                count,
+            },
+        }
+    }
+
+    /// An impairment burst: `config` holds on `direction` for
+    /// `duration` ticks starting at `at`, then reverts to the
+    /// scenario's base link config.
+    pub fn burst(at: Tick, direction: FaultDirection, config: LinkConfig, duration: Tick) -> Self {
+        assert!(duration > 0, "a burst must last at least a tick");
+        Fault {
+            at,
+            kind: FaultKind::Burst {
+                direction,
+                config,
+                duration,
+            },
+        }
+    }
+
+    /// A node crash at `at` (dark until a later [`Fault::restart`]).
+    pub fn crash(at: Tick, node: FaultNode) -> Self {
+        Fault {
+            at,
+            kind: FaultKind::Crash { node },
+        }
+    }
+
+    /// A node restart (with total state loss) at `at`.
+    pub fn restart(at: Tick, node: FaultNode) -> Self {
+        Fault {
+            at,
+            kind: FaultKind::Restart { node },
+        }
+    }
+
+    /// A per-node clock skew from `at` on: timers armed by `node` run
+    /// at `numer`/`denom` of their nominal duration.
+    pub fn clock_skew(at: Tick, node: FaultNode, numer: u32, denom: u32) -> Self {
+        assert!(numer >= 1 && denom >= 1, "skew ratio terms must be ≥ 1");
+        Fault {
+            at,
+            kind: FaultKind::ClockSkew { node, numer, denom },
+        }
+    }
+}
+
+/// A primitive, driver-applicable fault effect — what [`FaultKind`]
+/// expands to. One action maps to exactly one simulator mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Reconfigure the affected direction(s).
+    Link {
+        /// Affected direction(s).
+        direction: FaultDirection,
+        /// The new configuration.
+        config: LinkConfig,
+    },
+    /// Crash the endpoint.
+    Crash(FaultNode),
+    /// Restart the endpoint with state loss.
+    Restart(FaultNode),
+    /// Skew the endpoint's timer clock.
+    ClockSkew {
+        /// Which endpoint's clock skews.
+        node: FaultNode,
+        /// Tick-rate multiplier numerator.
+        numer: u32,
+        /// Tick-rate multiplier denominator.
+        denom: u32,
+    },
+}
+
+/// One expanded fault: a primitive action and the tick it fires at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedFault {
+    /// Virtual time at which the action takes effect.
+    pub at: Tick,
+    /// The primitive effect.
+    pub action: FaultAction,
+}
+
+/// The fully-expanded, time-sorted fault schedule of one scenario.
+///
+/// Compound kinds (flaps, bursts) are unrolled into primitive
+/// [`FaultAction`]s here — **once**, from scenario data alone — so the
+/// standalone pump, the stepped session pump and the multiplexed batch
+/// pump all iterate the identical action sequence. Expansion is a pure
+/// function of the scenario (restores revert to `scenario.link`), and
+/// the sort is stable: actions at the same tick apply in scenario
+/// declaration order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The primitive actions, sorted by activation time.
+    pub actions: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// Expands a scenario's fault schedule into the primitive plan.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        let base = &scenario.link;
+        let mut actions = Vec::new();
+        for fault in &scenario.faults {
+            match &fault.kind {
+                FaultKind::Link { direction, config } => actions.push(PlannedFault {
+                    at: fault.at,
+                    action: FaultAction::Link {
+                        direction: *direction,
+                        config: config.clone(),
+                    },
+                }),
+                FaultKind::Flap {
+                    direction,
+                    down,
+                    down_for,
+                    up_for,
+                    count,
+                } => {
+                    for cycle in 0..u64::from(*count) {
+                        let start = fault.at + cycle * (down_for + up_for);
+                        actions.push(PlannedFault {
+                            at: start,
+                            action: FaultAction::Link {
+                                direction: *direction,
+                                config: down.clone(),
+                            },
+                        });
+                        actions.push(PlannedFault {
+                            at: start + down_for,
+                            action: FaultAction::Link {
+                                direction: *direction,
+                                config: base.clone(),
+                            },
+                        });
+                    }
+                }
+                FaultKind::Burst {
+                    direction,
+                    config,
+                    duration,
+                } => {
+                    actions.push(PlannedFault {
+                        at: fault.at,
+                        action: FaultAction::Link {
+                            direction: *direction,
+                            config: config.clone(),
+                        },
+                    });
+                    actions.push(PlannedFault {
+                        at: fault.at + duration,
+                        action: FaultAction::Link {
+                            direction: *direction,
+                            config: base.clone(),
+                        },
+                    });
+                }
+                FaultKind::Crash { node } => actions.push(PlannedFault {
+                    at: fault.at,
+                    action: FaultAction::Crash(*node),
+                }),
+                FaultKind::Restart { node } => actions.push(PlannedFault {
+                    at: fault.at,
+                    action: FaultAction::Restart(*node),
+                }),
+                FaultKind::ClockSkew { node, numer, denom } => actions.push(PlannedFault {
+                    at: fault.at,
+                    action: FaultAction::ClockSkew {
+                        node: *node,
+                        numer: *numer,
+                        denom: *denom,
+                    },
+                }),
+            }
+        }
+        actions.sort_by_key(|a| a.at);
+        FaultPlan { actions }
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Number of primitive actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` when the world the plan leaves behind can still deliver:
+    /// no endpoint is left crashed without a restart, and the final
+    /// configuration of each direction has loss below 1.0. This is the
+    /// precondition of the liveness invariant — a transfer under a plan
+    /// that ends repaired must either complete or fail its retry budget
+    /// cleanly (see [`crate::invariants`]).
+    pub fn ends_repaired(&self, base: &LinkConfig) -> bool {
+        let mut forward = base.clone();
+        let mut reverse = base.clone();
+        let mut down = [false, false];
+        for planned in &self.actions {
+            match &planned.action {
+                FaultAction::Link { direction, config } => match direction {
+                    FaultDirection::Forward => forward = config.clone(),
+                    FaultDirection::Reverse => reverse = config.clone(),
+                    FaultDirection::Both => {
+                        forward = config.clone();
+                        reverse = config.clone();
+                    }
+                },
+                FaultAction::Crash(node) => down[(*node == FaultNode::B) as usize] = true,
+                FaultAction::Restart(node) => down[(*node == FaultNode::B) as usize] = false,
+                FaultAction::ClockSkew { .. } => {}
+            }
+        }
+        !down[0] && !down[1] && forward.loss < 1.0 && reverse.loss < 1.0
+    }
+}
+
+/// The concrete duplex world a [`FaultPlan`] applies to: the two
+/// endpoint nodes and the two directed links between them, as every
+/// driver builds them (A's data link `link_ab`, B's ack link
+/// `link_ba`). Resolving [`FaultNode`] roles through this struct is
+/// what lets the standalone and multiplexed drivers share one applier.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultWorld {
+    /// The initiating (sender) endpoint's node.
+    pub node_a: NodeId,
+    /// The responding (receiver) endpoint's node.
+    pub node_b: NodeId,
+    /// The A→B (data) link.
+    pub link_ab: LinkId,
+    /// The B→A (ack) link.
+    pub link_ba: LinkId,
+}
+
+impl FaultWorld {
+    /// Resolves a fault-node role to the concrete node.
+    pub fn node(&self, role: FaultNode) -> NodeId {
+        match role {
+            FaultNode::A => self.node_a,
+            FaultNode::B => self.node_b,
+        }
+    }
+}
+
+/// Applies one primitive fault to the simulator — the **single**
+/// application path shared by the standalone pump, the stepped session
+/// pump and the multiplexed batch pump, which is what pins solo ≡
+/// multiplexed fault behaviour. Emits a `fault.injected` count and a
+/// [`FlightKind::Fault`](netdsl_obs::FlightKind) event per simulator
+/// mutation.
+///
+/// Returns the endpoint role the caller must reset and re-start when
+/// the action was a [`FaultAction::Restart`] (endpoint state loss is
+/// the driver's job — the simulator only owns frames and timers).
+pub fn apply_fault(
+    sim: &mut Simulator,
+    world: &FaultWorld,
+    fault: &PlannedFault,
+) -> Option<FaultNode> {
+    match &fault.action {
+        FaultAction::Link { direction, config } => {
+            if matches!(direction, FaultDirection::Forward | FaultDirection::Both) {
+                sim.reconfigure_link(world.link_ab, config.clone());
+                sim.note_fault(world.link_ab.index() as u64, 1);
+            }
+            if matches!(direction, FaultDirection::Reverse | FaultDirection::Both) {
+                sim.reconfigure_link(world.link_ba, config.clone());
+                sim.note_fault(world.link_ba.index() as u64, 1);
+            }
+            None
+        }
+        FaultAction::Crash(role) => {
+            let node = world.node(*role);
+            sim.crash_node(node);
+            sim.note_fault(node.index() as u64, 2);
+            None
+        }
+        FaultAction::Restart(role) => {
+            let node = world.node(*role);
+            sim.restart_node(node);
+            sim.note_fault(node.index() as u64, 3);
+            Some(*role)
+        }
+        FaultAction::ClockSkew { node, numer, denom } => {
+            let node = world.node(*node);
+            sim.set_clock_skew(node, *numer, *denom);
+            sim.note_fault(node.index() as u64, 4);
+            None
+        }
     }
 }
 
@@ -507,7 +971,8 @@ pub struct Scenario {
     pub topology: TopologySpec,
     /// Offered workload.
     pub traffic: TrafficPattern,
-    /// Scheduled mid-run link reconfigurations, in any order.
+    /// Scheduled mid-run faults (link reconfigurations, node
+    /// crash/restart, flap schedules, clock skew), in any order.
     pub faults: Vec<Fault>,
     /// Simulator seed (fully determines all randomness).
     pub seed: u64,
@@ -679,7 +1144,9 @@ impl std::error::Error for ScenarioError {}
 /// Executes scenarios. Implementations must be [`Sync`]: the campaign
 /// runner shares one driver across its worker threads, so drivers keep
 /// per-run state on the stack (each [`run`](ScenarioDriver::run) builds
-/// its own [`Simulator`](crate::Simulator) from `scenario.seed`).
+/// its own [`Simulator`] from `scenario.seed`).
+///
+/// [`Simulator`]: crate::sim::Simulator
 pub trait ScenarioDriver: Sync {
     /// `true` if this driver can execute scenarios naming `protocol`.
     fn supports(&self, protocol: &str) -> bool;
@@ -812,6 +1279,80 @@ mod tests {
         let sorted = s.sorted_faults();
         assert_eq!(sorted[0].at, 10);
         assert_eq!(sorted[1].at, 100);
+    }
+
+    #[test]
+    fn flap_and_burst_expand_to_sorted_primitive_links() {
+        let base = LinkConfig::reliable(3);
+        let s = Scenario::new(ProtocolSpec::new("x"), base.clone())
+            .with_fault(Fault::flap(
+                100,
+                FaultDirection::Forward,
+                LinkConfig::lossy(1, 1.0),
+                50,
+                150,
+                2,
+            ))
+            .with_fault(Fault::burst(
+                120,
+                FaultDirection::Both,
+                LinkConfig::reliable(3).with_corrupt(0.9),
+                30,
+            ));
+        let plan = FaultPlan::from_scenario(&s);
+        let ticks: Vec<Tick> = plan.actions.iter().map(|a| a.at).collect();
+        // Flap: down 100, up 150, down 300, up 350; burst: on 120, off 150.
+        assert_eq!(ticks, vec![100, 120, 150, 150, 300, 350]);
+        let mut sorted = ticks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ticks, sorted, "plan is time-sorted");
+        assert!(plan
+            .actions
+            .iter()
+            .all(|a| matches!(a.action, FaultAction::Link { .. })));
+        // The flap's up phases and the burst's end restore the base link.
+        let restores = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(&a.action, FaultAction::Link { config, .. } if *config == base))
+            .count();
+        assert_eq!(restores, 3);
+        assert!(plan.ends_repaired(&base));
+    }
+
+    #[test]
+    fn crash_without_restart_does_not_end_repaired() {
+        let base = LinkConfig::reliable(3);
+        let crashed = Scenario::new(ProtocolSpec::new("x"), base.clone())
+            .with_fault(Fault::crash(50, FaultNode::B));
+        assert!(!FaultPlan::from_scenario(&crashed).ends_repaired(&base));
+        let recovered = crashed.with_fault(Fault::restart(90, FaultNode::B));
+        assert!(FaultPlan::from_scenario(&recovered).ends_repaired(&base));
+        let partitioned =
+            Scenario::new(ProtocolSpec::new("x"), base.clone()).with_fault(Fault::partition(10));
+        assert!(!FaultPlan::from_scenario(&partitioned).ends_repaired(&base));
+        let skewed = Scenario::new(ProtocolSpec::new("x"), base.clone())
+            .with_fault(Fault::clock_skew(10, FaultNode::A, 5, 4));
+        assert!(FaultPlan::from_scenario(&skewed).ends_repaired(&base));
+    }
+
+    #[test]
+    fn retransmit_policy_defaults_to_fixed_and_labels_cleanly() {
+        let spec = ProtocolSpec::new("x");
+        assert_eq!(spec.retransmit, RetransmitPolicy::Fixed);
+        assert_eq!(spec.retransmit.as_str(), "fixed");
+        let adaptive = spec.with_retransmit(RetransmitPolicy::AdaptiveRto {
+            min_rto: 4,
+            max_rto: 4_000,
+        });
+        assert_eq!(adaptive.retransmit.as_str(), "adaptive-rto");
+        // Policy is protocol tuning, not an engine axis: the engine
+        // config round-trips without touching it.
+        let engine = adaptive.engine();
+        assert_eq!(
+            adaptive.clone().with_engine(engine).retransmit,
+            adaptive.retransmit
+        );
     }
 
     #[test]

@@ -226,10 +226,10 @@ impl Queue {
         }
     }
 
-    fn pop(&mut self) -> Option<(Tick, Pending)> {
+    fn pop(&mut self) -> Option<(Tick, u64, Pending)> {
         match self {
-            Queue::Wheel(w) => w.pop().map(|(at, _, what)| (at, what)),
-            Queue::Heap(h) => h.pop().map(|Reverse(s)| (s.at, s.what)),
+            Queue::Wheel(w) => w.pop(),
+            Queue::Heap(h) => h.pop().map(|Reverse(s)| (s.at, s.seq, s.what)),
         }
     }
 
@@ -285,6 +285,7 @@ static TIMERS_SET: Counter = Counter::new("sim.timers_set");
 static TIMERS_FIRED: Counter = Counter::new("sim.timers_fired");
 static TIMERS_CANCELLED: Counter = Counter::new("sim.timers_cancelled");
 static FRAME_BYTES: Histogram = Histogram::new("sim.frame_bytes");
+static FAULTS_INJECTED: Counter = Counter::new("fault.injected");
 
 /// Golden-trace capture state, boxed behind an `Option` so the hot path
 /// pays one predictable branch when recording is off (the default).
@@ -325,6 +326,23 @@ pub struct Simulator {
     /// Flight recorder, boxed behind an `Option` like golden capture:
     /// the hot path pays one branch when no recorder is installed.
     flight: Option<Box<FlightRecorder>>,
+    /// Fast-path flag for node-level fault state: `false` until the
+    /// first crash or clock skew, so un-faulted runs pay exactly one
+    /// predictable branch per pop and per timer arm (the bit-identical
+    /// guarantee behind the committed golden fixtures).
+    faulted: bool,
+    /// `node_down[n]`: node `n` is currently crashed (frames addressed
+    /// to it are dropped at pop time, its timers are retracted).
+    node_down: Vec<bool>,
+    /// `crash_floor[n]`: the event-sequence watermark taken when node
+    /// `n` last crashed. Queued events with a smaller sequence number
+    /// were scheduled before the crash and stay dead even after a
+    /// restart — this is what "in-flight frames are dropped and pending
+    /// timers retracted" means, implemented in O(1) at crash time.
+    crash_floor: Vec<u64>,
+    /// `node_skew[n]`: `(numer, denom)` tick-rate multiplier applied to
+    /// node `n`'s timer delays at set time (`(1, 1)` = no skew).
+    node_skew: Vec<(u32, u32)>,
 }
 
 impl Simulator {
@@ -367,6 +385,10 @@ impl Simulator {
             node_cancels: Vec::new(),
             golden: None,
             flight: None,
+            faulted: false,
+            node_down: Vec::new(),
+            crash_floor: Vec::new(),
+            node_skew: Vec::new(),
         }
     }
 
@@ -824,7 +846,18 @@ impl Simulator {
     }
 
     /// Schedules a timer event for `node` to fire `delay` ticks from now.
+    ///
+    /// When a clock skew is installed for `node` (see
+    /// [`Simulator::set_clock_skew`]) the delay is scaled by the node's
+    /// tick-rate multiplier at set time — the skewed node *believes* it
+    /// armed `delay` ticks, but the shared simulation clock sees
+    /// `delay * numer / denom`.
     pub fn set_timer(&mut self, node: NodeId, delay: Tick, token: TimerToken) {
+        let delay = if self.faulted {
+            self.skewed_delay(node, delay)
+        } else {
+            delay
+        };
         let at = self.time + delay;
         TIMERS_SET.incr();
         self.flight_record(FlightKind::TimerSet, node.index() as u64, token);
@@ -901,15 +934,131 @@ impl Simulator {
         stats.delivered -= 1;
     }
 
+    // ------------------------------------------------------------------
+    // Node-level faults (crash / restart / clock skew)
+    // ------------------------------------------------------------------
+
+    /// Crashes `node`: frames addressed to it and timers it armed are
+    /// dropped at pop time from now on. The crash takes an
+    /// event-sequence watermark, so everything queued *before* the
+    /// crash stays dead even after [`Simulator::restart_node`] — a
+    /// restarted endpoint comes back with empty mailboxes, exactly the
+    /// state loss the fault models. O(1): nothing is scanned or
+    /// removed from the queue.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let ix = node.index();
+        if self.node_down.len() <= ix {
+            self.node_down.resize(ix + 1, false);
+            self.crash_floor.resize(ix + 1, 0);
+        }
+        self.node_down[ix] = true;
+        self.crash_floor[ix] = self.seq;
+        self.faulted = true;
+    }
+
+    /// Brings a crashed node back up. Events scheduled before the crash
+    /// remain dead (the crash watermark persists); events scheduled
+    /// from now on are delivered normally. The caller is responsible
+    /// for resetting and restarting the endpoint's protocol state.
+    pub fn restart_node(&mut self, node: NodeId) {
+        if let Some(down) = self.node_down.get_mut(node.index()) {
+            *down = false;
+        }
+    }
+
+    /// Whether `node` is currently crashed. Batch pumps check this when
+    /// a fault applied mid-batch leaves already-drained events for a
+    /// downed node in the caller's hands (see
+    /// [`Simulator::drop_delivery`]).
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.node_down.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Installs a tick-rate multiplier for `node`: timer delays it arms
+    /// from now on are scaled to `delay * numer / denom` (integer
+    /// arithmetic, deterministic). `(1, 1)` removes the skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ratio term is zero.
+    pub fn set_clock_skew(&mut self, node: NodeId, numer: u32, denom: u32) {
+        assert!(numer >= 1 && denom >= 1, "skew ratio terms must be >= 1");
+        let ix = node.index();
+        if self.node_skew.len() <= ix {
+            self.node_skew.resize(ix + 1, (1, 1));
+        }
+        self.node_skew[ix] = (numer, denom);
+        self.faulted = true;
+    }
+
+    /// Records one fault application in the observability layer: bumps
+    /// the `fault.injected` counter and logs a [`FlightKind::Fault`]
+    /// event (`subject` = node or link index, `detail` = fault-kind
+    /// discriminant). Called by [`crate::scenario::apply_fault`] so
+    /// every driver reports faults identically.
+    pub fn note_fault(&mut self, subject: u64, detail: u64) {
+        FAULTS_INJECTED.incr();
+        self.flight_record(FlightKind::Fault, subject, detail);
+    }
+
+    /// A frame the caller drained but whose destination node crashed
+    /// mid-batch: retracts the delivery bookkeeping and records the
+    /// frame as lost, exactly as the pop-time dead check would have.
+    /// The batched pump calls this for same-tick frames a standalone
+    /// [`Simulator::step_ref`] run would have killed at pop time.
+    pub fn drop_delivery(&mut self, link: LinkId, payload: PayloadRef) {
+        self.skip_delivery(link);
+        self.note_crash_drop(link, payload);
+    }
+
+    /// Whether a popped event belongs to a crashed node or predates its
+    /// crash watermark. Only consulted when `self.faulted` is set.
+    fn event_is_dead(&self, node: NodeId, seq: u64) -> bool {
+        let ix = node.index();
+        self.node_down.get(ix).copied().unwrap_or(false)
+            || seq < self.crash_floor.get(ix).copied().unwrap_or(0)
+    }
+
+    /// Loss bookkeeping for a frame killed by a node crash — mirrors
+    /// the loss path of [`Simulator::send_ref`] (stats, trace, metrics,
+    /// flight, golden) and releases the payload.
+    fn note_crash_drop(&mut self, link: LinkId, payload: PayloadRef) {
+        self.links[link.0].stats.lost += 1;
+        self.trace.record(TraceEntry::Lost {
+            at: self.time,
+            link,
+        });
+        FRAMES_DROPPED.incr();
+        self.flight_record(FlightKind::Drop, link.index() as u64, 0);
+        if self.golden.is_some() {
+            self.push_golden(GoldenEventKind::Lost, link, Vec::new());
+        }
+        self.arena.release(payload);
+    }
+
+    /// A node's timer delay scaled by its installed clock skew, if any.
+    fn skewed_delay(&self, node: NodeId, delay: Tick) -> Tick {
+        match self.node_skew.get(node.index()) {
+            Some(&(numer, denom)) if (numer, denom) != (1, 1) => {
+                delay * Tick::from(numer) / Tick::from(denom)
+            }
+            _ => delay,
+        }
+    }
+
     /// Advances to the next event and returns it with the frame payload
     /// still in the arena — the allocation-free pump path. Returns
     /// `None` when the simulation has quiesced.
     pub fn step_ref(&mut self) -> Option<EventRef> {
-        while let Some((at, what)) = self.queue.pop() {
+        while let Some((at, seq, what)) = self.queue.pop() {
             debug_assert!(at >= self.time, "time never runs backwards");
             self.time = at;
             match what {
                 Pending::Frame { link, to, payload } => {
+                    if self.faulted && self.event_is_dead(to, seq) {
+                        self.note_crash_drop(link, payload);
+                        continue;
+                    }
                     self.note_frame_delivery(at, link, &payload);
                     return Some(EventRef::Frame {
                         node: to,
@@ -918,7 +1067,14 @@ impl Simulator {
                     });
                 }
                 Pending::Timer { node, token } => {
+                    // Cancellations are consumed before the dead check
+                    // so a dead timer still eats its pending cancel —
+                    // otherwise a stale cancel could kill a reused
+                    // token armed after a restart.
                     if self.consume_cancellation(node, token) {
+                        continue;
+                    }
+                    if self.faulted && self.event_is_dead(node, seq) {
                         continue;
                     }
                     TIMERS_FIRED.incr();
@@ -953,11 +1109,15 @@ impl Simulator {
                 (Some(at), Some(t)) if at > t => break,
                 _ => {}
             }
-            let (at, what) = self.queue.pop().expect("peeked entry pops");
+            let (at, seq, what) = self.queue.pop().expect("peeked entry pops");
             debug_assert!(at >= self.time, "time never runs backwards");
             self.time = at;
             match what {
                 Pending::Frame { link, to, payload } => {
+                    if self.faulted && self.event_is_dead(to, seq) {
+                        self.note_crash_drop(link, payload);
+                        continue;
+                    }
                     self.note_frame_delivery(at, link, &payload);
                     out.push(EventRef::Frame {
                         node: to,
@@ -968,6 +1128,9 @@ impl Simulator {
                 }
                 Pending::Timer { node, token } => {
                     if self.consume_cancellation(node, token) {
+                        continue;
+                    }
+                    if self.faulted && self.event_is_dead(node, seq) {
                         continue;
                     }
                     TIMERS_FIRED.incr();
@@ -1728,5 +1891,143 @@ mod tests {
             stats.slots_created, warm.slots_created,
             "warm arena served the same workload without slab growth"
         );
+    }
+
+    #[test]
+    fn crash_drops_in_flight_frames_and_retracts_timers() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(5));
+        sim.send(ab, vec![1]);
+        sim.set_timer(b, 3, 7);
+        sim.set_timer(a, 4, 8);
+        sim.crash_node(b);
+        assert!(sim.node_is_down(b));
+        // B's timer and the in-flight frame die at pop time; A's timer
+        // still fires.
+        let mut seen = Vec::new();
+        while let Some(ev) = sim.step() {
+            seen.push(ev);
+        }
+        assert_eq!(seen.len(), 1);
+        assert!(matches!(seen[0], Event::Timer { node, token: 8 } if node == a));
+        let stats = sim.link_stats(ab);
+        assert_eq!((stats.sent, stats.delivered, stats.lost), (1, 0, 1));
+        assert_eq!(sim.now(), 5, "dead events still burn virtual time");
+    }
+
+    #[test]
+    fn crash_floor_survives_restart() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(5));
+        sim.send(ab, vec![1]); // scheduled before the crash: dead forever
+        sim.crash_node(b);
+        sim.restart_node(b);
+        assert!(!sim.node_is_down(b));
+        sim.send(ab, vec![2]); // scheduled after the restart: delivered
+        let mut delivered = Vec::new();
+        while let Some(Event::Frame { payload, .. }) = sim.step() {
+            delivered.push(payload);
+        }
+        assert_eq!(delivered, vec![vec![2]]);
+        let stats = sim.link_stats(ab);
+        assert_eq!((stats.delivered, stats.lost), (1, 1));
+    }
+
+    #[test]
+    fn clock_skew_scales_timer_delays_at_set_time() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.set_timer(a, 100, 1); // armed before the skew: unscaled
+        sim.set_clock_skew(a, 5, 4);
+        sim.set_timer(a, 100, 2); // 100 * 5/4 = 125
+        sim.set_timer(b, 100, 3); // other node: unscaled
+        let mut fired = Vec::new();
+        while let Some(Event::Timer { token, .. }) = sim.step() {
+            fired.push((sim.now(), token));
+        }
+        assert_eq!(fired, vec![(100, 1), (100, 3), (125, 2)]);
+        sim.set_clock_skew(a, 1, 1);
+        sim.set_timer(a, 100, 4);
+        while let Some(Event::Timer { token, .. }) = sim.step() {
+            assert_eq!((sim.now(), token), (225, 4), "(1, 1) removes the skew");
+        }
+    }
+
+    #[test]
+    fn drain_tick_kills_dead_events_like_step_ref() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(4));
+        sim.send(ab, vec![1]);
+        sim.set_timer(b, 4, 7);
+        sim.set_timer(a, 4, 8);
+        sim.crash_node(b);
+        let mut batch = Vec::new();
+        assert_eq!(sim.drain_tick(&mut batch), Some(4));
+        assert_eq!(batch.len(), 1, "only A's timer survives the crash");
+        assert!(matches!(batch[0], EventRef::Timer { token: 8, .. }));
+        assert_eq!(sim.link_stats(ab).lost, 1);
+    }
+
+    #[test]
+    fn drop_delivery_retracts_and_records_loss() {
+        // The batched pump's mid-batch crash path: the frame was
+        // already counted delivered by drain_tick, then the crash
+        // applied while dispatching the same batch.
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::reliable(2));
+        sim.send(ab, vec![1]);
+        let Some(EventRef::Frame { payload, link, .. }) = sim.step_ref() else {
+            panic!("expected a frame");
+        };
+        sim.crash_node(b);
+        sim.drop_delivery(link, payload);
+        let stats = sim.link_stats(ab);
+        assert_eq!((stats.delivered, stats.lost), (0, 1));
+    }
+
+    #[test]
+    fn unfaulted_runs_pay_no_fault_bookkeeping() {
+        // The fast-path flag: a run that never crashes or skews must
+        // produce the exact transcript it did before the fault engine
+        // existed (this is the golden-fixture compatibility guarantee).
+        let plain = standalone_transcript(11, 9);
+        assert!(!plain.is_empty());
+        let mut sim = Simulator::new(11);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, b, LinkConfig::harsh(5));
+        // Crash (and restart) an unrelated third node: dead checks are
+        // keyed per node, so the transcript is unchanged.
+        let c = sim.add_node();
+        sim.crash_node(c);
+        sim.restart_node(c);
+        for i in 0..100u8 {
+            sim.send(ab, vec![9, i]);
+        }
+        let mut log = Vec::new();
+        while let Some(Event::Frame { payload, .. }) = sim.step() {
+            log.push((sim.now(), payload));
+        }
+        assert_eq!(log, plain);
+    }
+
+    #[test]
+    fn note_fault_records_a_flight_event() {
+        let mut sim = Simulator::new(0);
+        sim.set_obs(ObsConfig::off().with_flight());
+        sim.note_fault(3, 2);
+        let rec = sim.take_flight().unwrap();
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.events[0].kind, FlightKind::Fault);
+        assert_eq!((rec.events[0].subject, rec.events[0].detail), (3, 2));
     }
 }

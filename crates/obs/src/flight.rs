@@ -60,6 +60,10 @@ pub enum FlightKind {
     /// One tick's batch of due events was drained in the multiplexed
     /// pump (`subject` = frames, `detail` = timers in the batch).
     DrainBatch,
+    /// A scheduled fault was applied to the world (`subject` = node or
+    /// link index, `detail` = fault-action discriminant: 1 link
+    /// reconfiguration, 2 crash, 3 restart, 4 clock skew).
+    Fault,
 }
 
 impl FlightKind {
@@ -77,11 +81,12 @@ impl FlightKind {
             FlightKind::Retransmit => "retransmit",
             FlightKind::CodecReject => "codec_reject",
             FlightKind::DrainBatch => "drain_batch",
+            FlightKind::Fault => "fault",
         }
     }
 
     /// Every kind, in serialization order (for report tables).
-    pub const ALL: [FlightKind; 11] = [
+    pub const ALL: [FlightKind; 12] = [
         FlightKind::Send,
         FlightKind::Deliver,
         FlightKind::Drop,
@@ -93,6 +98,7 @@ impl FlightKind {
         FlightKind::Retransmit,
         FlightKind::CodecReject,
         FlightKind::DrainBatch,
+        FlightKind::Fault,
     ];
 
     fn from_str(s: &str) -> Option<Self> {

@@ -7,8 +7,9 @@
 //! and dynamic event sources — every state *change* still goes through a
 //! typed transition.
 
+use netdsl_adapt::PolicyRto;
 use netdsl_netsim::scenario::FramePath;
-use netdsl_netsim::{FlightKind, TimerToken};
+use netdsl_netsim::{FlightKind, RetransmitPolicy, TimerToken};
 use netdsl_obs::Counter;
 
 use crate::driver::{Endpoint, Io};
@@ -56,6 +57,8 @@ pub struct SwSender {
     attempt: u64,
     stats: SenderStats,
     path: FramePath,
+    policy: RetransmitPolicy,
+    rto: PolicyRto,
 }
 
 impl SwSender {
@@ -71,6 +74,8 @@ impl SwSender {
             attempt: 0,
             stats: SenderStats::default(),
             path: FramePath::default(),
+            policy: RetransmitPolicy::Fixed,
+            rto: PolicyRto::Fixed(timeout),
         }
     }
 
@@ -78,6 +83,17 @@ impl SwSender {
     #[must_use]
     pub fn with_frame_path(mut self, path: FramePath) -> Self {
         self.path = path;
+        self
+    }
+
+    /// Selects the retransmission-timer policy (builder style). The
+    /// default [`RetransmitPolicy::Fixed`] arms every timer with the
+    /// constructor's `timeout`, exactly as before the policy axis
+    /// existed.
+    #[must_use]
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        self.rto = PolicyRto::from_policy(&policy, self.timeout);
+        self.policy = policy;
         self
     }
 
@@ -112,7 +128,8 @@ impl SwSender {
     }
 
     /// Transmit the current message and arm the timer (Ready → Wait).
-    fn launch(&mut self, io: &mut Io<'_>) {
+    /// `retransmit` poisons the adaptive RTT sample per Karn's rule.
+    fn launch(&mut self, io: &mut Io<'_>, retransmit: bool) {
         let St::Ready(machine) = std::mem::replace(&mut self.st, St::Poisoned) else {
             unreachable!("launch only called in Ready");
         };
@@ -131,14 +148,15 @@ impl SwSender {
         });
         self.stats.frames_sent += 1;
         self.attempt += 1;
-        io.set_timer(self.timeout, self.attempt);
+        self.rto.on_send(io.now(), retransmit);
+        io.set_timer(self.rto.rto(), self.attempt);
         self.st = St::Wait(waiting);
     }
 }
 
 impl Endpoint for SwSender {
     fn start(&mut self, io: &mut Io<'_>) {
-        self.launch(io);
+        self.launch(io, false);
     }
 
     fn on_frame(&mut self, frame: &[u8], io: &mut Io<'_>) {
@@ -154,11 +172,12 @@ impl Endpoint for SwSender {
         match ValidAck::validate_via(self.path, frame, awaited) {
             Some(ack) => {
                 io.cancel_timer(self.attempt);
+                self.rto.on_ack(io.now());
                 let ready = machine.step(Ok_ { ack });
                 self.stats.delivered += 1;
                 self.next_msg += 1;
                 self.st = St::Ready(ready);
-                self.launch(io);
+                self.launch(io, false);
             }
             None => {
                 // Invalid or stale frame while waiting: stay in Wait (the
@@ -185,6 +204,7 @@ impl Endpoint for SwSender {
         let timed_out = machine.step(Timeout);
         ARQ_TIMEOUTS.incr();
         io.flight_event(FlightKind::ArqTimeout, self.attempt);
+        self.rto.on_timeout();
         if timed_out.data().retries >= self.max_retries {
             self.st = St::Failed(timed_out);
             return;
@@ -195,11 +215,22 @@ impl Endpoint for SwSender {
         ARQ_RETRANSMISSIONS.incr();
         io.flight_event(FlightKind::Retransmit, self.stats.retransmissions);
         self.st = St::Ready(ready);
-        self.launch(io);
+        self.launch(io, true);
     }
 
     fn done(&self) -> bool {
         matches!(self.st, St::Done(_) | St::Failed(_))
+    }
+
+    fn reset(&mut self) {
+        // Total state loss, except: the message store (the application
+        // re-offers the workload), the accumulated stats (observational,
+        // like the simulator trace), and the attempt counter (monotone
+        // timer tokens must never alias retracted pre-crash timers).
+        self.next_msg = 0;
+        self.st = St::Ready(new_sender());
+        // Learned SRTT/backoff dies with the node.
+        self.rto = PolicyRto::from_policy(&self.policy, self.timeout);
     }
 }
 
@@ -296,6 +327,15 @@ impl Endpoint for SwReceiver {
 
     fn done(&self) -> bool {
         self.delivered.len() >= self.expect_total
+    }
+
+    fn reset(&mut self) {
+        // Total state loss: everything delivered so far is gone with
+        // the crashed node; only the configuration survives.
+        self.expected = 0;
+        self.delivered.clear();
+        self.acks_sent = 0;
+        self.rejected = 0;
     }
 }
 

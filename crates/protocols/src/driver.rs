@@ -100,6 +100,15 @@ pub trait Endpoint {
     /// `true` once this endpoint needs no more events (used by the pump
     /// to detect completion).
     fn done(&self) -> bool;
+
+    /// Discards all protocol state, returning the endpoint to its
+    /// freshly-constructed condition — the *total state loss* a
+    /// [`FaultKind::Restart`](netdsl_netsim::FaultKind::Restart)
+    /// models. The driver calls [`Endpoint::start`] again afterwards.
+    /// Endpoints that allocate monotone timer tokens keep their token
+    /// counters so post-restart timers never alias retracted ones.
+    /// Default: no-op (stateless endpoints).
+    fn reset(&mut self) {}
 }
 
 /// Two endpoints joined by a duplex link, plus the pump loop.
@@ -250,6 +259,40 @@ impl<A: Endpoint, B: Endpoint> Duplex<A, B> {
             }
         }
         self.sim.now()
+    }
+
+    /// The duplex world's fault coordinates, for
+    /// [`netdsl_netsim::apply_fault`].
+    pub fn fault_world(&self) -> netdsl_netsim::FaultWorld {
+        netdsl_netsim::FaultWorld {
+            node_a: self.node_a,
+            node_b: self.node_b,
+            link_ab: self.link_ab,
+            link_ba: self.link_ba,
+        }
+    }
+
+    /// Restarts endpoint A after a crash: total protocol state loss
+    /// ([`Endpoint::reset`]) followed by a fresh [`Endpoint::start`].
+    pub fn restart_a(&mut self) {
+        self.a.reset();
+        let mut io = Io {
+            sim: &mut self.sim,
+            node: self.node_a,
+            out_link: self.link_ab,
+        };
+        self.a.start(&mut io);
+    }
+
+    /// Restarts endpoint B after a crash (see [`Duplex::restart_a`]).
+    pub fn restart_b(&mut self) {
+        self.b.reset();
+        let mut io = Io {
+            sim: &mut self.sim,
+            node: self.node_b,
+            out_link: self.link_ba,
+        };
+        self.b.start(&mut io);
     }
 
     /// The A→B link id (for stats lookups).

@@ -11,8 +11,11 @@
 //! (the protocol's defining trade-off, visible in experiment E4 against
 //! Selective Repeat). Acks are cumulative.
 
+use std::collections::BTreeMap;
+
+use netdsl_adapt::PolicyRto;
 use netdsl_netsim::scenario::FramePath;
-use netdsl_netsim::{LinkConfig, TimerToken};
+use netdsl_netsim::{LinkConfig, RetransmitPolicy, Tick, TimerToken};
 
 use crate::driver::{Duplex, Endpoint, Io};
 use crate::window::{send_ack, send_data, WindowFrame, WindowOutcome, WindowStats};
@@ -33,6 +36,12 @@ pub struct GbnSender {
     stats: WindowStats,
     failed: bool,
     path: FramePath,
+    policy: RetransmitPolicy,
+    rto: PolicyRto,
+    /// Launch tick of each in-flight packet that has been transmitted
+    /// exactly once (adaptive policy only) — the unambiguous RTT
+    /// samples Karn's rule accepts. A window retransmission clears it.
+    send_times: BTreeMap<u32, Tick>,
 }
 
 impl GbnSender {
@@ -56,6 +65,9 @@ impl GbnSender {
             stats: WindowStats::default(),
             failed: false,
             path: FramePath::default(),
+            policy: RetransmitPolicy::Fixed,
+            rto: PolicyRto::Fixed(timeout),
+            send_times: BTreeMap::new(),
         }
     }
 
@@ -63,6 +75,16 @@ impl GbnSender {
     #[must_use]
     pub fn with_frame_path(mut self, path: FramePath) -> Self {
         self.path = path;
+        self
+    }
+
+    /// Selects the retransmission-timer policy (builder style; the
+    /// default fixed policy arms every timer with the constructor's
+    /// `timeout`, exactly as before).
+    #[must_use]
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        self.rto = PolicyRto::from_policy(&policy, self.timeout);
+        self.policy = policy;
         self
     }
 
@@ -99,6 +121,9 @@ impl GbnSender {
         while self.next < self.base + self.window && (self.next as usize) < self.messages.len() {
             let seq = self.next;
             self.transmit(seq, io);
+            if self.rto.is_adaptive() {
+                self.send_times.insert(seq, io.now());
+            }
             if self.base == self.next {
                 self.arm_timer(io);
             }
@@ -108,7 +133,7 @@ impl GbnSender {
 
     fn arm_timer(&mut self, io: &mut Io<'_>) {
         self.attempt += 1;
-        io.set_timer(self.timeout, self.attempt);
+        io.set_timer(self.rto.rto(), self.attempt);
     }
 }
 
@@ -123,6 +148,16 @@ impl Endpoint for GbnSender {
         };
         // Cumulative: everything ≤ seq is acknowledged.
         if seq >= self.base && seq < self.next {
+            if self.rto.is_adaptive() {
+                // The RTT of the packet this ack names, if it was only
+                // ever transmitted once (Karn); earlier acked entries
+                // are dropped unsampled (their acks are implied, not
+                // observed).
+                if let Some(sent) = self.send_times.remove(&seq) {
+                    self.rto.on_sample(io.now() - sent);
+                }
+                self.send_times = self.send_times.split_off(&(seq + 1));
+            }
             let newly = seq - self.base + 1;
             self.base = seq + 1;
             self.stats.delivered += u64::from(newly);
@@ -140,11 +175,14 @@ impl Endpoint for GbnSender {
             return; // stale timer, or nothing outstanding
         }
         self.retries += 1;
+        self.rto.on_timeout();
         if self.retries > self.max_retries {
             self.failed = true;
             return;
         }
-        // Go back N: retransmit the whole outstanding window.
+        // Go back N: retransmit the whole outstanding window. Every
+        // outstanding packet is now ambiguous under Karn's rule.
+        self.send_times.clear();
         for seq in self.base..self.next {
             self.transmit(seq, io);
             self.stats.retransmissions += 1;
@@ -154,6 +192,17 @@ impl Endpoint for GbnSender {
 
     fn done(&self) -> bool {
         self.failed || self.base as usize >= self.messages.len()
+    }
+
+    fn reset(&mut self) {
+        // Total state loss except messages (re-offered), stats
+        // (observational) and the monotone timer-token counter.
+        self.base = 0;
+        self.next = 0;
+        self.retries = 0;
+        self.failed = false;
+        self.send_times.clear();
+        self.rto = PolicyRto::from_policy(&self.policy, self.timeout);
     }
 }
 
@@ -225,6 +274,12 @@ impl Endpoint for GbnReceiver {
 
     fn done(&self) -> bool {
         self.delivered.len() >= self.expect_total
+    }
+
+    fn reset(&mut self) {
+        self.expected = 0;
+        self.delivered.clear();
+        self.out_of_order = 0;
     }
 }
 

@@ -27,7 +27,8 @@
 
 use netdsl_netsim::campaign::BatchDriver;
 use netdsl_netsim::scenario::{
-    Fault, FaultDirection, FsmPath, Scenario, ScenarioError, ScenarioResult, TopologySpec,
+    apply_fault, FaultNode, FaultPlan, FaultWorld, FsmPath, PlannedFault, Scenario, ScenarioError,
+    ScenarioResult, TopologySpec,
 };
 use netdsl_netsim::{
     EventRef, LinkId, NodeId, ObsConfig, SessionId, SimCore, Simulator, Tick, TimerToken,
@@ -62,6 +63,12 @@ pub trait SessionEndpoints {
     fn timer_a(&mut self, token: TimerToken, io: &mut Io<'_>);
     /// A timer fired on the B endpoint's node.
     fn timer_b(&mut self, token: TimerToken, io: &mut Io<'_>);
+    /// Total state loss on the A endpoint (a crash-restart fault). The
+    /// driver calls `start_a` again afterwards, mirroring
+    /// [`Duplex::restart_a`](crate::driver::Duplex::restart_a).
+    fn reset_a(&mut self);
+    /// Total state loss on the B endpoint.
+    fn reset_b(&mut self);
     /// `true` once both endpoints need no more events.
     fn done(&self) -> bool;
     /// `(sender_succeeded, frames_sent, retransmissions)`. `ab_sent` is
@@ -124,6 +131,12 @@ impl<A: Endpoint, B: Endpoint> SessionEndpoints for Pair<A, B> {
     fn timer_b(&mut self, token: TimerToken, io: &mut Io<'_>) {
         self.b.on_timer(token, io);
     }
+    fn reset_a(&mut self) {
+        self.a.reset();
+    }
+    fn reset_b(&mut self) {
+        self.b.reset();
+    }
     fn done(&self) -> bool {
         self.a.done() && self.b.done()
     }
@@ -151,7 +164,8 @@ pub fn suite_session(scenario: &Scenario) -> Result<Box<dyn SessionEndpoints>, S
         STOP_AND_WAIT => match spec.fsm_path {
             FsmPath::Typestate => Ok(Box::new(Pair::new(
                 SwSender::new(messages, spec.timeout, spec.max_retries)
-                    .with_frame_path(spec.frame_path),
+                    .with_frame_path(spec.frame_path)
+                    .with_retransmit(spec.retransmit),
                 SwReceiver::new(n).with_frame_path(spec.frame_path),
                 |a, _, _| {
                     let s = a.stats();
@@ -174,7 +188,8 @@ pub fn suite_session(scenario: &Scenario) -> Result<Box<dyn SessionEndpoints>, S
         },
         GO_BACK_N => Ok(Box::new(Pair::new(
             GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                .with_frame_path(spec.frame_path),
+                .with_frame_path(spec.frame_path)
+                .with_retransmit(spec.retransmit),
             GbnReceiver::new(n).with_frame_path(spec.frame_path),
             |a, _, _| {
                 let s = a.stats();
@@ -185,7 +200,8 @@ pub fn suite_session(scenario: &Scenario) -> Result<Box<dyn SessionEndpoints>, S
         ))),
         SELECTIVE_REPEAT => Ok(Box::new(Pair::new(
             SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                .with_frame_path(spec.frame_path),
+                .with_frame_path(spec.frame_path)
+                .with_retransmit(spec.retransmit),
             SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
             |a, _, _| {
                 let s = a.stats();
@@ -221,9 +237,10 @@ struct Slot {
     link_ab: LinkId,
     link_ba: LinkId,
     deadline: Tick,
-    /// Sorted, pre-filtered to `at < deadline` (faults at or past the
-    /// deadline can never influence a dispatched event).
-    faults: Vec<Fault>,
+    /// The expanded primitive fault schedule, sorted and pre-filtered to
+    /// `at < deadline` (faults at or past the deadline can never
+    /// influence a dispatched event).
+    faults: Vec<PlannedFault>,
     next_fault: usize,
     /// The session's own clock: the tick of its last dispatched event —
     /// exactly what a standalone run's `Simulator::now` would read.
@@ -242,17 +259,28 @@ impl Slot {
     /// past the boundary before breaking).
     fn settle(&mut self, sim: &mut Simulator, open: &mut usize) {
         self.now = sim.now();
+        let world = FaultWorld {
+            node_a: self.node_a,
+            node_b: self.node_b,
+            link_ab: self.link_ab,
+            link_ba: self.link_ba,
+        };
         while let Some(fault) = self.faults.get(self.next_fault) {
             if fault.at >= self.now {
                 break;
             }
-            match fault.direction {
-                FaultDirection::Forward => sim.reconfigure_link(self.link_ab, fault.config.clone()),
-                FaultDirection::Reverse => sim.reconfigure_link(self.link_ba, fault.config.clone()),
-                FaultDirection::Both => {
-                    sim.reconfigure_link(self.link_ab, fault.config.clone());
-                    sim.reconfigure_link(self.link_ba, fault.config.clone());
+            match apply_fault(sim, &world, fault) {
+                Some(FaultNode::A) => {
+                    self.pair.reset_a();
+                    self.pair
+                        .start_a(&mut Io::new(sim, self.node_a, self.link_ab));
                 }
+                Some(FaultNode::B) => {
+                    self.pair.reset_b();
+                    self.pair
+                        .start_b(&mut Io::new(sim, self.node_b, self.link_ba));
+                }
+                None => {}
             }
             self.next_fault += 1;
         }
@@ -396,8 +424,8 @@ fn run_group(
             link_ab,
             link_ba,
             deadline: scenario.deadline,
-            faults: scenario
-                .sorted_faults()
+            faults: FaultPlan::from_scenario(scenario)
+                .actions
                 .into_iter()
                 .filter(|f| f.at < scenario.deadline)
                 .collect(),
@@ -460,6 +488,16 @@ fn run_group(
                         sim.release_payload(payload);
                         continue;
                     }
+                    // A crash applied mid-tick: this frame was drained
+                    // before the crash landed, so the pop-time dead
+                    // check never saw it. A standalone pump pops it
+                    // after the crash and drops it; do the same here
+                    // (without settling — standalone applies fault
+                    // boundaries only after *dispatched* events).
+                    if sim.node_is_down(node) {
+                        sim.drop_delivery(link, payload);
+                        continue;
+                    }
                     let frame = sim.detach_payload(payload);
                     if node == slot.node_a {
                         slot.pair
@@ -480,6 +518,11 @@ fn run_group(
                         continue;
                     }
                     if sim.consume_cancellation(node, token) {
+                        continue;
+                    }
+                    // Same mid-tick crash window as the frame arm: the
+                    // timer was drained before the crash retracted it.
+                    if sim.node_is_down(node) {
                         continue;
                     }
                     if node == slot.node_a {
@@ -534,11 +577,17 @@ pub fn run_session_stepped(
     pair.start_a(&mut Io::new(&mut sim, node_a, link_ab));
     pair.start_b(&mut Io::new(&mut sim, node_b, link_ba));
 
-    let faults: Vec<Fault> = scenario
-        .sorted_faults()
+    let faults: Vec<PlannedFault> = FaultPlan::from_scenario(scenario)
+        .actions
         .into_iter()
         .filter(|f| f.at < scenario.deadline)
         .collect();
+    let world = FaultWorld {
+        node_a,
+        node_b,
+        link_ab,
+        link_ba,
+    };
     let mut next_fault = 0;
     let recycle = sim.core() == SimCore::Pooled;
     while !pair.done() && sim.now() <= scenario.deadline {
@@ -569,13 +618,16 @@ pub fn run_session_stepped(
             if fault.at >= sim.now() {
                 break;
             }
-            match fault.direction {
-                FaultDirection::Forward => sim.reconfigure_link(link_ab, fault.config.clone()),
-                FaultDirection::Reverse => sim.reconfigure_link(link_ba, fault.config.clone()),
-                FaultDirection::Both => {
-                    sim.reconfigure_link(link_ab, fault.config.clone());
-                    sim.reconfigure_link(link_ba, fault.config.clone());
+            match apply_fault(&mut sim, &world, fault) {
+                Some(FaultNode::A) => {
+                    pair.reset_a();
+                    pair.start_a(&mut Io::new(&mut sim, node_a, link_ab));
                 }
+                Some(FaultNode::B) => {
+                    pair.reset_b();
+                    pair.start_b(&mut Io::new(&mut sim, node_b, link_ba));
+                }
+                None => {}
             }
             next_fault += 1;
         }

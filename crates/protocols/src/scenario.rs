@@ -5,8 +5,11 @@
 //! [`netdsl_netsim::scenario`]: a [`Scenario`] names one of
 //! [`STOP_AND_WAIT`], [`GO_BACK_N`], [`SELECTIVE_REPEAT`] or
 //! [`BASELINE`], and the driver builds the matching [`Duplex`] world,
-//! applies any scheduled [`Fault`]s mid-run, and reports a
-//! protocol-independent [`ScenarioResult`].
+//! applies any scheduled [`Fault`]s mid-run (expanded to a primitive
+//! [`FaultPlan`]), and reports a protocol-independent
+//! [`ScenarioResult`].
+//!
+//! [`Fault`]: netdsl_netsim::scenario::Fault
 //!
 //! ```
 //! use netdsl_netsim::scenario::{ProtocolSpec, Scenario, ScenarioDriver, TrafficPattern};
@@ -26,8 +29,8 @@
 //! ```
 
 use netdsl_netsim::scenario::{
-    EngineConfigError, Fault, FaultDirection, FsmPath, ProtocolSpec, Scenario, ScenarioDriver,
-    ScenarioError, ScenarioResult, TopologySpec,
+    apply_fault, EngineConfigError, FaultNode, FaultPlan, FsmPath, ProtocolSpec, RetransmitPolicy,
+    Scenario, ScenarioDriver, ScenarioError, ScenarioResult, TopologySpec,
 };
 use netdsl_netsim::Tick;
 
@@ -49,36 +52,44 @@ pub const SELECTIVE_REPEAT: &str = "selective-repeat";
 /// Protocol key for the hand-rolled C-style baseline ARQ.
 pub const BASELINE: &str = "baseline";
 
-/// Runs a [`Duplex`] world to completion, applying `faults` (sorted by
-/// activation time) at their scheduled ticks. Returns the tick at which
-/// pumping stopped.
+/// Runs a [`Duplex`] world to completion, applying the primitive
+/// actions of a [`FaultPlan`] (already sorted by activation time) at
+/// their scheduled ticks. Returns the tick at which pumping stopped.
 ///
 /// Fault boundaries are approximate by one event: the pump hands over at
 /// the first event *past* the boundary, which is deterministic and
-/// indistinguishable from the fault landing a tick later.
+/// indistinguishable from the fault landing a tick later. A
+/// [`FaultNode`] returned by [`apply_fault`] (a restart) re-launches the
+/// corresponding endpoint from scratch via [`Duplex::restart_a`] /
+/// [`Duplex::restart_b`].
+///
+/// A fault scheduled after the session's last event never lands: when
+/// the pump stops without crossing a fault's boundary (both endpoints
+/// done, or the event queue drained), that fault and every later one
+/// are discarded — the same rule the multiplexed driver's slot applies
+/// when it closes a finished session with faults still pending.
 pub fn pump_with_faults<A: Endpoint, B: Endpoint>(
     duplex: &mut Duplex<A, B>,
-    faults: &[Fault],
+    plan: &FaultPlan,
     deadline: Tick,
 ) -> Tick {
-    let ab = duplex.link_ab();
-    let ba = duplex.link_ba();
+    let world = duplex.fault_world();
     let mut started = false;
-    for fault in faults.iter().filter(|f| f.at < deadline) {
-        if started {
-            duplex.resume(fault.at);
+    for fault in plan.actions.iter().filter(|f| f.at < deadline) {
+        let now = if started {
+            duplex.resume(fault.at)
         } else {
-            duplex.run(fault.at);
-            started = true;
+            duplex.run(fault.at)
+        };
+        started = true;
+        if now <= fault.at {
+            // Stopped early — no event ever crossed this boundary.
+            return now;
         }
-        let sim = duplex.sim_mut();
-        match fault.direction {
-            FaultDirection::Forward => sim.reconfigure_link(ab, fault.config.clone()),
-            FaultDirection::Reverse => sim.reconfigure_link(ba, fault.config.clone()),
-            FaultDirection::Both => {
-                sim.reconfigure_link(ab, fault.config.clone());
-                sim.reconfigure_link(ba, fault.config.clone());
-            }
+        match apply_fault(duplex.sim_mut(), &world, fault) {
+            Some(FaultNode::A) => duplex.restart_a(),
+            Some(FaultNode::B) => duplex.restart_b(),
+            None => {}
         }
     }
     if started {
@@ -131,7 +142,11 @@ pub fn drive_duplex<A: Endpoint, B: Endpoint>(
     // depend on the mode.
     let legacy = scenario.protocol.sim_core == netdsl_netsim::SimCore::Legacy;
     let restore_fast_path = legacy && !netdsl_wire::checksum::set_reference_mode(true);
-    let elapsed = pump_with_faults(&mut duplex, &scenario.sorted_faults(), scenario.deadline);
+    let elapsed = pump_with_faults(
+        &mut duplex,
+        &FaultPlan::from_scenario(scenario),
+        scenario.deadline,
+    );
     if restore_fast_path {
         netdsl_wire::checksum::set_reference_mode(false);
     }
@@ -167,12 +182,18 @@ pub fn drive_duplex<A: Endpoint, B: Endpoint>(
 /// refusal path for unsupported axis combinations, shared by the suite
 /// driver, the golden recorder, and the multiplexed driver.
 ///
-/// Today the only invalid combination is [`FsmPath::Compiled`] on a
-/// protocol other than [`STOP_AND_WAIT`]: only the §3.4 spec is
-/// reified and lowered to a transition table, and silently falling
-/// back to the typestate engine would let a sweep label a cell
-/// "compiled" while measuring something else — the same honesty rule
-/// the driver applies to fault schedules.
+/// The invalid combinations are the ones that would silently measure
+/// something other than what the sweep cell claims:
+///
+/// - [`FsmPath::Compiled`] on a protocol other than [`STOP_AND_WAIT`]:
+///   only the §3.4 spec is reified and lowered to a transition table,
+///   and silently falling back to the typestate engine would let a
+///   sweep label a cell "compiled" while measuring something else —
+///   the same honesty rule the driver applies to fault schedules.
+/// - [`RetransmitPolicy::AdaptiveRto`] on the compiled FSM path or on
+///   [`BASELINE`]: the transition table and the hand-rolled C-style
+///   sender both hard-code the constant-timeout arm, so an "adaptive"
+///   cell there would quietly run fixed timers.
 pub fn validate_engine(spec: &ProtocolSpec) -> Result<(), EngineConfigError> {
     if spec.fsm_path == FsmPath::Compiled && spec.name != STOP_AND_WAIT {
         return Err(EngineConfigError {
@@ -180,6 +201,23 @@ pub fn validate_engine(spec: &ProtocolSpec) -> Result<(), EngineConfigError> {
             config: spec.engine(),
             reason: "only stop-and-wait has a compiled control-FSM driver".to_string(),
         });
+    }
+    if matches!(spec.retransmit, RetransmitPolicy::AdaptiveRto { .. }) {
+        if spec.fsm_path == FsmPath::Compiled {
+            return Err(EngineConfigError {
+                protocol: spec.name.clone(),
+                config: spec.engine(),
+                reason: "the compiled control-FSM driver supports fixed retransmission only"
+                    .to_string(),
+            });
+        }
+        if spec.name == BASELINE {
+            return Err(EngineConfigError {
+                protocol: spec.name.clone(),
+                config: spec.engine(),
+                reason: "the baseline ARQ supports fixed retransmission only".to_string(),
+            });
+        }
     }
     Ok(())
 }
@@ -216,7 +254,8 @@ impl ScenarioDriver for SuiteDriver {
                 FsmPath::Typestate => Ok(drive_duplex(
                     scenario,
                     SwSender::new(messages, spec.timeout, spec.max_retries)
-                        .with_frame_path(spec.frame_path),
+                        .with_frame_path(spec.frame_path)
+                        .with_retransmit(spec.retransmit),
                     SwReceiver::new(n).with_frame_path(spec.frame_path),
                     |d| {
                         let s = d.a().stats();
@@ -241,7 +280,8 @@ impl ScenarioDriver for SuiteDriver {
             GO_BACK_N => Ok(drive_duplex(
                 scenario,
                 GbnSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                    .with_frame_path(spec.frame_path),
+                    .with_frame_path(spec.frame_path)
+                    .with_retransmit(spec.retransmit),
                 GbnReceiver::new(n).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
@@ -253,7 +293,8 @@ impl ScenarioDriver for SuiteDriver {
             SELECTIVE_REPEAT => Ok(drive_duplex(
                 scenario,
                 SrSender::new(messages, spec.window, spec.timeout, spec.max_retries)
-                    .with_frame_path(spec.frame_path),
+                    .with_frame_path(spec.frame_path)
+                    .with_retransmit(spec.retransmit),
                 SrReceiver::new(n, spec.window).with_frame_path(spec.frame_path),
                 |d| {
                     let s = d.a().stats();
@@ -288,7 +329,9 @@ impl ScenarioDriver for SuiteDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netdsl_netsim::scenario::{EngineConfig, ProtocolSpec, TrafficPattern};
+    use netdsl_netsim::scenario::{
+        EngineConfig, Fault, FaultDirection, ProtocolSpec, TrafficPattern,
+    };
     use netdsl_netsim::LinkConfig;
 
     fn base(name: &str) -> Scenario {
@@ -411,11 +454,11 @@ mod tests {
     fn reverse_only_fault_hits_the_ack_path() {
         // Kill only the ack path from the start; the sender must
         // retransmit even though data flows cleanly.
-        let scenario = base(STOP_AND_WAIT).with_fault(Fault {
-            at: 0,
-            direction: FaultDirection::Reverse,
-            config: LinkConfig::lossy(3, 0.5),
-        });
+        let scenario = base(STOP_AND_WAIT).with_fault(Fault::link(
+            0,
+            FaultDirection::Reverse,
+            LinkConfig::lossy(3, 0.5),
+        ));
         let r = SuiteDriver::new().run(&scenario).unwrap();
         assert!(r.success);
         assert!(r.retransmissions > 0, "lost acks force retries");

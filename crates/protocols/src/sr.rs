@@ -8,8 +8,9 @@
 
 use std::collections::BTreeMap;
 
+use netdsl_adapt::PolicyRto;
 use netdsl_netsim::scenario::FramePath;
-use netdsl_netsim::{LinkConfig, TimerToken};
+use netdsl_netsim::{LinkConfig, RetransmitPolicy, Tick, TimerToken};
 
 use crate::driver::{Duplex, Endpoint, Io};
 use crate::window::{send_ack, send_data, WindowFrame, WindowOutcome, WindowStats};
@@ -30,6 +31,11 @@ pub struct SrSender {
     stats: WindowStats,
     failed: bool,
     path: FramePath,
+    policy: RetransmitPolicy,
+    rto: PolicyRto,
+    /// Launch tick of each packet transmitted exactly once (adaptive
+    /// policy only); a retransmission evicts its entry per Karn's rule.
+    send_times: BTreeMap<u32, Tick>,
 }
 
 impl SrSender {
@@ -52,6 +58,9 @@ impl SrSender {
             stats: WindowStats::default(),
             failed: false,
             path: FramePath::default(),
+            policy: RetransmitPolicy::Fixed,
+            rto: PolicyRto::Fixed(timeout),
+            send_times: BTreeMap::new(),
         }
     }
 
@@ -59,6 +68,16 @@ impl SrSender {
     #[must_use]
     pub fn with_frame_path(mut self, path: FramePath) -> Self {
         self.path = path;
+        self
+    }
+
+    /// Selects the retransmission-timer policy (builder style; the
+    /// default fixed policy arms every timer with the constructor's
+    /// `timeout`, exactly as before).
+    #[must_use]
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        self.rto = PolicyRto::from_policy(&policy, self.timeout);
+        self.policy = policy;
         self
     }
 
@@ -89,7 +108,7 @@ impl SrSender {
         send_data(io, self.path, seq, &self.messages[seq as usize]);
         self.stats.frames_sent += 1;
         // Per-packet timer: token is the sequence number itself.
-        io.set_timer(self.timeout, u64::from(seq));
+        io.set_timer(self.rto.rto(), u64::from(seq));
     }
 
     fn fill_window(&mut self, io: &mut Io<'_>) {
@@ -97,6 +116,9 @@ impl SrSender {
             let seq = self.next;
             self.outstanding.insert(seq, 0);
             self.transmit(seq, io);
+            if self.rto.is_adaptive() {
+                self.send_times.insert(seq, io.now());
+            }
             self.next += 1;
         }
     }
@@ -112,6 +134,9 @@ impl Endpoint for SrSender {
             return;
         };
         if self.outstanding.remove(&seq).is_some() {
+            if let Some(sent) = self.send_times.remove(&seq) {
+                self.rto.on_sample(io.now() - sent);
+            }
             self.stats.delivered += 1;
             io.cancel_timer(u64::from(seq));
             // Advance base over the acknowledged prefix.
@@ -128,16 +153,32 @@ impl Endpoint for SrSender {
             return; // acknowledged in the meantime: stale timer
         };
         *retries += 1;
+        self.rto.on_timeout();
         if *retries > self.max_retries {
             self.failed = true;
             return;
         }
+        // Karn: this packet's eventual ack is now ambiguous.
+        self.send_times.remove(&seq);
         self.stats.retransmissions += 1;
         self.transmit(seq, io);
     }
 
     fn done(&self) -> bool {
         self.failed || self.base as usize >= self.messages.len()
+    }
+
+    fn reset(&mut self) {
+        // Total state loss except messages (re-offered), stats
+        // (observational) — SR timer tokens are sequence numbers, so
+        // nothing monotone needs preserving (retracted pre-crash timers
+        // can never fire again thanks to the crash watermark).
+        self.base = 0;
+        self.next = 0;
+        self.outstanding.clear();
+        self.failed = false;
+        self.send_times.clear();
+        self.rto = PolicyRto::from_policy(&self.policy, self.timeout);
     }
 }
 
@@ -219,6 +260,13 @@ impl Endpoint for SrReceiver {
 
     fn done(&self) -> bool {
         self.delivered.len() >= self.expect_total
+    }
+
+    fn reset(&mut self) {
+        self.expected = 0;
+        self.buffer.clear();
+        self.delivered.clear();
+        self.buffered_count = 0;
     }
 }
 

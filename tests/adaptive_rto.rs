@@ -1,0 +1,249 @@
+//! Adaptive retransmission (RFC 6298 SRTT/RTTVAR + Karn + backoff) and
+//! the fault engine, end to end: the `RetransmitPolicy` axis must be
+//! deterministic across every driver, the fault kinds must land
+//! identically solo and multiplexed, and the invariant monitor must
+//! hold over the whole grid.
+//!
+//! Estimator-level properties (bound clamping, Karn's discard, backoff
+//! reset on a clean sample) are unit-tested in `netdsl-adapt`; this
+//! suite checks the same behaviours *through the protocol stack*.
+
+use netdsl::netsim::campaign::BatchDriver;
+use netdsl::netsim::check_result;
+use netdsl::netsim::LinkConfig;
+use netdsl::protocols::multiplex::{run_session_stepped, suite_session, MultiSessionDriver};
+use netdsl::protocols::scenario::{SuiteDriver, GO_BACK_N, SELECTIVE_REPEAT, STOP_AND_WAIT};
+use netdsl::scenario::{
+    Fault, FaultDirection, FaultNode, FsmPath, ProtocolSpec, RetransmitPolicy, Scenario,
+    ScenarioDriver, ScenarioResult, TrafficPattern,
+};
+
+const ADAPTIVE: RetransmitPolicy = RetransmitPolicy::AdaptiveRto {
+    min_rto: 4,
+    max_rto: 2_000,
+};
+
+fn scenario(protocol: &str, policy: RetransmitPolicy) -> Scenario {
+    Scenario::new(
+        ProtocolSpec::new(protocol)
+            .with_window(4)
+            .with_timeout(90)
+            .with_retries(200)
+            .with_retransmit(policy),
+        LinkConfig::lossy(3, 0.2),
+    )
+    .with_name(format!("adaptive-rto/{protocol}"))
+    .with_traffic(TrafficPattern::messages(12, 16))
+    .with_seed(0xADA)
+    .with_deadline(1_000_000)
+}
+
+/// Runs one scenario through all three engines: the standalone duplex
+/// pump, the batched multiplexer, and the stepped multiplexer.
+fn run_everywhere(s: &Scenario) -> [ScenarioResult; 3] {
+    let solo = SuiteDriver::new().run(s).expect("valid scenario");
+    let mux = MultiSessionDriver::new()
+        .run_batch(std::slice::from_ref(s))
+        .remove(0)
+        .expect("valid scenario");
+    let mut pair = suite_session(s).expect("valid scenario");
+    let (stepped, _) = run_session_stepped(s, pair.as_mut(), false);
+    [solo, mux, stepped]
+}
+
+#[test]
+fn adaptive_runs_are_bit_identical_across_drivers() {
+    for protocol in [STOP_AND_WAIT, GO_BACK_N, SELECTIVE_REPEAT] {
+        let s = scenario(protocol, ADAPTIVE);
+        let [solo, mux, stepped] = run_everywhere(&s);
+        assert_eq!(solo, mux, "{protocol}: solo vs batched");
+        assert_eq!(solo, stepped, "{protocol}: solo vs stepped");
+        assert!(solo.success, "{protocol}: {solo:?}");
+        check_result(&s, &solo).assert_ok(&s.name);
+    }
+}
+
+#[test]
+fn adaptive_runs_are_reproducible() {
+    let s = scenario(SELECTIVE_REPEAT, ADAPTIVE);
+    let a = SuiteDriver::new().run(&s).unwrap();
+    let b = SuiteDriver::new().run(&s).unwrap();
+    assert_eq!(a, b, "same seed, same result — the estimator is pure");
+}
+
+#[test]
+fn adaptive_beats_fixed_when_the_timeout_undershoots_the_rtt() {
+    // Delay 30 each way ⇒ RTT 60, timer armed at 30: the fixed arm
+    // spuriously retransmits (nearly) every frame; Karn + backoff let
+    // the adaptive arm escape and the estimator then learns the RTT.
+    let cell = |policy| {
+        let s = Scenario::new(
+            ProtocolSpec::new(STOP_AND_WAIT)
+                .with_timeout(30)
+                .with_retries(200)
+                .with_retransmit(policy),
+            LinkConfig::reliable(30),
+        )
+        .with_traffic(TrafficPattern::messages(24, 16))
+        .with_seed(3)
+        .with_deadline(1_000_000);
+        SuiteDriver::new().run(&s).unwrap()
+    };
+    let fixed = cell(RetransmitPolicy::Fixed);
+    let adaptive = cell(ADAPTIVE);
+    assert!(fixed.success && adaptive.success);
+    assert!(
+        adaptive.retransmissions * 4 < fixed.retransmissions,
+        "adaptive {} vs fixed {}",
+        adaptive.retransmissions,
+        fixed.retransmissions
+    );
+}
+
+#[test]
+fn backed_off_failure_is_bounded_by_the_rto_cap() {
+    // A crashed receiver that never comes back dooms the transfer; the
+    // sender must exhaust its retry budget and report a clean failure
+    // within retries × max_rto — the cap is what makes doomed senders
+    // terminate long before an uncapped exponential would.
+    let s = Scenario::new(
+        ProtocolSpec::new(STOP_AND_WAIT)
+            .with_timeout(80)
+            .with_retries(20)
+            .with_retransmit(ADAPTIVE),
+        LinkConfig::reliable(3),
+    )
+    .with_traffic(TrafficPattern::messages(4, 16))
+    .with_seed(11)
+    .with_deadline(1_000_000)
+    .with_fault(Fault::crash(10, FaultNode::B));
+    let r = SuiteDriver::new().run(&s).unwrap();
+    assert!(!r.success, "no receiver, no success");
+    assert!(
+        r.elapsed <= 21 * 2_000,
+        "retry budget × RTO cap bounds the failure, got {}",
+        r.elapsed
+    );
+    check_result(&s, &r).assert_ok("bounded failure");
+}
+
+#[test]
+fn every_fault_kind_lands_identically_solo_and_multiplexed() {
+    let plans: Vec<(&str, Vec<Fault>)> = vec![
+        (
+            "crash-restart",
+            vec![
+                Fault::crash(20, FaultNode::B),
+                Fault::restart(400, FaultNode::B),
+            ],
+        ),
+        (
+            "flap",
+            vec![Fault::flap(
+                30,
+                FaultDirection::Forward,
+                LinkConfig::lossy(1, 1.0),
+                150,
+                250,
+                2,
+            )],
+        ),
+        (
+            "skew",
+            vec![
+                Fault::link(10, FaultDirection::Forward, LinkConfig::lossy(3, 0.25)),
+                Fault::clock_skew(25, FaultNode::A, 5, 4),
+            ],
+        ),
+        (
+            "burst",
+            vec![Fault::burst(
+                30,
+                FaultDirection::Both,
+                LinkConfig::reliable(3).with_corrupt(0.6),
+                300,
+            )],
+        ),
+    ];
+    for (label, faults) in plans {
+        for protocol in [STOP_AND_WAIT, GO_BACK_N, SELECTIVE_REPEAT] {
+            for policy in [RetransmitPolicy::Fixed, ADAPTIVE] {
+                let mut s = Scenario::new(
+                    ProtocolSpec::new(protocol)
+                        .with_window(4)
+                        .with_timeout(90)
+                        .with_retries(200)
+                        .with_retransmit(policy),
+                    LinkConfig::reliable(3),
+                )
+                .with_name(format!("fault-parity/{label}/{protocol}"))
+                .with_traffic(TrafficPattern::messages(24, 16))
+                .with_seed(0xFA17)
+                .with_deadline(1_000_000);
+                for fault in &faults {
+                    s = s.with_fault(fault.clone());
+                }
+                let [solo, mux, stepped] = run_everywhere(&s);
+                assert_eq!(solo, mux, "{}: solo vs batched", s.name);
+                assert_eq!(solo, stepped, "{}: solo vs stepped", s.name);
+                check_result(&s, &solo).assert_ok(&s.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn a_fault_scheduled_after_the_last_event_never_lands() {
+    // The transfer finishes long before the crash boundary; with no
+    // event left to cross it, the fault is discarded by every driver
+    // (the multiplexer closes the slot, the solo pump stops) instead of
+    // resurrecting a finished session.
+    let mut base = scenario(GO_BACK_N, RetransmitPolicy::Fixed);
+    base.link = LinkConfig::reliable(3);
+    let quiet = SuiteDriver::new().run(&base).unwrap();
+    let s = base
+        .clone()
+        .with_fault(Fault::crash(quiet.elapsed + 1_000, FaultNode::B))
+        .with_fault(Fault::restart(quiet.elapsed + 2_000, FaultNode::B));
+    let [solo, mux, stepped] = run_everywhere(&s);
+    assert_eq!(solo, quiet, "late fault must not change the run");
+    assert_eq!(solo, mux);
+    assert_eq!(solo, stepped);
+}
+
+#[test]
+fn invariant_monitor_flags_dishonest_results() {
+    let s = scenario(STOP_AND_WAIT, RetransmitPolicy::Fixed);
+    let mut r = SuiteDriver::new().run(&s).unwrap();
+    check_result(&s, &r).assert_ok("honest result");
+    r.messages_delivered -= 1;
+    let report = check_result(&s, &r);
+    assert!(
+        !report.ok(),
+        "success with missing deliveries must be flagged"
+    );
+}
+
+#[test]
+fn adaptive_policy_is_refused_where_it_cannot_apply() {
+    use netdsl::protocols::scenario::BASELINE;
+    // The hand-rolled baseline hard-codes its fixed timer.
+    let s = Scenario::new(
+        ProtocolSpec::new(BASELINE)
+            .with_timeout(60)
+            .with_retransmit(ADAPTIVE),
+        LinkConfig::reliable(3),
+    )
+    .with_traffic(TrafficPattern::messages(4, 8));
+    assert!(SuiteDriver::new().run(&s).is_err());
+    // So does the compiled control-FSM engine.
+    let s = Scenario::new(
+        ProtocolSpec::new(STOP_AND_WAIT)
+            .with_timeout(60)
+            .with_fsm_path(FsmPath::Compiled)
+            .with_retransmit(ADAPTIVE),
+        LinkConfig::reliable(3),
+    )
+    .with_traffic(TrafficPattern::messages(4, 8));
+    assert!(SuiteDriver::new().run(&s).is_err());
+}

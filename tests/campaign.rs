@@ -337,11 +337,11 @@ fn asymmetric_fault_hits_only_the_ack_path() {
     )
     .with_traffic(TrafficPattern::messages(8, 16))
     .with_seed(6)
-    .with_fault(Fault {
-        at: 0,
-        direction: FaultDirection::Reverse,
-        config: LinkConfig::lossy(3, 0.5),
-    });
+    .with_fault(Fault::link(
+        0,
+        FaultDirection::Reverse,
+        LinkConfig::lossy(3, 0.5),
+    ));
 
     let result = SuiteDriver::new().run(&scenario).unwrap();
     assert!(result.success);

@@ -61,11 +61,11 @@ fn asymmetric_loss_only_acks_dropped() {
     )
     .with_traffic(TrafficPattern::messages(8, 12))
     .with_seed(6)
-    .with_fault(Fault {
-        at: 0,
-        direction: FaultDirection::Reverse,
-        config: LinkConfig::lossy(3, 0.5),
-    });
+    .with_fault(Fault::link(
+        0,
+        FaultDirection::Reverse,
+        LinkConfig::lossy(3, 0.5),
+    ));
     let r = SuiteDriver::new().run(&scenario).unwrap();
     assert!(r.success, "{r:?}");
     assert_eq!(r.messages_delivered, 8, "duplicates suppressed");

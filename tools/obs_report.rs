@@ -82,6 +82,18 @@ fn render_metrics(name: &str, snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Decodes a fault event's `detail` discriminant (the encoding the
+/// fault engine documents on [`netdsl_obs::FlightKind::Fault`]).
+fn fault_action(detail: u64) -> &'static str {
+    match detail {
+        1 => "link reconfigured",
+        2 => "node crashed",
+        3 => "node restarted",
+        4 => "clock skewed",
+        _ => "unknown action",
+    }
+}
+
 fn render_flight(name: &str, flight: &FlightRecording) -> String {
     let mut out = format!(
         "{name}: flight recording (capacity {}, recorded {}, dropped {})\n",
@@ -110,6 +122,25 @@ fn render_flight(name: &str, flight: &FlightRecording) -> String {
             ));
         }
     };
+    // Faults are rare, load-bearing events: even when the ring elides
+    // the middle of the sequence below, the full fault timeline is
+    // worth its own table.
+    let faults: Vec<&netdsl_obs::FlightEvent> = flight
+        .events
+        .iter()
+        .filter(|e| e.kind == netdsl_obs::FlightKind::Fault)
+        .collect();
+    if !faults.is_empty() {
+        out.push_str("\n  fault timeline:\n");
+        for e in &faults {
+            out.push_str(&format!(
+                "  t={:<8} {:<18} target={}\n",
+                e.at,
+                fault_action(e.detail),
+                e.subject
+            ));
+        }
+    }
     let n = flight.events.len();
     if n <= 2 * FLIGHT_HEAD_TAIL {
         out.push_str(&format!("\n  all {n} events:\n"));
@@ -211,6 +242,33 @@ mod tests {
             assert!(out.contains(kind), "kind table must list {kind}:\n{out}");
         }
         assert!(out.contains("t=0"), "event rows:\n{out}");
+    }
+
+    #[test]
+    fn fault_fixture_renders_the_fault_timeline() {
+        let out = render("fault_flight.json", &fixture("fault_flight.json")).unwrap();
+        assert!(out.contains("fault timeline:"), "timeline section:\n{out}");
+        for action in [
+            "node crashed",
+            "node restarted",
+            "clock skewed",
+            "link reconfigured",
+        ] {
+            assert!(
+                out.contains(action),
+                "timeline must decode {action}:\n{out}"
+            );
+        }
+        // The timeline carries the one-event-overshoot timestamps the
+        // fault engine actually applied (crash scheduled at 15 lands on
+        // the first event past it).
+        assert!(out.contains("t=18       node crashed"), "{out}");
+    }
+
+    #[test]
+    fn faultless_recordings_render_no_timeline() {
+        let out = render("flight_recording.json", &fixture("flight_recording.json")).unwrap();
+        assert!(!out.contains("fault timeline"), "{out}");
     }
 
     #[test]
